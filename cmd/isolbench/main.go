@@ -1,0 +1,376 @@
+// Command isolbench regenerates the paper's tables and figures from
+// the simulated testbed. Each experiment prints the same rows/series
+// the paper reports.
+//
+// Usage:
+//
+//	isolbench -exp fig3 [-knob io.cost] [-quick] [-seed 1]
+//	isolbench -exp all -quick
+//
+// Experiments: fig2 (illustrative timelines), fig3 (latency/CPU
+// scaling), fig4 (bandwidth scalability), fig5 (fairness scalability),
+// fig6 (fairness under mixed workloads), fig7 (priority/utilization
+// trade-offs), q10 (burst response), tab1 (Table I verdicts).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"isolbench"
+	"isolbench/internal/core"
+	"isolbench/internal/sim"
+	"isolbench/internal/trace"
+)
+
+var (
+	expFlag    = flag.String("exp", "all", "experiment id: fig2|fig3|fig4|fig5|fig6|fig7|q10|tab1|all")
+	knobFlag   = flag.String("knob", "", "restrict to one knob (none|mq-deadline|bfq|io.max|io.latency|io.cost)")
+	quickFlag  = flag.Bool("quick", false, "short runs and coarse sweeps (fast, noisier)")
+	seedFlag   = flag.Uint64("seed", 1, "simulation seed")
+	profFlag   = flag.String("profile", "flash980", "device profile (flash980|optane), the paper's two SSDs")
+	jobFlag    = flag.String("job", "", "run a fio-style job file instead of a canned experiment")
+	recordFlag = flag.String("record", "", "with -job: write the run's device trace (JSONL) to this file")
+	replayFlag = flag.String("replay", "", "replay a JSONL trace under -knob instead of a canned experiment")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "isolbench:", err)
+		os.Exit(1)
+	}
+}
+
+func knobs(withBaseline bool) ([]core.Knob, error) {
+	if *knobFlag != "" {
+		k, err := isolbench.ParseKnob(*knobFlag)
+		if err != nil {
+			return nil, err
+		}
+		return []core.Knob{k}, nil
+	}
+	if withBaseline {
+		return core.AllKnobs(), nil
+	}
+	return core.ControlKnobs(), nil
+}
+
+func run() error {
+	if *jobFlag != "" {
+		return runJob(*jobFlag)
+	}
+	if *replayFlag != "" {
+		return runReplay(*replayFlag)
+	}
+	exps := strings.Split(*expFlag, ",")
+	if *expFlag == "all" {
+		exps = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "q10", "tab1"}
+	}
+	for _, e := range exps {
+		var err error
+		switch strings.TrimSpace(e) {
+		case "fig2":
+			err = runFig2()
+		case "fig3":
+			err = runFig3()
+		case "fig4":
+			err = runFig4()
+		case "fig5":
+			err = runFig5()
+		case "fig6":
+			err = runFig6()
+		case "fig7":
+			err = runFig7()
+		case "q10":
+			err = runQ10()
+		case "tab1":
+			err = runTab1()
+		default:
+			err = fmt.Errorf("unknown experiment %q", e)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", e, err)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func measure(full sim.Duration) sim.Duration {
+	if *quickFlag {
+		return full / 4
+	}
+	return full
+}
+
+func runFig2() error {
+	ks, err := knobs(true)
+	if err != nil {
+		return err
+	}
+	// Full runs use the paper's real 70 s schedule so the 500 ms
+	// control windows of io.latency resolve properly; quick runs
+	// compress time 10x.
+	scale := 1.0
+	if *quickFlag {
+		scale = 0.1
+	}
+	for _, k := range ks {
+		variants := []bool{false}
+		if k == core.KnobBFQ || k == core.KnobIOCost {
+			variants = []bool{false, true} // uniform + weighted panels
+		}
+		for _, weighted := range variants {
+			series, err := core.RunIllustrate(core.IllustrateConfig{
+				Knob: k, Profile: *profFlag, Weighted: weighted, TimeScale: scale, Seed: *seedFlag,
+			})
+			if err != nil {
+				return err
+			}
+			name := k.String()
+			if weighted {
+				name += " (weights)"
+			}
+			core.WriteTimelines(os.Stdout, k, series)
+			_ = name
+		}
+	}
+	return nil
+}
+
+func runFig3() error {
+	ks, err := knobs(true)
+	if err != nil {
+		return err
+	}
+	counts := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	if *quickFlag {
+		counts = []int{1, 8, 16, 64, 256}
+	}
+	for _, k := range ks {
+		pts, err := core.RunLatencyScaling(core.LatencyScalingConfig{
+			Knob: k, Profile: *profFlag, AppCounts: counts, Measure: measure(2 * sim.Second), Seed: *seedFlag,
+		})
+		if err != nil {
+			return err
+		}
+		core.WriteLatencyScaling(os.Stdout, k, pts)
+		for i, n := range counts {
+			if n == 1 || n == 16 || n == 256 {
+				core.WriteCDF(os.Stdout, k, n, pts[i])
+			}
+		}
+	}
+	return nil
+}
+
+func runFig4() error {
+	ks, err := knobs(true)
+	if err != nil {
+		return err
+	}
+	counts := []int{1, 2, 3, 5, 9, 13, 17}
+	if *quickFlag {
+		counts = []int{1, 5, 17}
+	}
+	for _, devs := range []int{1, 7} {
+		for _, k := range ks {
+			pts, err := core.RunBandwidthScaling(core.BandwidthScalingConfig{
+				Knob: k, Profile: *profFlag, AppCounts: counts, Devices: devs,
+				Measure: measure(1 * sim.Second), Seed: *seedFlag,
+			})
+			if err != nil {
+				return err
+			}
+			core.WriteBandwidthScaling(os.Stdout, k, pts)
+		}
+	}
+	return nil
+}
+
+func runFig5() error {
+	ks, err := knobs(true)
+	if err != nil {
+		return err
+	}
+	repeats := 5
+	groupCounts := []int{2, 4, 8, 16}
+	if *quickFlag {
+		repeats = 1
+		groupCounts = []int{2, 16}
+	}
+	for _, weighted := range []bool{false, true} {
+		var all []*core.FairnessResult
+		for _, k := range ks {
+			rs, err := core.FairnessScalability(k, *profFlag, groupCounts, weighted, repeats, *seedFlag)
+			if err != nil {
+				return err
+			}
+			all = append(all, rs...)
+		}
+		fmt.Printf("# Fig.5 fairness scalability (weighted=%v)\n", weighted)
+		core.WriteFairness(os.Stdout, all)
+	}
+	return nil
+}
+
+func runFig6() error {
+	ks, err := knobs(true)
+	if err != nil {
+		return err
+	}
+	repeats := 5
+	if *quickFlag {
+		repeats = 1
+	}
+	for _, mix := range []core.FairnessMix{core.MixSizes, core.MixPatterns, core.MixReadWrite} {
+		var all []*core.FairnessResult
+		for _, k := range ks {
+			r, err := core.RunFairness(core.FairnessConfig{
+				Knob: k, Profile: *profFlag, Groups: 2, Mix: mix, Repeats: repeats, Seed: *seedFlag,
+			})
+			if err != nil {
+				return err
+			}
+			all = append(all, r)
+		}
+		fmt.Printf("# Fig.6 fairness, mixed workloads (%s)\n", mix)
+		core.WriteFairness(os.Stdout, all)
+	}
+	return nil
+}
+
+func runFig7() error {
+	ks, err := knobs(false)
+	if err != nil {
+		return err
+	}
+	steps := 12
+	variants := core.AllBEVariants()
+	if *quickFlag {
+		steps = 5
+		variants = []core.BEVariant{core.BE4KRand}
+	}
+	for _, k := range ks {
+		for _, kind := range []core.PriorityKind{core.PriorityBatch, core.PriorityLC} {
+			// The paper only sweeps BE variants for the throttling
+			// knobs; the schedulers' trade-offs are too limited (Q6).
+			vs := variants
+			if k == core.KnobMQDeadline || k == core.KnobBFQ {
+				vs = []core.BEVariant{core.BE4KRand}
+			}
+			for _, v := range vs {
+				cfg := core.TradeoffConfig{
+					Knob: k, Profile: *profFlag, Kind: kind, Variant: v, Steps: steps,
+					Measure: measure(1500 * sim.Millisecond), Seed: *seedFlag,
+				}
+				pts, err := core.RunTradeoff(cfg)
+				if err != nil {
+					return err
+				}
+				core.WriteTradeoff(os.Stdout, cfg, pts)
+			}
+		}
+	}
+	return nil
+}
+
+func runQ10() error {
+	ks, err := knobs(false)
+	if err != nil {
+		return err
+	}
+	for _, k := range ks {
+		for _, kind := range []core.PriorityKind{core.PriorityBatch, core.PriorityLC} {
+			r, err := core.RunBurst(core.BurstConfig{Knob: k, Profile: *profFlag, Kind: kind, Seed: *seedFlag})
+			if err != nil {
+				return err
+			}
+			core.WriteBurst(os.Stdout, r)
+		}
+	}
+	return nil
+}
+
+func runJob(path string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	knob := core.KnobNone
+	if *knobFlag != "" {
+		if knob, err = isolbench.ParseKnob(*knobFlag); err != nil {
+			return err
+		}
+	}
+	var rec *trace.Recorder
+	if *recordFlag != "" {
+		rec = trace.NewRecorder(0)
+	}
+	res, err := core.RunJobFile(core.JobRunConfig{
+		Knob: knob, Profile: *profFlag, Source: string(src), Seed: *seedFlag,
+		Recorder: rec,
+	})
+	if err != nil {
+		return err
+	}
+	if rec != nil {
+		f, err := os.Create(*recordFlag)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteJSONL(f, rec.Entries()); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "# recorded %d requests to %s\n", rec.Len(), *recordFlag)
+	}
+	fmt.Printf("# job file %s, knob=%s, %v measured\n", path, knob, res.Span)
+	fmt.Println("cgroup\tbandwidth\tIOs\tP50\tP99")
+	for _, g := range res.Groups {
+		fmt.Printf("%s\t%s\t%d\t%v\t%v\n", g.Name, core.GiB(g.BW), g.IOs, g.P50, g.P99)
+	}
+	fmt.Printf("aggregate\t%s\tcpu=%.1f%%\n", core.GiB(res.AggregateBW), res.CPUUtil*100)
+	return nil
+}
+
+func runReplay(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	entries, err := trace.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	knob := core.KnobNone
+	if *knobFlag != "" {
+		if knob, err = isolbench.ParseKnob(*knobFlag); err != nil {
+			return err
+		}
+	}
+	st, err := core.ReplayTrace(knob, *profFlag, entries, *seedFlag)
+	if err != nil {
+		return err
+	}
+	sum := trace.Summarize(entries)
+	fmt.Printf("# replayed %d requests (%.0f IOPS offered) under knob=%s\n",
+		sum.Requests, sum.MeanIOPS, knob)
+	fmt.Printf("P50=%.1fus P90=%.1fus P99=%.1fus max=%.1fus\n",
+		float64(st.P50Ns)/1e3, float64(st.P90Ns)/1e3, float64(st.P99Ns)/1e3, float64(st.MaxNs)/1e3)
+	return nil
+}
+
+func runTab1() error {
+	rows, err := core.RunTableI(core.TableIConfig{Quick: *quickFlag, Seed: *seedFlag})
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Table I: performance isolation desiderata for cgroups")
+	core.WriteTableI(os.Stdout, rows, true)
+	return nil
+}

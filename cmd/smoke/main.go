@@ -1,0 +1,115 @@
+// Command smoke is a development calibration harness (not part of the
+// benchmark): it runs abbreviated versions of each experiment and
+// prints the key numbers next to the paper's anchors.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"isolbench/internal/core"
+	"isolbench/internal/sim"
+)
+
+func gib(b float64) float64 { return b / (1 << 30) }
+
+func main() {
+	which := "all"
+	if len(os.Args) > 1 {
+		which = os.Args[1]
+	}
+	run := func(name string) bool { return which == "all" || which == name }
+
+	if run("fig5") {
+		for _, weighted := range []bool{false, true} {
+			for _, knob := range core.AllKnobs() {
+				for _, n := range []int{2, 16} {
+					r, err := core.RunFairness(core.FairnessConfig{
+						Knob: knob, Groups: n, Weighted: weighted, Repeats: 1,
+						Measure: 1 * sim.Second, Seed: 5,
+					})
+					if err != nil {
+						panic(err)
+					}
+					fmt.Printf("fig5 %-12s groups=%-3d weighted=%-5v jain=%.3f agg=%5.2f GiB/s\n",
+						knob, n, weighted, r.Jain.Mean(), gib(r.AggBW.Mean()))
+				}
+			}
+		}
+	}
+
+	if run("fig6") {
+		for _, mix := range []core.FairnessMix{core.MixSizes, core.MixReadWrite} {
+			for _, knob := range core.AllKnobs() {
+				r, err := core.RunFairness(core.FairnessConfig{
+					Knob: knob, Groups: 2, Mix: mix, Repeats: 1,
+					Measure: 1500 * sim.Millisecond, Seed: 6,
+				})
+				if err != nil {
+					panic(err)
+				}
+				fmt.Printf("fig6 %-12s mix=%-14s jain=%.3f agg=%5.2f GiB/s (bw: %.2f / %.2f)\n",
+					knob, mix, r.Jain.Mean(), gib(r.AggBW.Mean()),
+					gib(r.GroupBW[0]), gib(r.GroupBW[1]))
+			}
+		}
+	}
+
+	if run("fig7") {
+		for _, knob := range core.ControlKnobs() {
+			for _, kind := range []core.PriorityKind{core.PriorityBatch, core.PriorityLC} {
+				pts, err := core.RunTradeoff(core.TradeoffConfig{
+					Knob: knob, Kind: kind, Steps: 5, Measure: 800 * sim.Millisecond, Seed: 7,
+				})
+				if err != nil {
+					panic(err)
+				}
+				for _, p := range pts {
+					mark := " "
+					if p.Pareto {
+						mark = "*"
+					}
+					fmt.Printf("fig7 %-12s %-5s %s agg=%5.2f prioBW=%5.2f prioP99=%9s  %s\n",
+						knob, kind, mark, gib(p.AggregateBW), gib(p.PrioBW), p.PrioP99, p.Config)
+				}
+			}
+		}
+	}
+
+	if run("q10") {
+		for _, knob := range core.ControlKnobs() {
+			r, err := core.RunBurst(core.BurstConfig{Knob: knob, Kind: core.PriorityBatch, Seed: 8})
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("q10  %-12s response=%9s achieved=%v steady=%5.2f GiB/s\n",
+				knob, r.Response, r.Achieved, gib(r.SteadyBW))
+		}
+	}
+
+	if run("fig2") {
+		for _, knob := range core.AllKnobs() {
+			series, err := core.RunIllustrate(core.IllustrateConfig{Knob: knob, Weighted: true, Seed: 9})
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("fig2 %-12s ", knob)
+			for _, s := range series {
+				var sum float64
+				n := 0
+				for _, p := range s.Points {
+					if p.Rate > 0 {
+						sum += p.Rate
+						n++
+					}
+				}
+				avg := 0.0
+				if n > 0 {
+					avg = sum / float64(n)
+				}
+				fmt.Printf("%s(avg %.2f GiB/s, %d active windows) ", s.App, gib(avg), n)
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Bursty priority app: a latency-critical service wakes up every few
+// seconds (cache refill, checkpoint read) while a best-effort tenant
+// hogs the SSD. How quickly does each knob hand the bursty app its
+// bandwidth back? This is the paper's D4 desideratum (Q10/O10):
+// io.cost and io.max respond in milliseconds, io.latency needs seconds
+// because it can only halve the victim's queue depth once per 500 ms
+// window.
+//
+//	go run ./examples/bursty
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"isolbench"
+)
+
+func main() {
+	fmt.Println("knob          burst response   steady burst bandwidth")
+	for _, k := range []isolbench.Knob{
+		isolbench.KnobIOMax, isolbench.KnobIOLatency, isolbench.KnobIOCost,
+	} {
+		res, err := isolbench.Burst(isolbench.BurstConfig{
+			Knob: k,
+			Kind: isolbench.PriorityBatch,
+			Seed: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp := "never stabilized"
+		if res.Achieved {
+			resp = res.Response.String()
+		}
+		fmt.Printf("%-13s %-16s %.2f GiB/s\n", k, resp, res.SteadyBW/(1<<30))
+	}
+
+	// Show the io.latency ramp in detail: the windowed bandwidth of
+	// the priority app after it bursts in.
+	res, err := isolbench.Burst(isolbench.BurstConfig{
+		Knob: isolbench.KnobIOLatency,
+		Kind: isolbench.PriorityBatch,
+		Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nio.latency ramp after the burst (the QD-halving staircase):")
+	for i, p := range res.Timeline {
+		if i%5 != 0 || i > 45 {
+			continue
+		}
+		bar := int(p.Rate / (1 << 30) * 40)
+		fmt.Printf("  +%4.1fs %6.2f GiB/s %s\n",
+			float64(i+1)*0.1, p.Rate/(1<<30), bars(bar))
+	}
+}
+
+func bars(n int) string {
+	if n < 0 {
+		n = 0
+	}
+	if n > 60 {
+		n = 60
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

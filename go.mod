@@ -1,0 +1,3 @@
+module isolbench
+
+go 1.22

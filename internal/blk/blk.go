@@ -1,0 +1,198 @@
+// Package blk is the simulated block layer: it connects applications
+// to a device through an optional cgroup I/O controller (io.max,
+// io.latency, io.cost) and an I/O scheduler (none, mq-deadline, bfq),
+// mirroring the request path the paper evaluates. One Queue exists per
+// device, like a blk-mq request queue.
+package blk
+
+import (
+	"isolbench/internal/device"
+	"isolbench/internal/host"
+	"isolbench/internal/sim"
+)
+
+// Overheads describes the CPU cost a path component (scheduler or
+// controller) adds to each I/O, plus bookkeeping the paper reports.
+type Overheads struct {
+	SubmitCPU   sim.Duration // added to the submit path on the app's core
+	CompleteCPU sim.Duration // added to the completion path
+	LockHold    sim.Duration // per-device serialized section (dispatch lock)
+
+	// ContentionFactor/Free/Cap model hot-path lock spinning that only
+	// bites when the core is backlogged (io.cost's behaviour past CPU
+	// saturation): extra CPU = min(factor * (backlog - free), cap)
+	// when backlog exceeds the free allowance.
+	ContentionFactor float64
+	ContentionFree   sim.Duration
+	ContentionCap    sim.Duration
+
+	CtxPerIO    float64 // context switches per I/O (reported by sar/fio)
+	CyclesPerIO float64 // cycles per I/O (reported by perf)
+}
+
+// Add combines two overhead sets.
+func (o Overheads) Add(p Overheads) Overheads {
+	return Overheads{
+		SubmitCPU:        o.SubmitCPU + p.SubmitCPU,
+		CompleteCPU:      o.CompleteCPU + p.CompleteCPU,
+		LockHold:         o.LockHold + p.LockHold,
+		ContentionFactor: o.ContentionFactor + p.ContentionFactor,
+		ContentionFree:   maxDur(o.ContentionFree, p.ContentionFree),
+		ContentionCap:    maxDur(o.ContentionCap, p.ContentionCap),
+		CtxPerIO:         o.CtxPerIO + p.CtxPerIO,
+		CyclesPerIO:      o.CyclesPerIO + p.CyclesPerIO,
+	}
+}
+
+func maxDur(a, b sim.Duration) sim.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Scheduler is an I/O scheduler attached to one device queue. Insert
+// hands it a request; Dispatch returns the next request to send to the
+// device (nil if nothing may be dispatched right now — e.g. BFQ is
+// idling). Schedulers get a Kick callback at bind time to restart the
+// dispatch pump from their own timers.
+type Scheduler interface {
+	Name() string
+	Bind(kick func())
+	Insert(r *device.Request)
+	Dispatch() *device.Request
+	Completed(r *device.Request)
+	Overheads() Overheads
+	// DispatchWindow bounds how many requests the scheduler keeps in
+	// flight at the device (0 = device limit). Real schedulers pace
+	// dispatch well below the NVMe queue depth; without this bound a
+	// backlogged queue would burn through its service budget in an
+	// instant and scheduling policy would never bite.
+	DispatchWindow() int
+}
+
+// Controller is a cgroup I/O controller stage ahead of the scheduler.
+// Submit either forwards the request immediately or holds it
+// (throttling) and forwards later via the bound next function.
+type Controller interface {
+	Name() string
+	Bind(next func(*device.Request))
+	Submit(r *device.Request)
+	Completed(r *device.Request)
+	Overheads() Overheads
+}
+
+// Queue is the per-device request path: controller -> scheduler ->
+// dispatch lock -> device.
+type Queue struct {
+	eng   *sim.Engine
+	dev   *device.Device
+	sched Scheduler
+	ctl   Controller
+	lock  *host.Server
+
+	reserved int // dispatch decisions in flight toward the device
+	pumping  bool
+
+	submitted uint64
+	completed uint64
+}
+
+// NewQueue wires a queue. ctl may be nil (no cgroup I/O controller).
+// The scheduler must not be nil; use the noop scheduler for "none".
+func NewQueue(eng *sim.Engine, dev *device.Device, sched Scheduler, ctl Controller) *Queue {
+	q := &Queue{eng: eng, dev: dev, sched: sched, ctl: ctl}
+	q.lock = host.NewServer(eng, "dispatch-lock:"+sched.Name())
+	sched.Bind(q.Pump)
+	if ctl != nil {
+		ctl.Bind(q.toScheduler)
+	}
+	dev.OnDone = q.onDeviceDone
+	return q
+}
+
+// Device returns the backing device.
+func (q *Queue) Device() *device.Device { return q.dev }
+
+// Scheduler returns the attached scheduler.
+func (q *Queue) Scheduler() Scheduler { return q.sched }
+
+// Controller returns the attached controller (nil when none).
+func (q *Queue) Controller() Controller { return q.ctl }
+
+// PathOverheads returns the combined controller+scheduler overheads,
+// which the workload layer charges to the issuing core.
+func (q *Queue) PathOverheads() Overheads {
+	o := q.sched.Overheads()
+	if q.ctl != nil {
+		o = o.Add(q.ctl.Overheads())
+	}
+	return o
+}
+
+// Submitted and Completed report queue-level counters.
+func (q *Queue) Submitted() uint64 { return q.submitted }
+
+// Completed reports how many requests finished on this queue.
+func (q *Queue) Completed() uint64 { return q.completed }
+
+// Submit enters a request into the path. CPU costs must already have
+// been paid by the caller (the workload layer models the submitting
+// core explicitly).
+func (q *Queue) Submit(r *device.Request) {
+	q.submitted++
+	if q.ctl != nil {
+		q.ctl.Submit(r)
+		return
+	}
+	q.toScheduler(r)
+}
+
+func (q *Queue) toScheduler(r *device.Request) {
+	r.Queued = q.eng.Now()
+	q.sched.Insert(r)
+	q.Pump()
+}
+
+// Pump moves dispatchable requests to the device while it has room.
+// The pumping flag keeps re-entrant calls (scheduler kicks from inside
+// dispatch) from nesting.
+func (q *Queue) Pump() {
+	if q.pumping {
+		return
+	}
+	q.pumping = true
+	defer func() { q.pumping = false }()
+
+	hold := q.PathOverheads().LockHold
+	limit := q.dev.Profile().MaxQD
+	if w := q.sched.DispatchWindow(); w > 0 && w < limit {
+		limit = w
+	}
+	for q.dev.Inflight()+q.reserved < limit {
+		r := q.sched.Dispatch()
+		if r == nil {
+			return
+		}
+		q.reserved++
+		if hold <= 0 {
+			q.reserved--
+			q.dev.Submit(r)
+			continue
+		}
+		req := r
+		q.lock.Exec(hold, func() {
+			q.reserved--
+			q.dev.Submit(req)
+		})
+	}
+}
+
+func (q *Queue) onDeviceDone(r *device.Request) {
+	q.completed++
+	q.sched.Completed(r)
+	if q.ctl != nil {
+		q.ctl.Completed(r)
+	}
+	q.Pump()
+}

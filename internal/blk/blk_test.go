@@ -1,0 +1,164 @@
+package blk_test
+
+import (
+	"testing"
+
+	"isolbench/internal/blk"
+	"isolbench/internal/device"
+	"isolbench/internal/iosched/noop"
+	"isolbench/internal/sim"
+)
+
+func newQueue(t *testing.T, prof device.Profile) (*sim.Engine, *blk.Queue, *device.Device) {
+	t.Helper()
+	eng := sim.NewEngine()
+	dev, err := device.New(eng, prof, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := blk.NewQueue(eng, dev, noop.New(), nil)
+	return eng, q, dev
+}
+
+func TestQueuePassThrough(t *testing.T) {
+	eng, q, _ := newQueue(t, device.Flash980Profile())
+	done := 0
+	r := &device.Request{Op: device.Read, Size: 4096, OnComplete: func(*device.Request) { done++ }}
+	r.Submit = eng.Now()
+	q.Submit(r)
+	eng.RunUntil(sim.Time(5 * sim.Millisecond))
+	if done != 1 {
+		t.Fatal("request did not complete")
+	}
+	if q.Submitted() != 1 || q.Completed() != 1 {
+		t.Fatalf("counters = %d/%d", q.Submitted(), q.Completed())
+	}
+	if r.Complete < r.Dispatch || r.Dispatch < r.Queued {
+		t.Fatalf("timestamps out of order: queued=%v dispatch=%v complete=%v",
+			r.Queued, r.Dispatch, r.Complete)
+	}
+}
+
+func TestQueueHoldsExcessBeyondDeviceQD(t *testing.T) {
+	prof := device.Flash980Profile()
+	prof.MaxQD = 8
+	eng, q, dev := newQueue(t, prof)
+	done := 0
+	for i := 0; i < 50; i++ {
+		q.Submit(&device.Request{
+			Op: device.Read, Size: 4096,
+			OnComplete: func(*device.Request) { done++ },
+		})
+	}
+	if dev.Inflight() > 8 {
+		t.Fatalf("device inflight %d exceeds MaxQD", dev.Inflight())
+	}
+	eng.RunUntil(sim.Time(100 * sim.Millisecond))
+	if done != 50 {
+		t.Fatalf("completed %d/50", done)
+	}
+}
+
+func TestQueueLockSerializesDispatch(t *testing.T) {
+	// A scheduler with a dispatch lock cannot exceed 1/hold IOPS.
+	eng := sim.NewEngine()
+	dev, _ := device.New(eng, device.Flash980Profile(), 3)
+	sched := &lockSched{hold: 5 * sim.Microsecond}
+	q := blk.NewQueue(eng, dev, sched, nil)
+	done := 0
+	inflight := 0
+	var refill func()
+	refill = func() {
+		for inflight < 512 {
+			inflight++
+			q.Submit(&device.Request{Op: device.Read, Size: 4096,
+				OnComplete: func(*device.Request) { done++; inflight--; refill() }})
+		}
+	}
+	refill()
+	eng.RunUntil(sim.Time(sim.Second))
+	// 5 us lock -> <= 200K IOPS even though the device does ~770K.
+	if done > 210_000 {
+		t.Fatalf("lock did not bound dispatch: %d IOPS", done)
+	}
+	if done < 150_000 {
+		t.Fatalf("dispatch suspiciously slow: %d IOPS", done)
+	}
+}
+
+// lockSched is a FIFO scheduler with a configurable dispatch lock.
+type lockSched struct {
+	noop.Scheduler
+	hold sim.Duration
+}
+
+func (s *lockSched) Name() string { return "locked-fifo" }
+func (s *lockSched) Overheads() blk.Overheads {
+	return blk.Overheads{LockHold: s.hold, CtxPerIO: 1}
+}
+
+func TestOverheadsAdd(t *testing.T) {
+	a := blk.Overheads{SubmitCPU: 10, CompleteCPU: 5, LockHold: 2, CtxPerIO: 1, CyclesPerIO: 100, ContentionCap: 7}
+	b := blk.Overheads{SubmitCPU: 3, CompleteCPU: 1, LockHold: 4, CtxPerIO: 0.05, CyclesPerIO: 50, ContentionCap: 3, ContentionFactor: 0.5}
+	c := a.Add(b)
+	if c.SubmitCPU != 13 || c.CompleteCPU != 6 || c.LockHold != 6 {
+		t.Fatalf("durations: %+v", c)
+	}
+	if c.CtxPerIO != 1.05 || c.CyclesPerIO != 150 {
+		t.Fatalf("accounting: %+v", c)
+	}
+	if c.ContentionCap != 7 || c.ContentionFactor != 0.5 {
+		t.Fatalf("contention: %+v", c)
+	}
+}
+
+func TestRing(t *testing.T) {
+	var r blk.Ring
+	if r.Pop() != nil || r.Peek() != nil || r.Len() != 0 {
+		t.Fatal("empty ring misbehaves")
+	}
+	reqs := make([]*device.Request, 100)
+	for i := range reqs {
+		reqs[i] = &device.Request{ID: uint64(i)}
+		r.Push(reqs[i])
+	}
+	if r.Len() != 100 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if r.Peek() != reqs[0] {
+		t.Fatal("peek wrong")
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.Pop(); got != reqs[i] {
+			t.Fatalf("pop %d returned request %d", i, got.ID)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatal("ring not drained")
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	var r blk.Ring
+	// Interleave push/pop to force head/tail wrap.
+	id := uint64(0)
+	next := uint64(0)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 7; i++ {
+			id++
+			r.Push(&device.Request{ID: id})
+		}
+		for i := 0; i < 5; i++ {
+			next++
+			if got := r.Pop(); got.ID != next {
+				t.Fatalf("wrap-around order broken: got %d want %d", got.ID, next)
+			}
+		}
+	}
+	for r.Len() > 0 {
+		next++
+		if got := r.Pop(); got.ID != next {
+			t.Fatalf("drain order broken: got %d want %d", got.ID, next)
+		}
+	}
+}

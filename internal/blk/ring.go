@@ -1,0 +1,58 @@
+package blk
+
+import "isolbench/internal/device"
+
+// Ring is a growable FIFO of requests with amortized O(1) push/pop and
+// no per-element allocation. Controllers use it to hold throttled
+// requests in arrival order.
+type Ring struct {
+	buf        []*device.Request
+	head, tail int
+	n          int
+}
+
+// Len returns the number of queued requests.
+func (q *Ring) Len() int { return q.n }
+
+// Push appends a request.
+func (q *Ring) Push(r *device.Request) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[q.tail] = r
+	q.tail = (q.tail + 1) % len(q.buf)
+	q.n++
+}
+
+// Pop removes and returns the oldest request, or nil when empty.
+func (q *Ring) Pop() *device.Request {
+	if q.n == 0 {
+		return nil
+	}
+	r := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return r
+}
+
+// Peek returns the oldest request without removing it.
+func (q *Ring) Peek() *device.Request {
+	if q.n == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+func (q *Ring) grow() {
+	size := len(q.buf) * 2
+	if size == 0 {
+		size = 16
+	}
+	buf := make([]*device.Request, size)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = buf
+	q.head, q.tail = 0, q.n
+}

@@ -1,0 +1,230 @@
+// Package cgroup models the cgroup-v2 hierarchy semantics that Linux
+// I/O control hangs off: management vs process groups, the
+// no-internal-process rule, subtree_control delegation, sysfs-style
+// knob files (io.weight, io.bfq.weight, io.prio.class, io.max,
+// io.latency, io.cost.model, io.cost.qos), and hierarchical weight
+// resolution.
+package cgroup
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Errors returned by hierarchy operations, mirroring the constraints
+// cgroup-v2 enforces (§IV-A of the paper).
+var (
+	ErrExists            = errors.New("cgroup: child with that name exists")
+	ErrHasProcs          = errors.New("cgroup: group holds processes (process groups cannot delegate controllers)")
+	ErrParentNoIO        = errors.New("cgroup: parent has no io controller in subtree_control")
+	ErrManagementGroup   = errors.New("cgroup: management groups cannot hold processes")
+	ErrRootOnly          = errors.New("cgroup: knob can only be set on the root group")
+	ErrNotRoot           = errors.New("cgroup: knob cannot be set on the root group")
+	ErrUnknownFile       = errors.New("cgroup: unknown control file")
+	ErrDeleted           = errors.New("cgroup: group was removed")
+	ErrHasChildren       = errors.New("cgroup: group still has children")
+	ErrUnknownController = errors.New("cgroup: unknown controller")
+)
+
+// Tree is one cgroup-v2 hierarchy with a root management group.
+type Tree struct {
+	root   *Group
+	byID   map[int]*Group
+	nextID int
+}
+
+// NewTree returns a hierarchy containing only the root group. The root
+// has the io controller available for delegation.
+func NewTree() *Tree {
+	t := &Tree{byID: make(map[int]*Group)}
+	t.root = t.newGroup(nil, "")
+	return t
+}
+
+func (t *Tree) newGroup(parent *Group, name string) *Group {
+	g := &Group{
+		tree:     t,
+		id:       t.nextID,
+		name:     name,
+		parent:   parent,
+		children: make(map[string]*Group),
+		files:    make(map[string]string),
+		knobs:    defaultKnobs(),
+	}
+	t.byID[g.id] = g
+	t.nextID++
+	return g
+}
+
+// Root returns the root group.
+func (t *Tree) Root() *Group { return t.root }
+
+// ByID returns the group with the given id, or nil.
+func (t *Tree) ByID(id int) *Group { return t.byID[id] }
+
+// Len returns the number of live groups including the root.
+func (t *Tree) Len() int { return len(t.byID) }
+
+// Group is one control group. A group is a "management group" once any
+// controller is enabled in its subtree_control (it may then never hold
+// processes); otherwise it is a "process group" and may hold processes
+// but may not delegate controllers.
+type Group struct {
+	tree     *Tree
+	id       int
+	name     string
+	parent   *Group
+	children map[string]*Group
+	deleted  bool
+
+	subtree map[string]bool // controllers enabled for children
+	procs   int
+
+	files map[string]string
+	knobs Knobs
+
+	// Active marks groups currently issuing I/O; weight resolution
+	// (like iocost's hweight) only divides bandwidth among active
+	// sibling groups.
+	active bool
+}
+
+// ID returns the group's stable identifier.
+func (g *Group) ID() int { return g.id }
+
+// Name returns the group's own name ("" for the root).
+func (g *Group) Name() string { return g.name }
+
+// Path returns the slash-joined path from the root ("/" for the root).
+func (g *Group) Path() string {
+	if g.parent == nil {
+		return "/"
+	}
+	parts := []string{}
+	for cur := g; cur.parent != nil; cur = cur.parent {
+		parts = append(parts, cur.name)
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+// Parent returns the parent group (nil for the root).
+func (g *Group) Parent() *Group { return g.parent }
+
+// IsRoot reports whether this is the hierarchy root.
+func (g *Group) IsRoot() bool { return g.parent == nil }
+
+// Children returns the live children sorted by name.
+func (g *Group) Children() []*Group {
+	names := make([]string, 0, len(g.children))
+	for n := range g.children {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Group, 0, len(names))
+	for _, n := range names {
+		out = append(out, g.children[n])
+	}
+	return out
+}
+
+// Create adds a child group. The parent may be a process group at the
+// time of creation (delegation is checked when controllers or knobs
+// are enabled).
+func (g *Group) Create(name string) (*Group, error) {
+	if g.deleted {
+		return nil, ErrDeleted
+	}
+	if name == "" || strings.ContainsAny(name, "/\x00") {
+		return nil, fmt.Errorf("cgroup: invalid group name %q", name)
+	}
+	if _, ok := g.children[name]; ok {
+		return nil, ErrExists
+	}
+	child := g.tree.newGroup(g, name)
+	g.children[name] = child
+	return child, nil
+}
+
+// Remove deletes an empty leaf group.
+func (g *Group) Remove() error {
+	switch {
+	case g.IsRoot():
+		return errors.New("cgroup: cannot remove the root group")
+	case len(g.children) > 0:
+		return ErrHasChildren
+	case g.procs > 0:
+		return ErrHasProcs
+	}
+	delete(g.parent.children, g.name)
+	delete(g.tree.byID, g.id)
+	g.deleted = true
+	return nil
+}
+
+// EnableController adds a controller (only "io" is modelled) to this
+// group's subtree_control, turning it into a management group. It
+// fails if the group holds processes (the no-internal-process rule).
+func (g *Group) EnableController(name string) error {
+	if name != "io" {
+		return ErrUnknownController
+	}
+	if g.procs > 0 {
+		return ErrHasProcs
+	}
+	if !g.IsRoot() && !g.parent.ControllerEnabled(name) {
+		// A controller must be enabled top-down.
+		return ErrParentNoIO
+	}
+	if g.subtree == nil {
+		g.subtree = make(map[string]bool)
+	}
+	g.subtree[name] = true
+	return nil
+}
+
+// ControllerEnabled reports whether the controller is in this group's
+// subtree_control. The root always delegates io.
+func (g *Group) ControllerEnabled(name string) bool {
+	if g.IsRoot() {
+		return name == "io"
+	}
+	return g.subtree[name]
+}
+
+// IsManagement reports whether the group delegates any controller.
+func (g *Group) IsManagement() bool { return len(g.subtree) > 0 }
+
+// AttachProc adds a process to the group. Management groups refuse
+// processes; the root is exempt (as in the kernel).
+func (g *Group) AttachProc() error {
+	if g.deleted {
+		return ErrDeleted
+	}
+	if g.IsManagement() && !g.IsRoot() {
+		return ErrManagementGroup
+	}
+	g.procs++
+	return nil
+}
+
+// DetachProc removes one process.
+func (g *Group) DetachProc() {
+	if g.procs > 0 {
+		g.procs--
+	}
+}
+
+// Procs returns the number of attached processes.
+func (g *Group) Procs() int { return g.procs }
+
+// SetActive marks the group as issuing I/O (weight resolution divides
+// among active siblings only).
+func (g *Group) SetActive(active bool) { g.active = active }
+
+// Active reports the active flag.
+func (g *Group) Active() bool { return g.active }

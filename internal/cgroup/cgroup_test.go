@@ -1,0 +1,191 @@
+package cgroup
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustCreate(t *testing.T, parent *Group, name string) *Group {
+	t.Helper()
+	g, err := parent.Create(name)
+	if err != nil {
+		t.Fatalf("Create(%q): %v", name, err)
+	}
+	return g
+}
+
+func TestTreeRoot(t *testing.T) {
+	tr := NewTree()
+	root := tr.Root()
+	if !root.IsRoot() || root.Path() != "/" {
+		t.Fatal("root malformed")
+	}
+	if !root.ControllerEnabled("io") {
+		t.Fatal("root must delegate io")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("tree len = %d", tr.Len())
+	}
+}
+
+func TestCreateAndPath(t *testing.T) {
+	tr := NewTree()
+	a := mustCreate(t, tr.Root(), "controller.slice")
+	b := mustCreate(t, a, "container-a.service")
+	if b.Path() != "/controller.slice/container-a.service" {
+		t.Fatalf("path = %q", b.Path())
+	}
+	if tr.ByID(b.ID()) != b {
+		t.Fatal("ByID lookup failed")
+	}
+	if b.Parent() != a {
+		t.Fatal("parent wrong")
+	}
+}
+
+func TestCreateDuplicate(t *testing.T) {
+	tr := NewTree()
+	mustCreate(t, tr.Root(), "x")
+	if _, err := tr.Root().Create("x"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create err = %v", err)
+	}
+}
+
+func TestCreateBadName(t *testing.T) {
+	tr := NewTree()
+	for _, name := range []string{"", "a/b"} {
+		if _, err := tr.Root().Create(name); err == nil {
+			t.Fatalf("Create(%q) should fail", name)
+		}
+	}
+}
+
+// The paper's Fig. 1 semantics: a management group (one that delegates
+// controllers) can never hold processes, and a process group can never
+// delegate.
+func TestManagementVsProcessGroups(t *testing.T) {
+	tr := NewTree()
+	mgmt := mustCreate(t, tr.Root(), "controller.slice")
+	if err := mgmt.EnableController("io"); err != nil {
+		t.Fatalf("EnableController: %v", err)
+	}
+	if !mgmt.IsManagement() {
+		t.Fatal("group with subtree controller should be management")
+	}
+	if err := mgmt.AttachProc(); !errors.Is(err, ErrManagementGroup) {
+		t.Fatalf("management group accepted a process: %v", err)
+	}
+
+	proc := mustCreate(t, mgmt, "container-a.service")
+	if err := proc.AttachProc(); err != nil {
+		t.Fatalf("process group refused a process: %v", err)
+	}
+	// Now it holds processes: it may not become a management group.
+	if err := proc.EnableController("io"); !errors.Is(err, ErrHasProcs) {
+		t.Fatalf("process group delegated a controller: %v", err)
+	}
+}
+
+// "broken.service" in Fig. 1: a child of a process group cannot have
+// I/O control knobs because its parent does not delegate io.
+func TestKnobRequiresParentDelegation(t *testing.T) {
+	tr := NewTree()
+	mgmt := mustCreate(t, tr.Root(), "controller.slice")
+	if err := mgmt.EnableController("io"); err != nil {
+		t.Fatal(err)
+	}
+	svc := mustCreate(t, mgmt, "container-b.service")
+	broken := mustCreate(t, svc, "broken.service")
+
+	if err := svc.SetFile("io.weight", "200"); err != nil {
+		t.Fatalf("delegated child knob: %v", err)
+	}
+	if err := broken.SetFile("io.weight", "200"); !errors.Is(err, ErrParentNoIO) {
+		t.Fatalf("broken.service knob err = %v, want ErrParentNoIO", err)
+	}
+	if err := broken.SetFile("io.max", "rbps=1000"); !errors.Is(err, ErrParentNoIO) {
+		t.Fatalf("broken.service io.max err = %v", err)
+	}
+}
+
+func TestControllerTopDown(t *testing.T) {
+	tr := NewTree()
+	a := mustCreate(t, tr.Root(), "a")
+	b := mustCreate(t, a, "b")
+	// b cannot enable io before a does.
+	if err := b.EnableController("io"); !errors.Is(err, ErrParentNoIO) {
+		t.Fatalf("bottom-up enable err = %v", err)
+	}
+	if err := a.EnableController("io"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.EnableController("io"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownController(t *testing.T) {
+	tr := NewTree()
+	if err := tr.Root().EnableController("cpu"); !errors.Is(err, ErrUnknownController) {
+		t.Fatalf("unknown controller err = %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tr := NewTree()
+	a := mustCreate(t, tr.Root(), "a")
+	b := mustCreate(t, a, "b")
+	if err := a.Remove(); !errors.Is(err, ErrHasChildren) {
+		t.Fatalf("removing non-leaf: %v", err)
+	}
+	if err := b.AttachProc(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Remove(); !errors.Is(err, ErrHasProcs) {
+		t.Fatalf("removing busy group: %v", err)
+	}
+	b.DetachProc()
+	if err := b.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("tree len after removes = %d", tr.Len())
+	}
+	if _, err := b.Create("x"); !errors.Is(err, ErrDeleted) {
+		t.Fatalf("create under deleted: %v", err)
+	}
+	if err := tr.Root().Remove(); err == nil {
+		t.Fatal("root remove should fail")
+	}
+}
+
+func TestChildrenSorted(t *testing.T) {
+	tr := NewTree()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		mustCreate(t, tr.Root(), n)
+	}
+	kids := tr.Root().Children()
+	if len(kids) != 3 || kids[0].Name() != "alpha" || kids[2].Name() != "zeta" {
+		t.Fatalf("children not sorted: %v", kids)
+	}
+}
+
+func TestProcsFile(t *testing.T) {
+	tr := NewTree()
+	g := mustCreate(t, tr.Root(), "g")
+	g.AttachProc()
+	g.AttachProc()
+	v, err := g.ReadFile("cgroup.procs")
+	if err != nil || v != "2" {
+		t.Fatalf("cgroup.procs = %q, %v", v, err)
+	}
+	g.DetachProc()
+	g.DetachProc()
+	g.DetachProc() // extra detach must not underflow
+	if g.Procs() != 0 {
+		t.Fatalf("procs = %d", g.Procs())
+	}
+}

@@ -1,0 +1,396 @@
+package cgroup
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"isolbench/internal/sim"
+)
+
+// SetFile writes a cgroup control file, parsing and validating the
+// value the way the kernel's io controllers do. Supported files:
+//
+//	io.weight      "100" | "default 100"          (1..10000)
+//	io.bfq.weight  "100" | "default 100"          (1..1000)
+//	io.prio.class  "no-change|none|restrict-to-rt|rt|restrict-to-be|be|idle"
+//	io.max         "[<dev>] rbps=N wbps=max riops=N wiops=max"
+//	io.latency     "[<dev>] target=<usec>"
+//	io.cost.qos    "[<dev>] enable=1 rpct=95 rlat=100 wpct=95 wlat=200 min=50 max=150"  (root only)
+//	io.cost.model  "[<dev>] ctrl=user model=linear rbps=N rseqiops=N rrandiops=N wbps=N wseqiops=N wrandiops=N"  (root only)
+//
+// <dev> is a "major:minor" token; omitting it applies the setting to
+// every device (a convenience the kernel does not offer).
+func (g *Group) SetFile(name, value string) error {
+	if g.deleted {
+		return ErrDeleted
+	}
+	value = strings.TrimSpace(value)
+	switch name {
+	case "io.weight":
+		w, err := parseWeight(value, 1, 10000)
+		if err != nil {
+			return err
+		}
+		if err := g.requireIOController(); err != nil {
+			return err
+		}
+		g.knobs.Weight = w
+	case "io.bfq.weight":
+		w, err := parseWeight(value, 1, 1000)
+		if err != nil {
+			return err
+		}
+		if err := g.requireIOController(); err != nil {
+			return err
+		}
+		g.knobs.BFQWeight = w
+	case "io.prio.class":
+		p, err := parsePrio(value)
+		if err != nil {
+			return err
+		}
+		// io.prio.class is not inheritable: it only has effect on
+		// process groups (it tags that group's own processes).
+		g.knobs.Prio = p
+	case "io.max":
+		if g.IsRoot() {
+			return ErrNotRoot
+		}
+		if err := g.requireIOController(); err != nil {
+			return err
+		}
+		dev, m, err := parseIOMax(value)
+		if err != nil {
+			return err
+		}
+		g.knobs.MaxByDev[dev] = m
+	case "io.latency":
+		if g.IsRoot() {
+			return ErrNotRoot
+		}
+		if err := g.requireIOController(); err != nil {
+			return err
+		}
+		dev, t, err := parseIOLatency(value)
+		if err != nil {
+			return err
+		}
+		g.knobs.LatencyByDev[dev] = t
+	case "io.cost.qos":
+		if !g.IsRoot() {
+			return ErrRootOnly
+		}
+		dev, q, err := parseCostQoS(value)
+		if err != nil {
+			return err
+		}
+		g.knobs.QoSByDev[dev] = q
+	case "io.cost.model":
+		if !g.IsRoot() {
+			return ErrRootOnly
+		}
+		dev, m, err := parseCostModel(value)
+		if err != nil {
+			return err
+		}
+		g.knobs.ModelByDev[dev] = m
+	default:
+		return ErrUnknownFile
+	}
+	g.files[name] = value
+	return nil
+}
+
+// ReadFile returns the formatted current value of a control file.
+func (g *Group) ReadFile(name string) (string, error) {
+	switch name {
+	case "io.weight":
+		return fmt.Sprintf("default %d", g.knobs.Weight), nil
+	case "io.bfq.weight":
+		return fmt.Sprintf("default %d", g.knobs.BFQWeight), nil
+	case "io.prio.class":
+		return g.knobs.Prio.String(), nil
+	case "io.max":
+		return formatDevMap(g.knobs.MaxByDev, func(m IOMax) string {
+			return fmt.Sprintf("rbps=%s wbps=%s riops=%s wiops=%s",
+				fmtLimit(m.RBps), fmtLimit(m.WBps), fmtLimit(m.RIOPS), fmtLimit(m.WIOPS))
+		}), nil
+	case "io.latency":
+		return formatDevMap(g.knobs.LatencyByDev, func(t sim.Duration) string {
+			return fmt.Sprintf("target=%d", int64(t)/int64(sim.Microsecond))
+		}), nil
+	case "io.cost.qos":
+		return formatDevMap(g.knobs.QoSByDev, func(q CostQoS) string {
+			en := 0
+			if q.Enable {
+				en = 1
+			}
+			return fmt.Sprintf("enable=%d ctrl=user rpct=%.2f rlat=%d wpct=%.2f wlat=%d min=%.2f max=%.2f",
+				en, q.RPct, int64(q.RLat)/int64(sim.Microsecond), q.WPct,
+				int64(q.WLat)/int64(sim.Microsecond), q.Min, q.Max)
+		}), nil
+	case "io.cost.model":
+		return formatDevMap(g.knobs.ModelByDev, func(m CostModel) string {
+			return fmt.Sprintf("ctrl=user model=linear rbps=%.0f rseqiops=%.0f rrandiops=%.0f wbps=%.0f wseqiops=%.0f wrandiops=%.0f",
+				m.RBps, m.RSeqIOPS, m.RRandIOPS, m.WBps, m.WSeqIOPS, m.WRandIOPS)
+		}), nil
+	case "cgroup.subtree_control":
+		if g.subtree["io"] {
+			return "io", nil
+		}
+		return "", nil
+	case "cgroup.procs":
+		return strconv.Itoa(g.procs), nil
+	default:
+		return "", ErrUnknownFile
+	}
+}
+
+// requireIOController enforces that knobs other than io.prio.class only
+// work when the parent delegates the io controller.
+func (g *Group) requireIOController() error {
+	if g.IsRoot() {
+		return nil
+	}
+	if !g.parent.ControllerEnabled("io") {
+		return ErrParentNoIO
+	}
+	return nil
+}
+
+func parseWeight(s string, min, max int) (int, error) {
+	s = strings.TrimPrefix(s, "default ")
+	w, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("cgroup: bad weight %q: %v", s, err)
+	}
+	if w < min || w > max {
+		return 0, fmt.Errorf("cgroup: weight %d out of range [%d,%d]", w, min, max)
+	}
+	return w, nil
+}
+
+func parsePrio(s string) (Prio, error) {
+	switch strings.ToLower(s) {
+	case "no-change", "none":
+		return PrioNone, nil
+	case "restrict-to-rt", "rt", "realtime", "promote-to-rt":
+		return PrioRT, nil
+	case "restrict-to-be", "be", "best-effort":
+		return PrioBE, nil
+	case "idle":
+		return PrioIdle, nil
+	}
+	return PrioNone, fmt.Errorf("cgroup: bad io.prio.class %q", s)
+}
+
+// splitDev peels an optional leading "major:minor" token.
+func splitDev(s string) (dev, rest string) {
+	fields := strings.Fields(s)
+	if len(fields) > 0 && strings.Contains(fields[0], ":") && !strings.Contains(fields[0], "=") {
+		return fields[0], strings.Join(fields[1:], " ")
+	}
+	return "", s
+}
+
+func parseKVs(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	for _, f := range strings.Fields(s) {
+		i := strings.IndexByte(f, '=')
+		if i <= 0 {
+			return nil, fmt.Errorf("cgroup: bad token %q", f)
+		}
+		out[strings.ToLower(f[:i])] = f[i+1:]
+	}
+	return out, nil
+}
+
+func parseLimit(s string) (float64, error) {
+	if s == "max" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("cgroup: bad limit %q", s)
+	}
+	return v, nil
+}
+
+func fmtLimit(v float64) string {
+	if math.IsInf(v, 1) {
+		return "max"
+	}
+	return strconv.FormatFloat(v, 'f', 0, 64)
+}
+
+func parseIOMax(s string) (string, IOMax, error) {
+	dev, rest := splitDev(s)
+	m := Unlimited()
+	if strings.TrimSpace(rest) == "max" || strings.TrimSpace(rest) == "" {
+		return dev, m, nil
+	}
+	kvs, err := parseKVs(rest)
+	if err != nil {
+		return "", m, err
+	}
+	for k, v := range kvs {
+		lim, err := parseLimit(v)
+		if err != nil {
+			return "", m, err
+		}
+		switch k {
+		case "rbps":
+			m.RBps = lim
+		case "wbps":
+			m.WBps = lim
+		case "riops":
+			m.RIOPS = lim
+		case "wiops":
+			m.WIOPS = lim
+		default:
+			return "", m, fmt.Errorf("cgroup: unknown io.max key %q", k)
+		}
+	}
+	return dev, m, nil
+}
+
+func parseIOLatency(s string) (string, sim.Duration, error) {
+	dev, rest := splitDev(s)
+	kvs, err := parseKVs(rest)
+	if err != nil {
+		return "", 0, err
+	}
+	tv, ok := kvs["target"]
+	if !ok {
+		return "", 0, fmt.Errorf("cgroup: io.latency requires target=<usec>")
+	}
+	us, err := strconv.ParseInt(tv, 10, 64)
+	if err != nil || us < 0 {
+		return "", 0, fmt.Errorf("cgroup: bad io.latency target %q", tv)
+	}
+	return dev, sim.Duration(us) * sim.Microsecond, nil
+}
+
+func parseCostQoS(s string) (string, CostQoS, error) {
+	dev, rest := splitDev(s)
+	q := DefaultCostQoS()
+	kvs, err := parseKVs(rest)
+	if err != nil {
+		return "", q, err
+	}
+	for k, v := range kvs {
+		switch k {
+		case "enable":
+			q.Enable = v == "1" || v == "true"
+		case "ctrl":
+			// accepted and ignored: the model is always user-controlled
+		case "rpct":
+			q.RPct, err = parsePct(v)
+		case "wpct":
+			q.WPct, err = parsePct(v)
+		case "rlat":
+			q.RLat, err = parseUsec(v)
+		case "wlat":
+			q.WLat, err = parseUsec(v)
+		case "min":
+			q.Min, err = parsePosFloat(v)
+		case "max":
+			q.Max, err = parsePosFloat(v)
+		default:
+			return "", q, fmt.Errorf("cgroup: unknown io.cost.qos key %q", k)
+		}
+		if err != nil {
+			return "", q, err
+		}
+	}
+	if q.Min > q.Max {
+		return "", q, fmt.Errorf("cgroup: io.cost.qos min %.1f > max %.1f", q.Min, q.Max)
+	}
+	return dev, q, nil
+}
+
+func parseCostModel(s string) (string, CostModel, error) {
+	dev, rest := splitDev(s)
+	var m CostModel
+	kvs, err := parseKVs(rest)
+	if err != nil {
+		return "", m, err
+	}
+	for k, v := range kvs {
+		switch k {
+		case "ctrl", "model":
+			continue
+		}
+		f, err := parsePosFloat(v)
+		if err != nil {
+			return "", m, err
+		}
+		switch k {
+		case "rbps":
+			m.RBps = f
+		case "rseqiops":
+			m.RSeqIOPS = f
+		case "rrandiops":
+			m.RRandIOPS = f
+		case "wbps":
+			m.WBps = f
+		case "wseqiops":
+			m.WSeqIOPS = f
+		case "wrandiops":
+			m.WRandIOPS = f
+		default:
+			return "", m, fmt.Errorf("cgroup: unknown io.cost.model key %q", k)
+		}
+	}
+	if !m.Valid() {
+		return "", m, fmt.Errorf("cgroup: io.cost.model missing coefficients")
+	}
+	return dev, m, nil
+}
+
+func parsePct(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 || v > 100 {
+		return 0, fmt.Errorf("cgroup: bad percentile %q", s)
+	}
+	return v, nil
+}
+
+func parseUsec(s string) (sim.Duration, error) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("cgroup: bad latency %q", s)
+	}
+	return sim.Duration(v) * sim.Microsecond, nil
+}
+
+func parsePosFloat(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("cgroup: bad value %q", s)
+	}
+	return v, nil
+}
+
+func formatDevMap[V any](m map[string]V, format func(V) string) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		if b.Len() > 0 {
+			b.WriteByte('\n')
+		}
+		if k != "" {
+			b.WriteString(k)
+			b.WriteByte(' ')
+		}
+		b.WriteString(format(m[k]))
+	}
+	return b.String()
+}

@@ -1,0 +1,304 @@
+package cgroup
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"isolbench/internal/sim"
+)
+
+// testGroup returns a process group whose parent delegates io.
+func testGroup(t *testing.T) *Group {
+	t.Helper()
+	tr := NewTree()
+	mgmt, err := tr.Root().Create("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgmt.EnableController("io"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := mgmt.Create("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestIOWeightParse(t *testing.T) {
+	g := testGroup(t)
+	if g.Knobs().Weight != 100 {
+		t.Fatalf("default io.weight = %d", g.Knobs().Weight)
+	}
+	if err := g.SetFile("io.weight", "250"); err != nil {
+		t.Fatal(err)
+	}
+	if g.Knobs().Weight != 250 {
+		t.Fatalf("weight = %d", g.Knobs().Weight)
+	}
+	if err := g.SetFile("io.weight", "default 800"); err != nil {
+		t.Fatal(err)
+	}
+	if g.Knobs().Weight != 800 {
+		t.Fatalf("weight = %d", g.Knobs().Weight)
+	}
+	for _, bad := range []string{"0", "10001", "-4", "abc"} {
+		if err := g.SetFile("io.weight", bad); err == nil {
+			t.Fatalf("io.weight %q accepted", bad)
+		}
+	}
+	v, err := g.ReadFile("io.weight")
+	if err != nil || v != "default 800" {
+		t.Fatalf("ReadFile io.weight = %q, %v", v, err)
+	}
+}
+
+func TestBFQWeightRange(t *testing.T) {
+	g := testGroup(t)
+	if err := g.SetFile("io.bfq.weight", "1000"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetFile("io.bfq.weight", "1001"); err == nil {
+		t.Fatal("io.bfq.weight 1001 accepted (max is 1000)")
+	}
+}
+
+func TestPrioClassParse(t *testing.T) {
+	g := testGroup(t)
+	cases := map[string]Prio{
+		"rt": PrioRT, "restrict-to-rt": PrioRT, "realtime": PrioRT,
+		"be": PrioBE, "restrict-to-be": PrioBE,
+		"idle": PrioIdle, "none": PrioNone, "no-change": PrioNone,
+	}
+	for in, want := range cases {
+		if err := g.SetFile("io.prio.class", in); err != nil {
+			t.Fatalf("io.prio.class %q: %v", in, err)
+		}
+		if g.Knobs().Prio != want {
+			t.Fatalf("io.prio.class %q -> %v, want %v", in, g.Knobs().Prio, want)
+		}
+	}
+	if err := g.SetFile("io.prio.class", "bogus"); err == nil {
+		t.Fatal("bogus class accepted")
+	}
+}
+
+func TestIOMaxParse(t *testing.T) {
+	g := testGroup(t)
+	if err := g.SetFile("io.max", "259:0 rbps=1048576 wiops=1000"); err != nil {
+		t.Fatal(err)
+	}
+	m := g.Knobs().MaxFor("259:0")
+	if m.RBps != 1048576 || m.WIOPS != 1000 {
+		t.Fatalf("parsed limits = %+v", m)
+	}
+	if !math.IsInf(m.WBps, 1) || !math.IsInf(m.RIOPS, 1) {
+		t.Fatal("unset dimensions should be max")
+	}
+	// Device fallback: another device is unlimited.
+	if !g.Knobs().MaxFor("259:1").IsUnlimited() {
+		t.Fatal("other device should be unlimited")
+	}
+	// "max" resets.
+	if err := g.SetFile("io.max", "259:0 max"); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Knobs().MaxFor("259:0").IsUnlimited() {
+		t.Fatal("max did not reset limits")
+	}
+	// Empty device key applies to all devices.
+	if err := g.SetFile("io.max", "rbps=5000"); err != nil {
+		t.Fatal(err)
+	}
+	if g.Knobs().MaxFor("259:7").RBps != 5000 {
+		t.Fatal("default-device limit not applied")
+	}
+	for _, bad := range []string{"rbps=0", "rbps=-1", "bogus=3", "rbps"} {
+		if err := g.SetFile("io.max", bad); err == nil {
+			t.Fatalf("io.max %q accepted", bad)
+		}
+	}
+}
+
+func TestIOMaxRootRejected(t *testing.T) {
+	tr := NewTree()
+	if err := tr.Root().SetFile("io.max", "rbps=1"); !errors.Is(err, ErrNotRoot) {
+		t.Fatalf("io.max on root err = %v", err)
+	}
+}
+
+func TestIOLatencyParse(t *testing.T) {
+	g := testGroup(t)
+	if err := g.SetFile("io.latency", "259:0 target=75"); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Knobs().LatencyFor("259:0"); got != 75*sim.Microsecond {
+		t.Fatalf("target = %v", got)
+	}
+	if g.Knobs().LatencyFor("259:9") != 0 {
+		t.Fatal("unset device should have no target")
+	}
+	if err := g.SetFile("io.latency", "nonsense"); err == nil {
+		t.Fatal("bad io.latency accepted")
+	}
+	v, err := g.ReadFile("io.latency")
+	if err != nil || !strings.Contains(v, "target=75") {
+		t.Fatalf("ReadFile io.latency = %q, %v", v, err)
+	}
+}
+
+func TestCostQoSRootOnly(t *testing.T) {
+	tr := NewTree()
+	g := testGroup(t)
+	if err := g.SetFile("io.cost.qos", "enable=1"); !errors.Is(err, ErrRootOnly) {
+		t.Fatalf("io.cost.qos on non-root err = %v", err)
+	}
+	err := tr.Root().SetFile("io.cost.qos",
+		"259:0 enable=1 ctrl=user rpct=95.00 rlat=100 wpct=95.00 wlat=400 min=50.00 max=150.00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := tr.Root().Knobs().QoSFor("259:0")
+	if !q.Enable || q.RPct != 95 || q.RLat != 100*sim.Microsecond ||
+		q.Min != 50 || q.Max != 150 {
+		t.Fatalf("parsed qos = %+v", q)
+	}
+	// min > max rejected.
+	if err := tr.Root().SetFile("io.cost.qos", "min=150 max=50"); err == nil {
+		t.Fatal("min > max accepted")
+	}
+}
+
+func TestCostModelParse(t *testing.T) {
+	tr := NewTree()
+	line := "259:0 ctrl=user model=linear rbps=2427387904 rseqiops=138180 rrandiops=620000 wbps=1000000000 wseqiops=125000 wrandiops=110000"
+	if err := tr.Root().SetFile("io.cost.model", line); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := tr.Root().Knobs().ModelFor("259:0")
+	if !ok || m.RBps != 2427387904 || m.WRandIOPS != 110000 {
+		t.Fatalf("parsed model = %+v ok=%v", m, ok)
+	}
+	// Missing coefficients rejected.
+	if err := tr.Root().SetFile("io.cost.model", "rbps=100"); err == nil {
+		t.Fatal("incomplete model accepted")
+	}
+}
+
+func TestUnknownFile(t *testing.T) {
+	g := testGroup(t)
+	if err := g.SetFile("io.bogus", "1"); !errors.Is(err, ErrUnknownFile) {
+		t.Fatalf("unknown file err = %v", err)
+	}
+	if _, err := g.ReadFile("io.bogus"); !errors.Is(err, ErrUnknownFile) {
+		t.Fatalf("unknown read err = %v", err)
+	}
+}
+
+func TestReadFormatRoundTrip(t *testing.T) {
+	g := testGroup(t)
+	if err := g.SetFile("io.max", "259:0 rbps=1073741824"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := g.ReadFile("io.max")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "259:0 rbps=1073741824 wbps=max riops=max wiops=max"
+	if v != want {
+		t.Fatalf("io.max format = %q, want %q", v, want)
+	}
+}
+
+func TestHierWeight(t *testing.T) {
+	tr := NewTree()
+	m, _ := tr.Root().Create("m")
+	m.EnableController("io")
+	a, _ := m.Create("a")
+	b, _ := m.Create("b")
+	a.SetFile("io.weight", "1000")
+	b.SetFile("io.weight", "1")
+	a.SetActive(true)
+	b.SetActive(true)
+	wa := a.HierWeight(WeightIOCost)
+	wb := b.HierWeight(WeightIOCost)
+	if math.Abs(wa-1000.0/1001.0) > 1e-9 || math.Abs(wb-1.0/1001.0) > 1e-9 {
+		t.Fatalf("hier weights = %v, %v", wa, wb)
+	}
+	// Inactive sibling is excluded from the split.
+	b.SetActive(false)
+	if w := a.HierWeight(WeightIOCost); math.Abs(w-1) > 1e-9 {
+		t.Fatalf("sole active weight = %v, want 1", w)
+	}
+	if w := tr.Root().HierWeight(WeightIOCost); w != 1 {
+		t.Fatalf("root weight = %v", w)
+	}
+}
+
+func TestHierWeightNested(t *testing.T) {
+	// Two levels: parent share 2/3, child share 1/2 -> 1/3.
+	tr := NewTree()
+	top, _ := tr.Root().Create("top")
+	top.EnableController("io")
+	p1, _ := top.Create("p1")
+	p2, _ := top.Create("p2")
+	p1.EnableController("io")
+	c1, _ := p1.Create("c1")
+	c2, _ := p1.Create("c2")
+	p1.SetFile("io.weight", "200")
+	p2.SetFile("io.weight", "100")
+	for _, g := range []*Group{p1, p2, c1, c2} {
+		g.SetActive(true)
+	}
+	got := c1.HierWeight(WeightIOCost)
+	if math.Abs(got-(200.0/300.0)*(100.0/200.0)) > 1e-9 {
+		t.Fatalf("nested hier weight = %v, want 1/3", got)
+	}
+}
+
+func TestBFQWeightKind(t *testing.T) {
+	tr := NewTree()
+	m, _ := tr.Root().Create("m")
+	m.EnableController("io")
+	a, _ := m.Create("a")
+	b, _ := m.Create("b")
+	a.SetFile("io.bfq.weight", "300")
+	b.SetFile("io.bfq.weight", "100")
+	a.SetActive(true)
+	b.SetActive(true)
+	if w := a.HierWeight(WeightBFQ); math.Abs(w-0.75) > 1e-9 {
+		t.Fatalf("bfq hier weight = %v", w)
+	}
+}
+
+func TestActiveLeaves(t *testing.T) {
+	tr := NewTree()
+	m, _ := tr.Root().Create("m")
+	m.EnableController("io")
+	a, _ := m.Create("a")
+	b, _ := m.Create("b")
+	_ = b
+	a.SetActive(true)
+	leaves := tr.Root().ActiveLeaves()
+	if len(leaves) != 1 || leaves[0] != a {
+		t.Fatalf("active leaves = %v", leaves)
+	}
+}
+
+func TestPrioNotInheritable(t *testing.T) {
+	tr := NewTree()
+	m, _ := tr.Root().Create("m")
+	m.EnableController("io")
+	parent, _ := m.Create("parent")
+	parent.EnableController("io")
+	child, _ := parent.Create("child")
+	if err := parent.SetFile("io.prio.class", "rt"); err != nil {
+		t.Fatal(err)
+	}
+	// The child's effective class is its own (none), not the parent's.
+	if child.EffectivePrio() != PrioNone {
+		t.Fatal("io.prio.class must not be inherited")
+	}
+}

@@ -1,0 +1,162 @@
+package cgroup
+
+import (
+	"math"
+
+	"isolbench/internal/sim"
+)
+
+// Prio mirrors Linux I/O priority classes set through io.prio.class.
+type Prio uint8
+
+// Priority classes.
+const (
+	PrioNone Prio = iota
+	PrioRT
+	PrioBE
+	PrioIdle
+)
+
+func (p Prio) String() string {
+	switch p {
+	case PrioRT:
+		return "restrict-to-rt"
+	case PrioBE:
+		return "restrict-to-be"
+	case PrioIdle:
+		return "idle"
+	default:
+		return "no-change"
+	}
+}
+
+// IOMax is a parsed io.max line: byte and operation rate limits per
+// direction. math.Inf(1) means "max" (no limit).
+type IOMax struct {
+	RBps  float64
+	WBps  float64
+	RIOPS float64
+	WIOPS float64
+}
+
+// Unlimited returns an IOMax with every limit at "max".
+func Unlimited() IOMax {
+	inf := math.Inf(1)
+	return IOMax{RBps: inf, WBps: inf, RIOPS: inf, WIOPS: inf}
+}
+
+// IsUnlimited reports whether no limit is set.
+func (m IOMax) IsUnlimited() bool {
+	return math.IsInf(m.RBps, 1) && math.IsInf(m.WBps, 1) &&
+		math.IsInf(m.RIOPS, 1) && math.IsInf(m.WIOPS, 1)
+}
+
+// CostQoS is a parsed io.cost.qos line. Percentiles are expressed as
+// 0-100; latencies are virtual durations; Min/Max bound the vrate
+// adjustment range in percent (50 = may slow to half speed).
+type CostQoS struct {
+	Enable bool
+	RPct   float64
+	RLat   sim.Duration
+	WPct   float64
+	WLat   sim.Duration
+	Min    float64
+	Max    float64
+}
+
+// DefaultCostQoS mirrors the kernel defaults: QoS disabled, vrate
+// pinned to 100%.
+func DefaultCostQoS() CostQoS {
+	return CostQoS{Enable: false, RPct: 95, RLat: 5 * sim.Millisecond,
+		WPct: 95, WLat: 5 * sim.Millisecond, Min: 100, Max: 100}
+}
+
+// CostModel is a parsed io.cost.model line: the linear device model
+// iocost uses to price requests (bytes per second and IOPS saturation
+// coefficients per direction and access pattern).
+type CostModel struct {
+	RBps      float64
+	RSeqIOPS  float64
+	RRandIOPS float64
+	WBps      float64
+	WSeqIOPS  float64
+	WRandIOPS float64
+}
+
+// Valid reports whether all coefficients are positive.
+func (m CostModel) Valid() bool {
+	return m.RBps > 0 && m.RSeqIOPS > 0 && m.RRandIOPS > 0 &&
+		m.WBps > 0 && m.WSeqIOPS > 0 && m.WRandIOPS > 0
+}
+
+// Knobs is the per-group parsed knob state.
+type Knobs struct {
+	Weight    int  // io.weight: 1..10000, default 100
+	BFQWeight int  // io.bfq.weight: 1..1000, default 100
+	Prio      Prio // io.prio.class
+
+	// MaxByDev / LatencyByDev are keyed by device name ("259:0"). The
+	// empty key "" applies to all devices (a convenience this model
+	// allows; the kernel requires an explicit device).
+	MaxByDev     map[string]IOMax
+	LatencyByDev map[string]sim.Duration
+
+	// Root-only io.cost state.
+	QoSByDev   map[string]CostQoS
+	ModelByDev map[string]CostModel
+}
+
+func defaultKnobs() Knobs {
+	return Knobs{
+		Weight:       100,
+		BFQWeight:    100,
+		Prio:         PrioNone,
+		MaxByDev:     make(map[string]IOMax),
+		LatencyByDev: make(map[string]sim.Duration),
+		QoSByDev:     make(map[string]CostQoS),
+		ModelByDev:   make(map[string]CostModel),
+	}
+}
+
+// Knobs returns the group's parsed knob state.
+func (g *Group) Knobs() *Knobs { return &g.knobs }
+
+// MaxFor returns the io.max limits applying to the named device.
+func (k *Knobs) MaxFor(dev string) IOMax {
+	if m, ok := k.MaxByDev[dev]; ok {
+		return m
+	}
+	if m, ok := k.MaxByDev[""]; ok {
+		return m
+	}
+	return Unlimited()
+}
+
+// LatencyFor returns the io.latency target for the device (0 = none).
+func (k *Knobs) LatencyFor(dev string) sim.Duration {
+	if t, ok := k.LatencyByDev[dev]; ok {
+		return t
+	}
+	return k.LatencyByDev[""]
+}
+
+// QoSFor returns the io.cost.qos config for the device.
+func (k *Knobs) QoSFor(dev string) CostQoS {
+	if q, ok := k.QoSByDev[dev]; ok {
+		return q
+	}
+	if q, ok := k.QoSByDev[""]; ok {
+		return q
+	}
+	return DefaultCostQoS()
+}
+
+// ModelFor returns the io.cost.model for the device and whether one is
+// configured.
+func (k *Knobs) ModelFor(dev string) (CostModel, bool) {
+	if m, ok := k.ModelByDev[dev]; ok {
+		return m, true
+	}
+	m, ok := k.ModelByDev[""]
+	return m, ok
+}

@@ -1,0 +1,65 @@
+package cgroup
+
+// WeightKind selects which per-group weight knob a resolver reads.
+type WeightKind uint8
+
+// Weight knobs.
+const (
+	WeightIOCost WeightKind = iota // io.weight (1..10000)
+	WeightBFQ                      // io.bfq.weight (1..1000)
+)
+
+func (g *Group) weightOf(kind WeightKind) float64 {
+	if kind == WeightBFQ {
+		return float64(g.knobs.BFQWeight)
+	}
+	return float64(g.knobs.Weight)
+}
+
+// HierWeight resolves the group's hierarchical (relative) weight: the
+// product over its ancestry of weight / sum-of-active-sibling-weights,
+// exactly how BFQ and io.cost derive a group's fair share from
+// absolute weights (§IV-B). A group with no active siblings gets its
+// parent's full share. The root's share is 1.
+func (g *Group) HierWeight(kind WeightKind) float64 {
+	if g.IsRoot() {
+		return 1
+	}
+	share := 1.0
+	for cur := g; cur.parent != nil; cur = cur.parent {
+		var total float64
+		for _, sib := range cur.parent.children {
+			if sib.active || sib == cur {
+				total += sib.weightOf(kind)
+			}
+		}
+		if total <= 0 {
+			continue
+		}
+		share *= cur.weightOf(kind) / total
+	}
+	return share
+}
+
+// ActiveLeaves returns all active groups in the subtree rooted at g,
+// in deterministic (path-sorted) order.
+func (g *Group) ActiveLeaves() []*Group {
+	var out []*Group
+	var walk func(*Group)
+	walk = func(cur *Group) {
+		if cur.active {
+			out = append(out, cur)
+		}
+		for _, c := range cur.Children() {
+			walk(c)
+		}
+	}
+	walk(g)
+	return out
+}
+
+// EffectivePrio resolves io.prio.class for a process group: the knob
+// is NOT inheritable, so only the group's own setting counts (a parent
+// setting it has no effect on children — the paper calls this out in
+// §IV-A).
+func (g *Group) EffectivePrio() Prio { return g.knobs.Prio }

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+
+	"isolbench/internal/cgroup"
+	"isolbench/internal/device"
+	"isolbench/internal/metrics"
+	"isolbench/internal/sim"
+	"isolbench/internal/workload"
+)
+
+// FairnessMix selects the workload heterogeneity of a fairness run
+// (§VI-A): uniform 4 KiB random reads, mixed request sizes (half the
+// groups issue 256 KiB), mixed access patterns (half sequential), or
+// mixed read/write (half write, exercising GC interference).
+type FairnessMix int
+
+// Fairness workload mixes.
+const (
+	MixUniform FairnessMix = iota
+	MixSizes
+	MixPatterns
+	MixReadWrite
+)
+
+func (m FairnessMix) String() string {
+	switch m {
+	case MixSizes:
+		return "sizes-4k-256k"
+	case MixPatterns:
+		return "rand-seq"
+	case MixReadWrite:
+		return "read-write"
+	default:
+		return "uniform"
+	}
+}
+
+// FairnessConfig parameterizes one fairness experiment cell.
+type FairnessConfig struct {
+	Knob         Knob
+	Profile      string
+	Groups       int
+	AppsPerGroup int // 4 in the paper: enough to saturate bandwidth
+	Weighted     bool
+	Mix          FairnessMix
+	Repeats      int
+	Cores        int
+	Warmup       sim.Duration
+	Measure      sim.Duration
+	Seed         uint64
+}
+
+func (c FairnessConfig) withDefaults() FairnessConfig {
+	if c.Groups <= 0 {
+		c.Groups = 2
+	}
+	if c.AppsPerGroup <= 0 {
+		c.AppsPerGroup = 4
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 3
+	}
+	if c.Cores <= 0 {
+		c.Cores = 20
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 300 * sim.Millisecond
+	}
+	if c.Measure <= 0 {
+		if c.Mix == MixReadWrite {
+			c.Measure = 3 * sim.Second
+		} else {
+			c.Measure = 2 * sim.Second
+		}
+	}
+	return c
+}
+
+// FairnessResult is one experiment cell's outcome, with repeat
+// statistics (the paper repeats fairness runs 5x for stddev).
+type FairnessResult struct {
+	Knob     Knob
+	Groups   int
+	Weighted bool
+	Mix      FairnessMix
+
+	Jain    metrics.Welford // weighted Jain's index across repeats
+	AggBW   metrics.Welford // aggregate bandwidth (bytes/sec)
+	Weights []float64       // normalization weights used
+	GroupBW []float64       // per-group bandwidth of the last repeat
+}
+
+// fairnessWeights returns the per-group weights: uniform, or linearly
+// increasing with group index (the paper's weighted configuration).
+func fairnessWeights(n int, weighted bool) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		if weighted {
+			w[i] = float64(i + 1)
+		} else {
+			w[i] = 1
+		}
+	}
+	return w
+}
+
+// applyFairnessWeights configures each knob's notion of "weight" for
+// group i with relative weight w[i] (§VI-A Q4): io.weight for io.cost,
+// io.bfq.weight for BFQ, priority classes for MQ-DL, latency targets
+// for io.latency, and a proportional share of peak read bandwidth for
+// io.max.
+func applyFairnessWeights(k Knob, groups []*cgroup.Group, w []float64, peakBW float64) error {
+	var total float64
+	for _, x := range w {
+		total += x
+	}
+	for i, g := range groups {
+		var err error
+		switch k {
+		case KnobIOCost:
+			err = g.SetFile("io.weight", fmt.Sprintf("%d", clampInt(int(w[i]*100), 1, 10000)))
+		case KnobBFQ:
+			err = g.SetFile("io.bfq.weight", fmt.Sprintf("%d", clampInt(int(w[i]*60), 1, 1000)))
+		case KnobIOMax:
+			err = g.SetFile("io.max", fmt.Sprintf("rbps=%.0f wbps=%.0f",
+				w[i]/total*peakBW, w[i]/total*peakBW))
+		case KnobIOLatency:
+			// Approximate weights with latency targets: higher weight,
+			// tighter target.
+			err = g.SetFile("io.latency", fmt.Sprintf("target=%d", int64(1000/w[i])))
+		case KnobMQDeadline:
+			// Approximate weights with the three priority classes by
+			// tercile of the weight distribution.
+			err = g.SetFile("io.prio.class", []string{"idle", "be", "rt"}[3*i/len(groups)])
+		}
+		if err != nil {
+			return fmt.Errorf("group %s: %w", g.Name(), err)
+		}
+	}
+	return nil
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// RunFairness executes one fairness cell, repeating for deviation
+// statistics, and returns weighted-Jain and aggregate-bandwidth
+// distributions (Figs. 5 and 6).
+func RunFairness(cfg FairnessConfig) (*FairnessResult, error) {
+	cfg = cfg.withDefaults()
+	weights := fairnessWeights(cfg.Groups, cfg.Weighted)
+	res := &FairnessResult{
+		Knob: cfg.Knob, Groups: cfg.Groups, Weighted: cfg.Weighted,
+		Mix: cfg.Mix, Weights: weights,
+	}
+
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		opts := Options{
+			Knob:         cfg.Knob,
+			Cores:        cfg.Cores,
+			Seed:         cfg.Seed + uint64(rep)*101,
+			Precondition: cfg.Mix == MixReadWrite,
+		}
+		cl, err := NewCluster(opts)
+		if err != nil {
+			return nil, err
+		}
+		var groups []*cgroup.Group
+		appIdx := 0
+		for gi := 0; gi < cfg.Groups; gi++ {
+			g, err := cl.NewGroup(fmt.Sprintf("tenant%d", gi))
+			if err != nil {
+				return nil, err
+			}
+			groups = append(groups, g)
+			for j := 0; j < cfg.AppsPerGroup; j++ {
+				spec := workload.BatchApp(fmt.Sprintf("t%d-a%d", gi, j), g)
+				switch cfg.Mix {
+				case MixSizes:
+					if gi%2 == 1 {
+						spec.Size = 256 << 10
+						spec.QD = 64 // same bytes in flight as 4 KiB@256 x 4
+					}
+				case MixPatterns:
+					spec.Seq = gi%2 == 1
+				case MixReadWrite:
+					if gi%2 == 1 {
+						spec.Op = device.Write
+					}
+				}
+				spec.Core = appIdx
+				appIdx++
+				if _, err := cl.AddApp(spec, 0); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// io.max has no notion of weights: practitioners translate
+		// shares into static maximums (§VI-A), so uniform runs also
+		// get equal caps (a fraction of peak read bandwidth each).
+		if cfg.Weighted || cfg.Knob == KnobIOMax {
+			if err := applyFairnessWeights(cfg.Knob, groups, weights, 3.0e9); err != nil {
+				return nil, err
+			}
+		}
+		cl.RunPhase(cfg.Warmup, cfg.Measure)
+		r := cl.Result()
+		bws := make([]float64, len(r.Groups))
+		for i, g := range r.Groups {
+			bws[i] = g.BW
+		}
+		res.GroupBW = bws
+		res.Jain.Add(metrics.WeightedJainIndex(bws, weights))
+		res.AggBW.Add(r.AggregateBW)
+	}
+	return res, nil
+}
+
+// FairnessScalability runs the Fig. 5 sweep: group counts x
+// {uniform, weighted} for one knob.
+func FairnessScalability(k Knob, profile string, groupCounts []int, weighted bool, repeats int, seed uint64) ([]*FairnessResult, error) {
+	if len(groupCounts) == 0 {
+		groupCounts = []int{2, 4, 8, 16}
+	}
+	var out []*FairnessResult
+	for _, n := range groupCounts {
+		r, err := RunFairness(FairnessConfig{
+			Knob: k, Profile: profile, Groups: n, Weighted: weighted, Repeats: repeats, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"isolbench/internal/cgroup"
+	"isolbench/internal/device"
+	"isolbench/internal/metrics"
+	"isolbench/internal/sim"
+	"isolbench/internal/workload"
+)
+
+// IllustrateConfig parameterizes the Fig. 2 illustrative timelines:
+// three identical rate-limited apps (A, B, C) with staggered
+// start/stop times under each knob.
+type IllustrateConfig struct {
+	Knob     Knob
+	Profile  string
+	Weighted bool // BFQ and io.cost have uniform- and weighted-variant panels
+	// TimeScale compresses the paper's 70 s schedule (A 0-50 s,
+	// B 10-70 s, C 20-50 s). 0.1 runs A 0-5 s, B 1-7 s, C 2-5 s.
+	TimeScale float64
+	Seed      uint64
+}
+
+func (c IllustrateConfig) withDefaults() IllustrateConfig {
+	if c.TimeScale <= 0 {
+		c.TimeScale = 0.1
+	}
+	return c
+}
+
+// TimelineSeries is one app's bandwidth-over-time series.
+type TimelineSeries struct {
+	App    string
+	Points []metrics.TimelinePoint
+}
+
+// illustrateKnobConfig applies the per-knob settings of Fig. 2's
+// panels to the three app groups.
+func illustrateKnobConfig(k Knob, weighted bool, gs [3]*cgroup.Group, root *cgroup.Group) error {
+	switch k {
+	case KnobMQDeadline: // Fig. 2b: each app a different class
+		for i, class := range []string{"rt", "be", "idle"} {
+			if err := gs[i].SetFile("io.prio.class", class); err != nil {
+				return err
+			}
+		}
+	case KnobBFQ: // Fig. 2c (uniform) / 2d (weights)
+		weights := []string{"100", "100", "100"}
+		if weighted {
+			weights = []string{"400", "200", "100"}
+		}
+		for i, w := range weights {
+			if err := gs[i].SetFile("io.bfq.weight", w); err != nil {
+				return err
+			}
+		}
+	case KnobIOMax: // Fig. 2e: 1 GiB/s cap per group
+		for _, g := range gs {
+			if err := g.SetFile("io.max", "rbps=1073741824"); err != nil {
+				return err
+			}
+		}
+	case KnobIOLatency: // Fig. 2f: A protected at 100 us
+		return gs[0].SetFile("io.latency", "target=100")
+	case KnobIOCost: // Fig. 2g (uniform) / 2h (weights); P95 100 us target
+		weights := []string{"100", "100", "100"}
+		if weighted {
+			weights = []string{"800", "200", "50"}
+		}
+		for i, w := range weights {
+			if err := gs[i].SetFile("io.weight", w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RunIllustrate reproduces one Fig. 2 panel: apps A (0-50 s),
+// B (10-70 s), C (20-50 s), each 64 KiB random reads at QD 8
+// rate-limited to 1.5 GiB/s, in separate cgroups under the given knob.
+func RunIllustrate(cfg IllustrateConfig) ([]TimelineSeries, error) {
+	cfg = cfg.withDefaults()
+	cl, err := NewCluster(Options{
+		Knob:    cfg.Knob,
+		Profile: device.ProfileByName(cfg.Profile),
+		Seed:    cfg.Seed,
+		// Fig. 2g/h annotate io.cost with a P95 100 us latency target.
+		IOCostQoS: "enable=1 rpct=95.00 rlat=100 wpct=95.00 wlat=400 min=50.00 max=125.00",
+	})
+	if err != nil {
+		return nil, err
+	}
+	scale := func(s float64) sim.Time {
+		return sim.Time(s * cfg.TimeScale * float64(sim.Second))
+	}
+	schedule := []struct {
+		name       string
+		start, end float64
+	}{
+		{"A", 0, 50},
+		{"B", 10, 70},
+		{"C", 20, 50},
+	}
+	var groups [3]*cgroup.Group
+	var apps [3]*workload.App
+	for i, s := range schedule {
+		g, err := cl.NewGroup(s.name)
+		if err != nil {
+			return nil, err
+		}
+		groups[i] = g
+		spec := workload.Spec{
+			Name:      s.name,
+			Group:     g,
+			Size:      64 << 10,
+			QD:        8,
+			RateLimit: 1.5 * (1 << 30), // 1.5 GiB/s
+			Start:     scale(s.start),
+			Stop:      scale(s.end),
+			Core:      i,
+		}
+		app, err := cl.AddApp(spec, 0)
+		if err != nil {
+			return nil, err
+		}
+		apps[i] = app
+	}
+	if err := illustrateKnobConfig(cfg.Knob, cfg.Weighted, groups, cl.Tree.Root()); err != nil {
+		return nil, err
+	}
+
+	cl.Start()
+	cl.Eng.RunUntil(scale(70))
+
+	out := make([]TimelineSeries, 0, 3)
+	for i, s := range schedule {
+		out = append(out, TimelineSeries{App: s.name, Points: apps[i].Bandwidth().Timeline()})
+	}
+	return out, nil
+}

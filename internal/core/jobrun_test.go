@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"isolbench/internal/sim"
+	"isolbench/internal/trace"
+)
+
+const testJobFile = `
+[global]
+rw=randread
+bs=4k
+runtime=0.5
+
+[lc]
+cgroup=tenant-lc
+iodepth=1
+
+[batch]
+cgroup=tenant-batch
+iodepth=128
+numjobs=2
+`
+
+func TestRunJobFile(t *testing.T) {
+	res, err := RunJobFile(JobRunConfig{
+		Knob:   KnobNone,
+		Source: testJobFile,
+		Seed:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("groups = %d", len(res.Groups))
+	}
+	byName := map[string]GroupStats{}
+	for _, g := range res.Groups {
+		byName[g.Name] = g
+	}
+	lc, ok1 := byName["tenant-lc"]
+	batch, ok2 := byName["tenant-batch"]
+	if !ok1 || !ok2 {
+		t.Fatalf("group names: %+v", res.Groups)
+	}
+	if lc.IOs == 0 || batch.IOs < lc.IOs {
+		t.Fatalf("IO split wrong: lc %d batch %d", lc.IOs, batch.IOs)
+	}
+	if res.AggregateBW <= 0 {
+		t.Fatal("no bandwidth measured")
+	}
+}
+
+func TestRunJobFileKnobFiles(t *testing.T) {
+	res, err := RunJobFile(JobRunConfig{
+		Knob:   KnobIOMax,
+		Source: testJobFile,
+		KnobFiles: map[string]map[string]string{
+			"tenant-batch": {"io.max": "rbps=104857600"}, // 100 MiB/s
+		},
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range res.Groups {
+		if g.Name == "tenant-batch" && g.BW > 120*(1<<20) {
+			t.Fatalf("io.max via KnobFiles not applied: %.1f MiB/s", g.BW/(1<<20))
+		}
+	}
+	// Unknown cgroup reference is an error.
+	if _, err := RunJobFile(JobRunConfig{
+		Knob: KnobIOMax, Source: testJobFile, Seed: 3,
+		KnobFiles: map[string]map[string]string{"nope": {"io.max": "rbps=1"}},
+	}); err == nil {
+		t.Fatal("unknown cgroup accepted")
+	}
+}
+
+func TestRunJobFileErrors(t *testing.T) {
+	if _, err := RunJobFile(JobRunConfig{Source: "garbage"}); err == nil {
+		t.Fatal("bad job file accepted")
+	}
+	// A job file with no runtime needs an explicit measure window.
+	if _, err := RunJobFile(JobRunConfig{Source: "[x]\nrw=randread\n"}); err == nil {
+		t.Fatal("unbounded job without Measure accepted")
+	}
+	if _, err := RunJobFile(JobRunConfig{
+		Source: "[x]\nrw=randread\n", Measure: 100 * sim.Millisecond, Seed: 1,
+	}); err != nil {
+		t.Fatalf("explicit Measure should work: %v", err)
+	}
+}
+
+func TestRunJobFileRecordsTrace(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	_, err := RunJobFile(JobRunConfig{
+		Knob: KnobNone, Source: testJobFile, Seed: 4, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("recorder captured nothing")
+	}
+	es := rec.Entries()
+	if trace.Summarize(es).Requests != rec.Len() {
+		t.Fatal("summary mismatch")
+	}
+}
+
+func TestReplayTraceEndToEnd(t *testing.T) {
+	// Record a run, replay it under a different knob.
+	rec := trace.NewRecorder(5000)
+	if _, err := RunJobFile(JobRunConfig{
+		Knob: KnobNone, Source: testJobFile, Seed: 4, Recorder: rec,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReplayTrace(KnobIOMax, "", rec.Entries(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IOs != uint64(rec.Len()) {
+		t.Fatalf("replayed %d of %d", st.IOs, rec.Len())
+	}
+	if st.P99Ns <= 0 {
+		t.Fatal("no latency measured")
+	}
+}

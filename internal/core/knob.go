@@ -1,0 +1,82 @@
+// Package core implements isol-bench itself: the benchmark suite that
+// evaluates the paper's four performance-isolation desiderata (D1
+// overhead & scalability, D2 proportional fairness, D3 prioritization/
+// utilization trade-offs, D4 burst response) for every cgroups I/O
+// control knob, on top of the simulated NVMe testbed.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Knob identifies one of the five cgroups I/O control configurations
+// the paper evaluates (plus the no-knob baseline).
+type Knob int
+
+// The evaluated knobs. KnobMQDeadline means io.prio.class + MQ-DL;
+// KnobBFQ means io.bfq.weight + BFQ; KnobIOCost means io.cost +
+// io.weight.
+const (
+	KnobNone Knob = iota
+	KnobMQDeadline
+	KnobBFQ
+	KnobIOMax
+	KnobIOLatency
+	KnobIOCost
+)
+
+// AllKnobs returns every knob including the baseline, in the paper's
+// presentation order.
+func AllKnobs() []Knob {
+	return []Knob{KnobNone, KnobMQDeadline, KnobBFQ, KnobIOMax, KnobIOLatency, KnobIOCost}
+}
+
+// ControlKnobs returns the five actual control knobs (no baseline).
+func ControlKnobs() []Knob {
+	return []Knob{KnobMQDeadline, KnobBFQ, KnobIOMax, KnobIOLatency, KnobIOCost}
+}
+
+func (k Knob) String() string {
+	switch k {
+	case KnobNone:
+		return "none"
+	case KnobMQDeadline:
+		return "mq-deadline"
+	case KnobBFQ:
+		return "bfq"
+	case KnobIOMax:
+		return "io.max"
+	case KnobIOLatency:
+		return "io.latency"
+	case KnobIOCost:
+		return "io.cost"
+	default:
+		return fmt.Sprintf("knob(%d)", int(k))
+	}
+}
+
+// ParseKnob resolves a knob name (several aliases accepted).
+func ParseKnob(s string) (Knob, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "none", "noop", "baseline":
+		return KnobNone, nil
+	case "mq-deadline", "mqdl", "mq_deadline", "io.prio.class", "prio":
+		return KnobMQDeadline, nil
+	case "bfq", "io.bfq.weight":
+		return KnobBFQ, nil
+	case "io.max", "iomax", "max":
+		return KnobIOMax, nil
+	case "io.latency", "iolatency", "latency":
+		return KnobIOLatency, nil
+	case "io.cost", "iocost", "cost", "io.weight":
+		return KnobIOCost, nil
+	}
+	return KnobNone, fmt.Errorf("unknown knob %q", s)
+}
+
+// UsesScheduler reports whether the knob is an I/O scheduler
+// configuration rather than a cgroup controller.
+func (k Knob) UsesScheduler() bool {
+	return k == KnobMQDeadline || k == KnobBFQ
+}

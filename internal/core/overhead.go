@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+
+	"isolbench/internal/cgroup"
+	"isolbench/internal/device"
+	"isolbench/internal/metrics"
+	"isolbench/internal/sim"
+	"isolbench/internal/workload"
+)
+
+// NeutralizeKnob configures a tenant group so the knob's control
+// machinery runs but never actually throttles, per §V: io.max gets a
+// limit far beyond saturation, io.latency a multi-second target, and
+// priority classes stay unset. (io.cost is neutralized cluster-wide
+// via UnthrottledCostModel/QoS; BFQ via BFQSliceIdleOff.)
+func NeutralizeKnob(k Knob, g *cgroup.Group) error {
+	switch k {
+	case KnobIOMax:
+		return g.SetFile("io.max", "rbps=1000000000000 wbps=1000000000000")
+	case KnobIOLatency:
+		return g.SetFile("io.latency", "target=5000000") // 5 s
+	}
+	return nil
+}
+
+// overheadOptions returns cluster options with the knob neutralized
+// for D1 measurements.
+func overheadOptions(k Knob, profile string, cores, devices int, seed uint64) Options {
+	return Options{
+		Knob:            k,
+		Profile:         device.ProfileByName(profile),
+		Cores:           cores,
+		Devices:         devices,
+		Seed:            seed,
+		BFQSliceIdleOff: true, // §V: slice_idle disabled for overhead runs
+		IOCostModel:     UnthrottledCostModel,
+		IOCostQoS:       UnthrottledCostQoS,
+	}
+}
+
+// LatencyScalingPoint is one (apps, latency/CPU) sample of Fig. 3.
+type LatencyScalingPoint struct {
+	Apps        int
+	P50         sim.Duration
+	P99         sim.Duration
+	MeanNs      float64
+	CPUUtil     float64
+	CtxPerIO    float64
+	CyclesPerIO float64
+	CDF         []metrics.CDFPoint
+	IOPS        float64
+}
+
+// LatencyScalingConfig parameterizes the Fig. 3 experiment.
+type LatencyScalingConfig struct {
+	Knob      Knob
+	Profile   string // device profile name ("" -> flash980)
+	AppCounts []int  // e.g. 1..256; nil -> {1,2,4,...,256}
+	Warmup    sim.Duration
+	Measure   sim.Duration
+	Seed      uint64
+	CDFPoints int
+}
+
+func (c LatencyScalingConfig) withDefaults() LatencyScalingConfig {
+	if len(c.AppCounts) == 0 {
+		c.AppCounts = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 200 * sim.Millisecond
+	}
+	if c.Measure <= 0 {
+		c.Measure = 2 * sim.Second
+	}
+	if c.CDFPoints <= 0 {
+		c.CDFPoints = 64
+	}
+	return c
+}
+
+// RunLatencyScaling reproduces Fig. 3 for one knob: N LC-apps (4 KiB
+// random reads, QD1), each in its own cgroup, all pinned to a single
+// CPU core on one SSD; latency CDF/P99 and core utilization per N.
+func RunLatencyScaling(cfg LatencyScalingConfig) ([]LatencyScalingPoint, error) {
+	cfg = cfg.withDefaults()
+	var out []LatencyScalingPoint
+	for _, n := range cfg.AppCounts {
+		cl, err := NewCluster(overheadOptions(cfg.Knob, cfg.Profile, 1, 1, cfg.Seed+uint64(n)))
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			g, err := cl.NewGroup(fmt.Sprintf("lc%d", i))
+			if err != nil {
+				return nil, err
+			}
+			if err := NeutralizeKnob(cfg.Knob, g); err != nil {
+				return nil, err
+			}
+			spec := workload.LCApp(fmt.Sprintf("lc%d", i), g)
+			spec.Core = 0
+			if _, err := cl.AddApp(spec, 0); err != nil {
+				return nil, err
+			}
+		}
+		cl.RunPhase(cfg.Warmup, cfg.Measure)
+		res := cl.Result()
+		h := cl.MergedHistogram()
+		out = append(out, LatencyScalingPoint{
+			Apps:        n,
+			P50:         sim.Duration(h.Percentile(50)),
+			P99:         sim.Duration(h.Percentile(99)),
+			MeanNs:      h.Mean(),
+			CPUUtil:     res.CPUUtil,
+			CtxPerIO:    res.CtxPerIO,
+			CyclesPerIO: res.CyclesPerIO,
+			CDF:         h.CDF(cfg.CDFPoints),
+			IOPS:        float64(res.IOs) / res.Span.Seconds(),
+		})
+	}
+	return out, nil
+}
+
+// BandwidthScalingPoint is one (apps, bandwidth/CPU) sample of Fig. 4.
+type BandwidthScalingPoint struct {
+	Apps        int
+	Devices     int
+	AggregateBW float64 // bytes/sec
+	CPUUtil     float64
+	IOPS        float64
+}
+
+// BandwidthScalingConfig parameterizes the Fig. 4 experiment.
+type BandwidthScalingConfig struct {
+	Knob      Knob
+	Profile   string
+	AppCounts []int // nil -> {1,2,3,5,9,13,17}
+	Devices   int   // 1 or 7 in the paper
+	Cores     int   // 10 in the paper
+	Warmup    sim.Duration
+	Measure   sim.Duration
+	Seed      uint64
+}
+
+func (c BandwidthScalingConfig) withDefaults() BandwidthScalingConfig {
+	if len(c.AppCounts) == 0 {
+		c.AppCounts = []int{1, 2, 3, 5, 9, 13, 17}
+	}
+	if c.Devices <= 0 {
+		c.Devices = 1
+	}
+	if c.Cores <= 0 {
+		c.Cores = 10
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 200 * sim.Millisecond
+	}
+	if c.Measure <= 0 {
+		c.Measure = 1 * sim.Second
+	}
+	return c
+}
+
+// RunBandwidthScaling reproduces Fig. 4 for one knob: N batch-apps
+// (4 KiB random reads, QD256) round-robined across the devices and
+// cores; aggregate bandwidth and CPU utilization per N.
+func RunBandwidthScaling(cfg BandwidthScalingConfig) ([]BandwidthScalingPoint, error) {
+	cfg = cfg.withDefaults()
+	var out []BandwidthScalingPoint
+	for _, n := range cfg.AppCounts {
+		cl, err := NewCluster(overheadOptions(cfg.Knob, cfg.Profile, cfg.Cores, cfg.Devices, cfg.Seed+uint64(n)))
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			g, err := cl.NewGroup(fmt.Sprintf("batch%d", i))
+			if err != nil {
+				return nil, err
+			}
+			if err := NeutralizeKnob(cfg.Knob, g); err != nil {
+				return nil, err
+			}
+			spec := workload.BatchApp(fmt.Sprintf("batch%d", i), g)
+			spec.Core = i
+			if _, err := cl.AddApp(spec, i%cfg.Devices); err != nil {
+				return nil, err
+			}
+		}
+		cl.RunPhase(cfg.Warmup, cfg.Measure)
+		res := cl.Result()
+		out = append(out, BandwidthScalingPoint{
+			Apps:        n,
+			Devices:     cfg.Devices,
+			AggregateBW: res.AggregateBW,
+			CPUUtil:     res.CPUUtil,
+			IOPS:        float64(res.IOs) / res.Span.Seconds(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"isolbench/internal/sim"
+)
+
+// GiB formats a bytes/sec rate in GiB/s.
+func GiB(bytesPerSec float64) string {
+	return fmt.Sprintf("%.2f GiB/s", bytesPerSec/(1<<30))
+}
+
+// MiB formats a bytes/sec rate in MiB/s.
+func MiB(bytesPerSec float64) string {
+	return fmt.Sprintf("%.1f MiB/s", bytesPerSec/(1<<20))
+}
+
+// WriteLatencyScaling prints a Fig. 3-style table.
+func WriteLatencyScaling(w io.Writer, knob Knob, pts []LatencyScalingPoint) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "# Fig.3 latency/CPU scaling, knob=%s (LC-apps, 1 core, 1 SSD)\n", knob)
+	fmt.Fprintln(tw, "apps\tP50\tP99\tIOPS\tCPU%\tcs/IO\tcycles/IO")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%.0f\t%.1f\t%.2f\t%.0f\n",
+			p.Apps, p.P50, p.P99, p.IOPS, p.CPUUtil*100, p.CtxPerIO, p.CyclesPerIO)
+	}
+	tw.Flush()
+}
+
+// WriteCDF prints one latency CDF (Fig. 3 a-c) as latency/probability
+// rows.
+func WriteCDF(w io.Writer, knob Knob, apps int, p LatencyScalingPoint) {
+	fmt.Fprintf(w, "# Fig.3 CDF, knob=%s apps=%d (P99=%s)\n", knob, apps, p.P99)
+	fmt.Fprintln(w, "latency_us\tcum_prob")
+	for _, pt := range p.CDF {
+		fmt.Fprintf(w, "%.1f\t%.4f\n", float64(pt.Nanos)/1e3, pt.Prob)
+	}
+}
+
+// WriteBandwidthScaling prints a Fig. 4-style table.
+func WriteBandwidthScaling(w io.Writer, knob Knob, pts []BandwidthScalingPoint) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(pts) > 0 {
+		fmt.Fprintf(tw, "# Fig.4 bandwidth/CPU scaling, knob=%s (batch-apps, %d SSD(s), 10 cores)\n",
+			knob, pts[0].Devices)
+	}
+	fmt.Fprintln(tw, "apps\tbandwidth\tIOPS\tCPU%")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%d\t%s\t%.0f\t%.1f\n", p.Apps, GiB(p.AggregateBW), p.IOPS, p.CPUUtil*100)
+	}
+	tw.Flush()
+}
+
+// WriteFairness prints Fig. 5/6-style rows.
+func WriteFairness(w io.Writer, rs []*FairnessResult) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "knob\tgroups\tweighted\tmix\tjain\tjain_std\taggregate\tagg_std")
+	for _, r := range rs {
+		fmt.Fprintf(tw, "%s\t%d\t%v\t%s\t%.3f\t%.3f\t%s\t%s\n",
+			r.Knob, r.Groups, r.Weighted, r.Mix,
+			r.Jain.Mean(), r.Jain.Stddev(), GiB(r.AggBW.Mean()), GiB(r.AggBW.Stddev()))
+	}
+	tw.Flush()
+}
+
+// WriteTradeoff prints a Fig. 7 panel.
+func WriteTradeoff(w io.Writer, cfg TradeoffConfig, pts []TradeoffPoint) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "# Fig.7 trade-offs, knob=%s priority=%s be=%s\n", cfg.Knob, cfg.Kind, cfg.Variant)
+	fmt.Fprintln(tw, "config\taggregate\tprio_bw\tprio_p99\tpareto")
+	for _, p := range pts {
+		mark := ""
+		if p.Pareto {
+			mark = "*"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n",
+			p.Config, GiB(p.AggregateBW), GiB(p.PrioBW), p.PrioP99, mark)
+	}
+	tw.Flush()
+}
+
+// WriteBurst prints a Q10 row.
+func WriteBurst(w io.Writer, r *BurstResult) {
+	status := "never stabilized"
+	if r.Achieved {
+		status = r.Response.String()
+	}
+	fmt.Fprintf(w, "q10\tknob=%s\tpriority=%s\tresponse=%s\tsteady=%s\n",
+		r.Knob, r.Kind, status, GiB(r.SteadyBW))
+}
+
+// WriteTimelines prints Fig. 2-style per-app bandwidth series.
+func WriteTimelines(w io.Writer, knob Knob, series []TimelineSeries) {
+	fmt.Fprintf(w, "# Fig.2 timeline, knob=%s\n", knob)
+	fmt.Fprintln(w, "time_s\tapp\tGiB_per_s")
+	for _, s := range series {
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "%.1f\t%s\t%.3f\n",
+				float64(p.At)/float64(sim.Second), s.App, p.Rate/(1<<30))
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+
+	"isolbench/internal/cgroup"
+	"isolbench/internal/device"
+	"isolbench/internal/sim"
+	"isolbench/internal/workload"
+)
+
+// PriorityKind selects which app is prioritized in a trade-off run
+// (§VI-B): a batch-app measured by bandwidth, or an LC-app measured by
+// P99 latency.
+type PriorityKind int
+
+// Priority app kinds.
+const (
+	PriorityBatch PriorityKind = iota
+	PriorityLC
+)
+
+func (p PriorityKind) String() string {
+	if p == PriorityLC {
+		return "lc"
+	}
+	return "batch"
+}
+
+// BEVariant selects the best-effort apps' workload, exercising flash
+// idiosyncrasies (request size, access pattern, writes/GC).
+type BEVariant int
+
+// BE workload variants.
+const (
+	BE4KRand BEVariant = iota
+	BE4KSeq
+	BE256K
+	BE4KWrite
+)
+
+func (v BEVariant) String() string {
+	switch v {
+	case BE4KSeq:
+		return "4k-seq-read"
+	case BE256K:
+		return "256k-rand-read"
+	case BE4KWrite:
+		return "4k-rand-write"
+	default:
+		return "4k-rand-read"
+	}
+}
+
+// AllBEVariants lists the BE workloads of Fig. 7.
+func AllBEVariants() []BEVariant { return []BEVariant{BE4KRand, BE4KSeq, BE256K, BE4KWrite} }
+
+// TradeoffPoint is one knob configuration's outcome: a point in the
+// prioritization/utilization plane.
+type TradeoffPoint struct {
+	Config      string       // human-readable knob setting
+	AggregateBW float64      // bytes/sec, all apps (utilization axis)
+	PrioBW      float64      // priority app bytes/sec (batch metric)
+	PrioP99     sim.Duration // priority app P99 (LC metric)
+	Pareto      bool         // on the Pareto front
+}
+
+// TradeoffConfig parameterizes a Fig. 7 panel.
+type TradeoffConfig struct {
+	Knob    Knob
+	Profile string
+	Kind    PriorityKind
+	Variant BEVariant
+	Steps   int // sweep resolution for continuous knobs (default 12)
+	Cores   int
+	Warmup  sim.Duration
+	Measure sim.Duration
+	Seed    uint64
+}
+
+func (c TradeoffConfig) withDefaults() TradeoffConfig {
+	if c.Steps <= 0 {
+		c.Steps = 12
+	}
+	if c.Cores <= 0 {
+		c.Cores = 20
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 400 * sim.Millisecond
+		if c.Knob == KnobIOLatency {
+			// io.latency converges over many 500 ms windows (QD is
+			// halved at most once per window): measure steady state.
+			c.Warmup = 6 * sim.Second
+		}
+	}
+	if c.Measure <= 0 {
+		c.Measure = 1500 * sim.Millisecond
+	}
+	return c
+}
+
+// knobSetting is one point of a knob's configuration space.
+type knobSetting struct {
+	name  string
+	apply func(prio, be *cgroup.Group, root *cgroup.Group) error
+}
+
+// tradeoffSettings enumerates the knob's configuration space the way
+// the paper sweeps it (Q6-Q9).
+func tradeoffSettings(cfg TradeoffConfig) []knobSetting {
+	var out []knobSetting
+	switch cfg.Knob {
+	case KnobMQDeadline:
+		// All io.prio.class permutations between priority and BE app.
+		classes := []string{"rt", "be", "idle"}
+		for _, pc := range classes {
+			for _, bc := range classes {
+				pc, bc := pc, bc
+				out = append(out, knobSetting{
+					name: fmt.Sprintf("prio=%s be=%s", pc, bc),
+					apply: func(prio, be, _ *cgroup.Group) error {
+						if err := prio.SetFile("io.prio.class", pc); err != nil {
+							return err
+						}
+						return be.SetFile("io.prio.class", bc)
+					},
+				})
+			}
+		}
+	case KnobBFQ:
+		// io.bfq.weight for the priority app from 1 to 1000.
+		for i := 0; i < cfg.Steps; i++ {
+			w := clampInt(1+i*999/(cfg.Steps-1), 1, 1000)
+			out = append(out, knobSetting{
+				name: fmt.Sprintf("prio-weight=%d", w),
+				apply: func(prio, be, _ *cgroup.Group) error {
+					if err := prio.SetFile("io.bfq.weight", fmt.Sprintf("%d", w)); err != nil {
+						return err
+					}
+					return be.SetFile("io.bfq.weight", "100")
+				},
+			})
+		}
+	case KnobIOLatency:
+		// Priority P90 target from 75 us to 1.2 ms.
+		for i := 0; i < cfg.Steps; i++ {
+			us := 75 + i*(1200-75)/(cfg.Steps-1)
+			out = append(out, knobSetting{
+				name: fmt.Sprintf("target=%dus", us),
+				apply: func(prio, _, _ *cgroup.Group) error {
+					return prio.SetFile("io.latency", fmt.Sprintf("target=%d", us))
+				},
+			})
+		}
+	case KnobIOMax:
+		// BE bandwidth cap from 80 MiB/s to saturation.
+		lo, hi := 80.0*(1<<20), 2.3*(1<<30)
+		for i := 0; i < cfg.Steps; i++ {
+			bw := lo + float64(i)*(hi-lo)/float64(cfg.Steps-1)
+			out = append(out, knobSetting{
+				name: fmt.Sprintf("be-max=%.0fMiB/s", bw/(1<<20)),
+				apply: func(_, be, _ *cgroup.Group) error {
+					return be.SetFile("io.max", fmt.Sprintf("rbps=%.0f wbps=%.0f", bw, bw))
+				},
+			})
+		}
+	case KnobIOCost:
+		if cfg.Kind == PriorityBatch {
+			// io.weight 10000 vs 100; sweep the qos "min" window with
+			// a fixed 500 us P95 read target (§VI-B Q9). min=max pins
+			// the vrate scaling window at the swept level.
+			for i := 0; i < cfg.Steps; i++ {
+				min := 25 + float64(i)*(150-25)/float64(cfg.Steps-1)
+				qos := fmt.Sprintf("enable=1 rpct=95 rlat=500 wpct=95 wlat=1000 min=%.2f max=%.2f", min, min)
+				out = append(out, knobSetting{
+					name: fmt.Sprintf("weight=10000 qos-min=%.0f%%", min),
+					apply: func(prio, be, root *cgroup.Group) error {
+						if err := prio.SetFile("io.weight", "10000"); err != nil {
+							return err
+						}
+						if err := be.SetFile("io.weight", "100"); err != nil {
+							return err
+						}
+						return root.SetFile("io.cost.qos", DevName(0)+" "+qos)
+					},
+				})
+			}
+		} else {
+			// LC: sweep the P99 read latency target.
+			for i := 0; i < cfg.Steps; i++ {
+				us := 100 + i*(1200-100)/(cfg.Steps-1)
+				qos := fmt.Sprintf("enable=1 rpct=99 rlat=%d wpct=95 wlat=1000 min=50.00 max=125.00", us)
+				out = append(out, knobSetting{
+					name: fmt.Sprintf("weight=10000 rlat=%dus", us),
+					apply: func(prio, be, root *cgroup.Group) error {
+						if err := prio.SetFile("io.weight", "10000"); err != nil {
+							return err
+						}
+						if err := be.SetFile("io.weight", "100"); err != nil {
+							return err
+						}
+						return root.SetFile("io.cost.qos", DevName(0)+" "+qos)
+					},
+				})
+			}
+		}
+	default:
+		out = append(out, knobSetting{name: "baseline", apply: func(_, _, _ *cgroup.Group) error { return nil }})
+	}
+	return out
+}
+
+// beSpec builds one BE app spec for the variant.
+func beSpec(v BEVariant, name string, g *cgroup.Group) workload.Spec {
+	spec := workload.BEApp(name, g)
+	switch v {
+	case BE4KSeq:
+		spec.Seq = true
+	case BE256K:
+		spec.Size = 256 << 10
+		spec.QD = 64
+	case BE4KWrite:
+		spec.Op = device.Write
+	}
+	return spec
+}
+
+// prioSpec builds the priority app: a capped batch-app (does not
+// saturate the SSD alone) or an LC-app.
+func prioSpec(kind PriorityKind, g *cgroup.Group) workload.Spec {
+	if kind == PriorityLC {
+		return workload.LCApp("prio", g)
+	}
+	s := workload.BatchApp("prio", g)
+	s.QD = 32 // ~1.5 GiB/s alone: achievable in isolation, not in contention
+	return s
+}
+
+// RunTradeoff sweeps the knob's configuration space for one Fig. 7
+// panel and returns the (utilization, priority-performance) points
+// with the Pareto front marked.
+func RunTradeoff(cfg TradeoffConfig) ([]TradeoffPoint, error) {
+	cfg = cfg.withDefaults()
+	settings := tradeoffSettings(cfg)
+	points := make([]TradeoffPoint, 0, len(settings))
+	for si, set := range settings {
+		cl, err := NewCluster(Options{
+			Knob:         cfg.Knob,
+			Profile:      device.ProfileByName(cfg.Profile),
+			Cores:        cfg.Cores,
+			Seed:         cfg.Seed + uint64(si)*977,
+			Precondition: cfg.Variant == BE4KWrite,
+		})
+		if err != nil {
+			return nil, err
+		}
+		prioG, err := cl.NewGroup("prio")
+		if err != nil {
+			return nil, err
+		}
+		beG, err := cl.NewGroup("be")
+		if err != nil {
+			return nil, err
+		}
+		if err := set.apply(prioG, beG, cl.Tree.Root()); err != nil {
+			return nil, err
+		}
+		prioApp, err := cl.AddApp(prioSpec(cfg.Kind, prioG), 0)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < 4; j++ {
+			spec := beSpec(cfg.Variant, fmt.Sprintf("be%d", j), beG)
+			spec.Core = 1 + j
+			if _, err := cl.AddApp(spec, 0); err != nil {
+				return nil, err
+			}
+		}
+		cl.RunPhase(cfg.Warmup, cfg.Measure)
+		res := cl.Result()
+		st := prioApp.Stats()
+		span := res.Span.Seconds()
+		points = append(points, TradeoffPoint{
+			Config:      set.name,
+			AggregateBW: res.AggregateBW,
+			PrioBW:      float64(st.ReadBytes+st.WriteBytes) / span,
+			PrioP99:     sim.Duration(st.P99Ns),
+		})
+	}
+	MarkPareto(points, cfg.Kind)
+	return points, nil
+}
+
+// MarkPareto marks the Pareto-optimal points: no other point has both
+// higher utilization and better priority performance.
+func MarkPareto(pts []TradeoffPoint, kind PriorityKind) {
+	better := func(a, b TradeoffPoint) bool { // a dominates b
+		if kind == PriorityLC {
+			return a.AggregateBW >= b.AggregateBW && a.PrioP99 <= b.PrioP99 &&
+				(a.AggregateBW > b.AggregateBW || a.PrioP99 < b.PrioP99)
+		}
+		return a.AggregateBW >= b.AggregateBW && a.PrioBW >= b.PrioBW &&
+			(a.AggregateBW > b.AggregateBW || a.PrioBW > b.PrioBW)
+	}
+	for i := range pts {
+		pts[i].Pareto = true
+		for j := range pts {
+			if i != j && better(pts[j], pts[i]) {
+				pts[i].Pareto = false
+				break
+			}
+		}
+	}
+}

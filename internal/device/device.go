@@ -1,0 +1,295 @@
+package device
+
+import (
+	"fmt"
+
+	"isolbench/internal/sim"
+)
+
+// Stats is a snapshot of device-side accounting.
+type Stats struct {
+	ReadsCompleted  uint64
+	WritesCompleted uint64
+	ReadBytes       int64
+	WriteBytes      int64
+	Inflight        int
+	GCActive        bool
+	GCDebtBytes     int64
+	ChannelBusy     sim.Duration // summed over channels
+	PipeBusy        sim.Duration
+	GCEvents        uint64
+}
+
+// Device is one simulated NVMe SSD. Submit requests with Submit after
+// checking CanAccept; completions arrive through the OnDone hook and
+// then the request's own OnComplete callback.
+type Device struct {
+	eng  *sim.Engine
+	prof Profile
+	rng  *sim.RNG
+	pipe *pipe
+
+	// OnDone, when set, observes every completion before the request's
+	// own OnComplete fires. The block layer uses it to refill the
+	// device queue.
+	OnDone func(*Request)
+
+	inflight int
+	busy     int // channels in service
+	seized   int // channels held by GC
+	waiting  reqRing
+
+	written int64 // cumulative user write bytes (preconditioning state)
+	gcDebt  int64
+	gcOn    bool
+
+	stats       Stats
+	channelBusy sim.Duration
+}
+
+// New constructs a device from the profile. The seed isolates this
+// device's jitter stream from every other component.
+func New(eng *sim.Engine, prof Profile, seed uint64) (*Device, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{eng: eng, prof: prof, rng: sim.NewRNG(seed)}
+	d.pipe = newPipe(eng, prof.ReadRate, d.transferDone)
+	return d, nil
+}
+
+// Profile returns the device's performance model.
+func (d *Device) Profile() Profile { return d.prof }
+
+// CanAccept reports whether the device queue has room for one more
+// request (inflight < nr_requests).
+func (d *Device) CanAccept() bool { return d.inflight < d.prof.MaxQD }
+
+// Inflight returns the number of requests inside the device.
+func (d *Device) Inflight() int { return d.inflight }
+
+// Stats returns a snapshot of device accounting.
+func (d *Device) Stats() Stats {
+	s := d.stats
+	s.Inflight = d.inflight
+	s.GCActive = d.gcOn
+	s.GCDebtBytes = d.gcDebt
+	s.ChannelBusy = d.channelBusy
+	s.PipeBusy = d.pipe.busyNs
+	return s
+}
+
+// Precondition marks the device as aged: the SLC/fresh region is spent,
+// so writes run at steady-state amplification immediately. This mirrors
+// the paper's sequential-fill + random-overwrite preconditioning.
+func (d *Device) Precondition() { d.written = d.prof.FreshBytes + 1 }
+
+// Submit enqueues a request. It panics if the device is full: the block
+// layer must gate on CanAccept.
+func (d *Device) Submit(r *Request) {
+	if !d.CanAccept() {
+		panic(fmt.Sprintf("device %s: submit past MaxQD=%d", d.prof.Name, d.prof.MaxQD))
+	}
+	d.inflight++
+	r.Dispatch = d.eng.Now()
+	if d.busy < d.availableChannels() {
+		d.startService(r)
+	} else {
+		d.waiting.push(r)
+	}
+}
+
+func (d *Device) availableChannels() int {
+	n := d.prof.Channels - d.seized
+	if n < 1 {
+		n = 1 // GC never blocks the device entirely
+	}
+	return n
+}
+
+// startService occupies a channel: the access phase runs for the medium
+// latency, then the transfer phase moves bytes through the shared pipe.
+// Die collisions add completion latency without consuming channel or
+// pipe capacity (the waiting request's die time is already accounted
+// by the request it waits behind).
+func (d *Device) startService(r *Request) {
+	d.busy++
+	access := d.accessTime(r)
+	if d.prof.CollisionFactor > 0 && d.busy > 1 {
+		if d.rng.Float64() < float64(d.busy-1)/float64(d.prof.Channels) {
+			base := d.prof.ReadAccess
+			if r.Op == Write {
+				base = d.prof.WriteAccess
+			}
+			r.extraLat = d.rng.ExpDuration(sim.Duration(float64(base) * d.prof.CollisionFactor))
+		}
+	}
+	d.channelBusy += access
+	d.eng.After(access, func() { d.pipe.add(r, d.transferDemand(r)) })
+}
+
+// accessTime returns the jittered medium-access latency for r.
+func (d *Device) accessTime(r *Request) sim.Duration {
+	var base sim.Duration
+	switch {
+	case r.Op == Read && r.Seq:
+		base = d.prof.SeqReadAccess
+	case r.Op == Read:
+		base = d.prof.ReadAccess
+	case r.Seq:
+		base = d.prof.SeqWriteAccess
+	default:
+		base = d.prof.WriteAccess
+	}
+	t := d.rng.Jitter(base, d.prof.AccessJitter)
+	if d.prof.TailProb > 0 && d.rng.Float64() < d.prof.TailProb {
+		t = sim.Duration(float64(t) * d.prof.TailFactor)
+	}
+	if r.Op == Write && d.gcOn && d.prof.GCStallProb > 0 && d.rng.Float64() < d.prof.GCStallProb {
+		t += d.rng.Jitter(d.prof.GCStall, 0.5)
+	}
+	return t
+}
+
+// transferDemand converts a request into pipe service units
+// (read-equivalent bytes). Writes carry amplification; reads carry the
+// read/write interference penalty proportional to the share of active
+// write flows.
+func (d *Device) transferDemand(r *Request) float64 {
+	size := float64(r.Size)
+	switch {
+	case r.Op == Read && r.Seq:
+		return size * d.prof.ReadRate / d.prof.SeqReadRate
+	case r.Op == Read:
+		return size * (1 + d.prof.RWInterference*d.pipe.writeShare())
+	default:
+		rate := d.prof.WriteRate
+		if r.Seq {
+			rate = d.prof.SeqWriteRate
+		}
+		return size * d.writeAmp() * d.prof.ReadRate / rate
+	}
+}
+
+// writeAmp returns the current write-amplification factor.
+func (d *Device) writeAmp() float64 {
+	if d.written <= d.prof.FreshBytes {
+		return d.prof.WriteAmpFresh
+	}
+	return d.prof.WriteAmpSteady
+}
+
+// transferDone frees the channel, admits waiting work, and finishes
+// the request — after its die-collision delay, if it drew one.
+func (d *Device) transferDone(r *Request) {
+	d.busy--
+	for d.busy < d.availableChannels() && d.waiting.len() > 0 {
+		d.startService(d.waiting.pop())
+	}
+	if r.extraLat > 0 {
+		extra := r.extraLat
+		r.extraLat = 0
+		d.eng.After(extra, func() { d.finish(r) })
+		return
+	}
+	d.finish(r)
+}
+
+// finish performs completion accounting and delivers callbacks.
+func (d *Device) finish(r *Request) {
+	d.inflight--
+	r.Complete = d.eng.Now()
+	if r.Op == Write {
+		d.stats.WritesCompleted++
+		d.stats.WriteBytes += r.Size
+		d.written += r.Size
+		d.gcDebt += int64(float64(r.Size) * (d.writeAmp() - 1))
+		d.maybeStartGC()
+	} else {
+		d.stats.ReadsCompleted++
+		d.stats.ReadBytes += r.Size
+	}
+	if d.OnDone != nil {
+		d.OnDone(r)
+	}
+	if r.OnComplete != nil {
+		r.OnComplete(r)
+	}
+}
+
+// maybeStartGC begins background collection once debt crosses the high
+// watermark: GC seizes channels and drains debt until the low
+// watermark.
+func (d *Device) maybeStartGC() {
+	if d.gcOn || d.gcDebt < d.prof.GCHighBytes || d.prof.GCChannels <= 0 {
+		return
+	}
+	d.gcOn = true
+	d.seized = d.prof.GCChannels
+	d.stats.GCEvents++
+	d.gcTick()
+}
+
+// gcTick drains debt in 10 ms slices so throttled knobs observe GC as a
+// gradual capacity loss rather than a single stall.
+func (d *Device) gcTick() {
+	const slice = 10 * sim.Millisecond
+	d.eng.After(slice, func() {
+		d.gcDebt -= int64(d.prof.GCDrainRate * slice.Seconds())
+		if d.gcDebt <= d.prof.GCLowBytes {
+			if d.gcDebt < 0 {
+				d.gcDebt = 0
+			}
+			d.gcOn = false
+			d.seized = 0
+			for d.busy < d.availableChannels() && d.waiting.len() > 0 {
+				d.startService(d.waiting.pop())
+			}
+			return
+		}
+		d.gcTick()
+	})
+}
+
+// reqRing is a growable FIFO of requests (amortized O(1) push/pop
+// without per-element allocation).
+type reqRing struct {
+	buf        []*Request
+	head, tail int
+	n          int
+}
+
+func (q *reqRing) len() int { return q.n }
+
+func (q *reqRing) push(r *Request) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[q.tail] = r
+	q.tail = (q.tail + 1) % len(q.buf)
+	q.n++
+}
+
+func (q *reqRing) pop() *Request {
+	if q.n == 0 {
+		return nil
+	}
+	r := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return r
+}
+
+func (q *reqRing) grow() {
+	size := len(q.buf) * 2
+	if size == 0 {
+		size = 16
+	}
+	buf := make([]*Request, size)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = buf
+	q.head, q.tail = 0, q.n
+}

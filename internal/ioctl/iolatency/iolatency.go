@@ -1,0 +1,183 @@
+// Package iolatency implements the io.latency cgroup knob: each group
+// may declare a target P90 completion latency; every 500 ms window the
+// controller checks whether any protected group missed its target and,
+// if so, halves the effective queue depth (nr_requests) of every
+// lower-priority group (higher target, or no target at all). Recovery
+// adds max_nr_requests/4 per clean window, gated by the use_delay
+// counter — the mechanism behind io.latency's multi-second burst
+// response (O10) and its request-size blindness (O7).
+package iolatency
+
+import (
+	"isolbench/internal/blk"
+	"isolbench/internal/cgroup"
+	"isolbench/internal/device"
+	"isolbench/internal/metrics"
+	"isolbench/internal/sim"
+)
+
+// Window is the control interval (500 ms in the evaluated kernel).
+const Window = 500 * sim.Millisecond
+
+// Controller is an io.latency instance for one device.
+type Controller struct {
+	eng   *sim.Engine
+	tree  *cgroup.Tree
+	dev   string
+	next  func(*device.Request)
+	maxQD int
+
+	groups map[int]*state
+	armed  bool
+}
+
+type state struct {
+	id       int
+	qdLimit  int
+	inflight int
+	waiting  blk.Ring
+	hist     metrics.Histogram
+	useDelay int
+}
+
+// New returns an io.latency controller for one device; maxQD is the
+// device's nr_requests (the unthrottled effective queue depth and the
+// basis of the +maxQD/4 recovery step).
+func New(eng *sim.Engine, tree *cgroup.Tree, dev string, maxQD int) *Controller {
+	if maxQD < 1 {
+		maxQD = 1
+	}
+	return &Controller{
+		eng: eng, tree: tree, dev: dev, maxQD: maxQD,
+		groups: make(map[int]*state),
+	}
+}
+
+// Name returns "io.latency".
+func (c *Controller) Name() string { return "io.latency" }
+
+// Bind stores the forward hook.
+func (c *Controller) Bind(next func(*device.Request)) { c.next = next }
+
+func (c *Controller) stateFor(id int) *state {
+	s, ok := c.groups[id]
+	if !ok {
+		s = &state{id: id, qdLimit: c.maxQD}
+		c.groups[id] = s
+	}
+	return s
+}
+
+// target returns the group's configured latency target (0 = none set:
+// lowest priority, always throttleable).
+func (c *Controller) target(id int) sim.Duration {
+	if g := c.tree.ByID(id); g != nil {
+		return g.Knobs().LatencyFor(c.dev)
+	}
+	return 0
+}
+
+// Submit gates the request on the group's effective queue depth.
+func (c *Controller) Submit(r *device.Request) {
+	c.armWindow()
+	s := c.stateFor(r.Cgroup)
+	if s.inflight < s.qdLimit && s.waiting.Len() == 0 {
+		s.inflight++
+		c.next(r)
+		return
+	}
+	s.waiting.Push(r)
+}
+
+// Completed records the group's own latency sample and releases queued
+// requests freed by the completion.
+func (c *Controller) Completed(r *device.Request) {
+	s := c.stateFor(r.Cgroup)
+	if s.inflight > 0 {
+		s.inflight--
+	}
+	s.hist.Record(int64(r.Complete.Sub(r.Submit)))
+	c.releaseWaiting(s)
+}
+
+func (c *Controller) releaseWaiting(s *state) {
+	for s.waiting.Len() > 0 && s.inflight < s.qdLimit {
+		s.inflight++
+		c.next(s.waiting.Pop())
+	}
+}
+
+// armWindow starts the periodic check on first traffic.
+func (c *Controller) armWindow() {
+	if c.armed {
+		return
+	}
+	c.armed = true
+	c.eng.After(Window, c.windowTick)
+}
+
+// windowTick evaluates every protected group's window percentile and
+// throttles or recovers lower-priority groups.
+func (c *Controller) windowTick() {
+	// Find the most demanding violated target this window.
+	var violatedTarget sim.Duration
+	violated := false
+	for id, s := range c.groups {
+		t := c.target(id)
+		if t <= 0 || s.hist.Count() == 0 {
+			continue
+		}
+		if sim.Duration(s.hist.Percentile(90)) > t {
+			if !violated || t < violatedTarget {
+				violatedTarget = t
+			}
+			violated = true
+		}
+	}
+
+	for id, s := range c.groups {
+		t := c.target(id)
+		lowerPriority := t == 0 || (violated && t > violatedTarget)
+		switch {
+		case violated && lowerPriority:
+			// Halve QD; once pinned at 1 with continued violation,
+			// accumulate scale-out debt.
+			if s.qdLimit > 1 {
+				s.qdLimit /= 2
+			} else {
+				s.useDelay++
+			}
+		case !violated:
+			// Clean window: recover in maxQD/4 steps, paying off
+			// use_delay first.
+			if s.useDelay > 0 {
+				s.useDelay--
+			} else if s.qdLimit < c.maxQD {
+				s.qdLimit += c.maxQD / 4
+				if s.qdLimit > c.maxQD {
+					s.qdLimit = c.maxQD
+				}
+			}
+		}
+		s.hist.Reset()
+		c.releaseWaiting(s)
+	}
+	c.eng.After(Window, c.windowTick)
+}
+
+// QDLimit exposes a group's current effective queue depth (for tests
+// and the benchmark's introspection).
+func (c *Controller) QDLimit(id int) int { return c.stateFor(id).qdLimit }
+
+// UseDelay exposes a group's use_delay counter.
+func (c *Controller) UseDelay(id int) int { return c.stateFor(id).useDelay }
+
+// Overheads returns io.latency's small hot-path cost (the paper finds
+// it has little overhead for LC-apps).
+func (c *Controller) Overheads() blk.Overheads {
+	return blk.Overheads{
+		SubmitCPU:   100 * sim.Nanosecond,
+		CompleteCPU: 60 * sim.Nanosecond,
+		CyclesPerIO: 700,
+	}
+}

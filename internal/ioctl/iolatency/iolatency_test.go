@@ -1,0 +1,198 @@
+package iolatency
+
+import (
+	"testing"
+
+	"isolbench/internal/cgroup"
+	"isolbench/internal/device"
+	"isolbench/internal/sim"
+)
+
+type harness struct {
+	eng       *sim.Engine
+	tree      *cgroup.Tree
+	prot, vic *cgroup.Group
+	ctl       *Controller
+	forwarded []*device.Request
+	seq       uint64
+}
+
+func newHarness(t *testing.T, maxQD int) *harness {
+	t.Helper()
+	h := &harness{eng: sim.NewEngine(), tree: cgroup.NewTree()}
+	m, err := h.tree.Root().Create("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnableController("io"); err != nil {
+		t.Fatal(err)
+	}
+	h.prot, _ = m.Create("protected")
+	h.vic, _ = m.Create("victim")
+	h.ctl = New(h.eng, h.tree, "259:0", maxQD)
+	h.ctl.Bind(func(r *device.Request) { h.forwarded = append(h.forwarded, r) })
+	return h
+}
+
+// completeAs reports a request back with the given latency (the
+// request's Submit/Complete stamps drive the window percentile).
+func (h *harness) completeAs(g *cgroup.Group, lat sim.Duration) {
+	h.seq++
+	r := &device.Request{ID: h.seq, Op: device.Read, Size: 4096, Cgroup: g.ID()}
+	r.Submit = h.eng.Now()
+	h.ctl.Submit(r)
+	r.Complete = r.Submit.Add(lat)
+	h.ctl.Completed(r)
+}
+
+func TestNoTargetNoThrottle(t *testing.T) {
+	h := newHarness(t, 1024)
+	for i := 0; i < 500; i++ {
+		h.completeAs(h.vic, 2*sim.Millisecond)
+	}
+	h.eng.RunUntil(sim.Time(3 * Window))
+	if h.ctl.QDLimit(h.vic.ID()) != 1024 {
+		t.Fatalf("victim throttled without any target: qd=%d", h.ctl.QDLimit(h.vic.ID()))
+	}
+}
+
+func TestViolationHalvesVictimQD(t *testing.T) {
+	h := newHarness(t, 1024)
+	if err := h.prot.SetFile("io.latency", "259:0 target=100"); err != nil {
+		t.Fatal(err)
+	}
+	// Protected group misses its 100 us target; victim has no target.
+	for w := 0; w < 3; w++ {
+		for i := 0; i < 50; i++ {
+			h.completeAs(h.prot, 500*sim.Microsecond)
+			h.completeAs(h.vic, 500*sim.Microsecond)
+		}
+		h.eng.RunUntil(h.eng.Now().Add(Window))
+	}
+	// After 3 windows of violation: 1024 -> 512 -> 256 -> 128.
+	if qd := h.ctl.QDLimit(h.vic.ID()); qd != 128 {
+		t.Fatalf("victim qd = %d, want 128 after 3 halvings", qd)
+	}
+	// The protected group itself is never throttled.
+	if qd := h.ctl.QDLimit(h.prot.ID()); qd != 1024 {
+		t.Fatalf("protected group throttled: qd=%d", qd)
+	}
+}
+
+func TestRecoveryAddsQuarterSteps(t *testing.T) {
+	h := newHarness(t, 1024)
+	if err := h.prot.SetFile("io.latency", "259:0 target=100"); err != nil {
+		t.Fatal(err)
+	}
+	// One violating window...
+	for i := 0; i < 50; i++ {
+		h.completeAs(h.prot, sim.Millisecond)
+		h.completeAs(h.vic, sim.Millisecond)
+	}
+	h.eng.RunUntil(h.eng.Now().Add(Window + Window/2))
+	if qd := h.ctl.QDLimit(h.vic.ID()); qd != 512 {
+		t.Fatalf("qd after one violation = %d, want 512", qd)
+	}
+	// ...then clean windows: +256 per window back to max.
+	for w := 0; w < 2; w++ {
+		for i := 0; i < 50; i++ {
+			h.completeAs(h.prot, 10*sim.Microsecond)
+		}
+		h.eng.RunUntil(h.eng.Now().Add(Window))
+	}
+	if qd := h.ctl.QDLimit(h.vic.ID()); qd != 1024 {
+		t.Fatalf("qd after recovery = %d, want 1024", qd)
+	}
+}
+
+func TestQDGatesSubmissions(t *testing.T) {
+	h := newHarness(t, 4)
+	// With maxQD 4, only 4 requests may be in flight.
+	for i := 0; i < 10; i++ {
+		h.seq++
+		r := &device.Request{ID: h.seq, Op: device.Read, Size: 4096, Cgroup: h.vic.ID()}
+		h.ctl.Submit(r)
+	}
+	if len(h.forwarded) != 4 {
+		t.Fatalf("forwarded %d, want 4 (qd limit)", len(h.forwarded))
+	}
+	// Completing one releases one.
+	r := h.forwarded[0]
+	r.Complete = h.eng.Now().Add(50 * sim.Microsecond)
+	h.ctl.Completed(r)
+	if len(h.forwarded) != 5 {
+		t.Fatalf("completion did not release a waiter: %d", len(h.forwarded))
+	}
+}
+
+func TestUseDelayBlocksRecovery(t *testing.T) {
+	h := newHarness(t, 8)
+	if err := h.prot.SetFile("io.latency", "259:0 target=50"); err != nil {
+		t.Fatal(err)
+	}
+	// Violate long enough to pin the victim at QD 1 and accumulate
+	// use_delay (8 -> 4 -> 2 -> 1, then +1 use_delay per window).
+	for w := 0; w < 6; w++ {
+		for i := 0; i < 30; i++ {
+			h.completeAs(h.prot, sim.Millisecond)
+			h.completeAs(h.vic, 100*sim.Microsecond)
+		}
+		h.eng.RunUntil(h.eng.Now().Add(Window))
+	}
+	if qd := h.ctl.QDLimit(h.vic.ID()); qd != 1 {
+		t.Fatalf("victim qd = %d, want 1", qd)
+	}
+	ud := h.ctl.UseDelay(h.vic.ID())
+	if ud < 2 {
+		t.Fatalf("use_delay = %d, want >= 2", ud)
+	}
+	// Clean windows must first pay off use_delay before QD recovers —
+	// the paper's O10 slow-unthrottle behaviour.
+	for w := 0; w < ud; w++ {
+		for i := 0; i < 30; i++ {
+			h.completeAs(h.prot, sim.Microsecond)
+		}
+		h.eng.RunUntil(h.eng.Now().Add(Window))
+		if qd := h.ctl.QDLimit(h.vic.ID()); qd != 1 {
+			t.Fatalf("qd recovered while use_delay > 0 (window %d, qd %d)", w, qd)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		h.completeAs(h.prot, sim.Microsecond)
+	}
+	h.eng.RunUntil(h.eng.Now().Add(Window))
+	if qd := h.ctl.QDLimit(h.vic.ID()); qd <= 1 {
+		t.Fatal("qd never recovered after use_delay drained")
+	}
+}
+
+func TestHigherTargetIsLowerPriority(t *testing.T) {
+	h := newHarness(t, 1024)
+	if err := h.prot.SetFile("io.latency", "259:0 target=100"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.vic.SetFile("io.latency", "259:0 target=1000"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		h.completeAs(h.prot, 500*sim.Microsecond) // violates 100 us
+		h.completeAs(h.vic, 500*sim.Microsecond)  // meets 1000 us
+	}
+	h.eng.RunUntil(h.eng.Now().Add(Window + Window/2))
+	if qd := h.ctl.QDLimit(h.vic.ID()); qd != 512 {
+		t.Fatalf("higher-target group not throttled: qd=%d", qd)
+	}
+	if qd := h.ctl.QDLimit(h.prot.ID()); qd != 1024 {
+		t.Fatalf("tighter-target group throttled: qd=%d", qd)
+	}
+}
+
+func TestOverheadsSmall(t *testing.T) {
+	h := newHarness(t, 64)
+	if o := h.ctl.Overheads(); o.SubmitCPU > sim.Microsecond {
+		t.Fatalf("io.latency must be cheap: %+v", o)
+	}
+	if h.ctl.Name() != "io.latency" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,141 @@
+// Package iomaxdyn implements the dynamic io.max management the paper
+// concludes static io.max needs (O8: "io.max further requires
+// practitioners to dynamically change configurations to ensure
+// isolation and is not usable for isolation when set statically").
+// It models the userspace controllers the paper cites (PAIO, Tango):
+// a manager that owns abstract per-group weights, watches which groups
+// are actually issuing I/O, and periodically retranslates weights into
+// io.max limits over the active set — restoring work conservation
+// that static limits lose.
+package iomaxdyn
+
+import (
+	"fmt"
+
+	"isolbench/internal/cgroup"
+	"isolbench/internal/sim"
+)
+
+// UsageFunc reports a group's cumulative completed bytes; the manager
+// diffs successive readings to detect activity.
+type UsageFunc func() int64
+
+// Config tunes the manager.
+type Config struct {
+	// Period between reconfigurations (default 100 ms — the reaction
+	// time a userspace daemon can realistically achieve).
+	Period sim.Duration
+	// PeakBW is the device bandwidth to divide (bytes/sec).
+	PeakBW float64
+	// IdleThreshold: a group moving fewer bytes than this per period
+	// is considered idle and its share is redistributed.
+	IdleThreshold int64
+	// FloorBW is the limit an idle group keeps so it can ramp back up
+	// and be re-detected (default 32 MiB/s).
+	FloorBW float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Period <= 0 {
+		c.Period = 100 * sim.Millisecond
+	}
+	if c.PeakBW <= 0 {
+		c.PeakBW = 3.0e9
+	}
+	if c.IdleThreshold <= 0 {
+		c.IdleThreshold = 1 << 20
+	}
+	if c.FloorBW <= 0 {
+		c.FloorBW = 32 << 20
+	}
+	return c
+}
+
+type member struct {
+	group    *cgroup.Group
+	weight   float64
+	usage    UsageFunc
+	lastSeen int64
+	active   bool
+}
+
+// Manager periodically rewrites io.max limits from weights.
+type Manager struct {
+	eng     *sim.Engine
+	dev     string
+	cfg     Config
+	members []*member
+	running bool
+
+	Reconfigs int // number of limit rewrites performed (introspection)
+}
+
+// New creates a manager for one device.
+func New(eng *sim.Engine, dev string, cfg Config) *Manager {
+	return &Manager{eng: eng, dev: dev, cfg: cfg.withDefaults()}
+}
+
+// Add registers a group with an abstract weight and a usage probe.
+func (m *Manager) Add(g *cgroup.Group, weight float64, usage UsageFunc) error {
+	if weight <= 0 {
+		return fmt.Errorf("iomaxdyn: weight must be positive")
+	}
+	if usage == nil {
+		return fmt.Errorf("iomaxdyn: usage probe required")
+	}
+	m.members = append(m.members, &member{group: g, weight: weight, usage: usage, active: true})
+	return nil
+}
+
+// Start arms the reconfiguration loop and applies initial limits.
+func (m *Manager) Start() {
+	if m.running {
+		return
+	}
+	m.running = true
+	m.apply()
+	m.tick()
+}
+
+func (m *Manager) tick() {
+	m.eng.After(m.cfg.Period, func() {
+		changed := false
+		for _, mb := range m.members {
+			u := mb.usage()
+			active := u-mb.lastSeen >= m.cfg.IdleThreshold
+			mb.lastSeen = u
+			if active != mb.active {
+				mb.active = active
+				changed = true
+			}
+		}
+		if changed {
+			m.apply()
+		}
+		m.tick()
+	})
+}
+
+// apply rewrites io.max for every member: active groups share PeakBW
+// by weight; idle groups keep the floor.
+func (m *Manager) apply() {
+	var totalW float64
+	for _, mb := range m.members {
+		if mb.active {
+			totalW += mb.weight
+		}
+	}
+	for _, mb := range m.members {
+		limit := m.cfg.FloorBW
+		if mb.active && totalW > 0 {
+			limit = mb.weight / totalW * m.cfg.PeakBW
+			if limit < m.cfg.FloorBW {
+				limit = m.cfg.FloorBW
+			}
+		}
+		line := fmt.Sprintf("%s rbps=%.0f wbps=%.0f", m.dev, limit, limit)
+		if err := mb.group.SetFile("io.max", line); err == nil {
+			m.Reconfigs++
+		}
+	}
+}

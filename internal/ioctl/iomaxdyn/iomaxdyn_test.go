@@ -1,0 +1,109 @@
+package iomaxdyn
+
+import (
+	"testing"
+
+	"isolbench/internal/cgroup"
+	"isolbench/internal/sim"
+)
+
+func setup(t *testing.T) (*sim.Engine, *cgroup.Tree, *cgroup.Group, *cgroup.Group) {
+	t.Helper()
+	eng := sim.NewEngine()
+	tree := cgroup.NewTree()
+	m, err := tree.Root().Create("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnableController("io"); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := m.Create("a")
+	b, _ := m.Create("b")
+	return eng, tree, a, b
+}
+
+func TestInitialSplitByWeight(t *testing.T) {
+	eng, _, a, b := setup(t)
+	mgr := New(eng, "259:0", Config{PeakBW: 3.0e9})
+	usage := map[string]*int64{"a": new(int64), "b": new(int64)}
+	mgr.Add(a, 300, func() int64 { return *usage["a"] })
+	mgr.Add(b, 100, func() int64 { return *usage["b"] })
+	mgr.Start()
+	la := a.Knobs().MaxFor("259:0")
+	lb := b.Knobs().MaxFor("259:0")
+	if la.RBps != 2.25e9 || lb.RBps != 0.75e9 {
+		t.Fatalf("initial limits = %v / %v, want 2.25e9 / 0.75e9", la.RBps, lb.RBps)
+	}
+}
+
+func TestIdleShareRedistributed(t *testing.T) {
+	eng, _, a, b := setup(t)
+	mgr := New(eng, "259:0", Config{PeakBW: 3.0e9})
+	var ua, ub int64
+	mgr.Add(a, 100, func() int64 { return ua })
+	mgr.Add(b, 100, func() int64 { return ub })
+	mgr.Start()
+
+	// Both active for a few periods.
+	for i := 0; i < 5; i++ {
+		ua += 10 << 20
+		ub += 10 << 20
+		eng.RunUntil(eng.Now().Add(mgr.cfg.Period))
+	}
+	if lim := a.Knobs().MaxFor("259:0").RBps; lim != 1.5e9 {
+		t.Fatalf("active split = %v, want 1.5e9", lim)
+	}
+
+	// b goes idle: a should get the whole peak, b the floor.
+	for i := 0; i < 3; i++ {
+		ua += 10 << 20
+		eng.RunUntil(eng.Now().Add(mgr.cfg.Period))
+	}
+	if lim := a.Knobs().MaxFor("259:0").RBps; lim != 3.0e9 {
+		t.Fatalf("after idle peer: a limit = %v, want full 3.0e9", lim)
+	}
+	if lim := b.Knobs().MaxFor("259:0").RBps; lim != float64(32<<20) {
+		t.Fatalf("idle group floor = %v", lim)
+	}
+
+	// b ramps back up: within two periods it is re-detected and the
+	// split is restored.
+	for i := 0; i < 2; i++ {
+		ua += 10 << 20
+		ub += 10 << 20
+		eng.RunUntil(eng.Now().Add(mgr.cfg.Period))
+	}
+	if lim := b.Knobs().MaxFor("259:0").RBps; lim != 1.5e9 {
+		t.Fatalf("returning group limit = %v, want 1.5e9", lim)
+	}
+}
+
+func TestNoChurnWhenStable(t *testing.T) {
+	eng, _, a, b := setup(t)
+	mgr := New(eng, "259:0", Config{PeakBW: 3.0e9})
+	var ua, ub int64
+	mgr.Add(a, 100, func() int64 { return ua })
+	mgr.Add(b, 100, func() int64 { return ub })
+	mgr.Start()
+	base := mgr.Reconfigs
+	for i := 0; i < 10; i++ {
+		ua += 10 << 20
+		ub += 10 << 20
+		eng.RunUntil(eng.Now().Add(mgr.cfg.Period))
+	}
+	if mgr.Reconfigs != base {
+		t.Fatalf("manager rewrote limits %d times with stable activity", mgr.Reconfigs-base)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	eng, _, a, _ := setup(t)
+	mgr := New(eng, "259:0", Config{})
+	if err := mgr.Add(a, 0, func() int64 { return 0 }); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if err := mgr.Add(a, 1, nil); err == nil {
+		t.Fatal("nil probe accepted")
+	}
+}

@@ -1,0 +1,201 @@
+package mqdeadline
+
+import (
+	"testing"
+
+	"isolbench/internal/device"
+	"isolbench/internal/sim"
+)
+
+func req(id uint64, class device.PrioClass, op device.Op) *device.Request {
+	return &device.Request{ID: id, Class: class, Op: op, Size: 4096}
+}
+
+func drain(s *Scheduler) []uint64 {
+	var out []uint64
+	for {
+		r := s.Dispatch()
+		if r == nil {
+			return out
+		}
+		out = append(out, r.ID)
+	}
+}
+
+func TestStrictClassOrdering(t *testing.T) {
+	eng := sim.NewEngine()
+	s := New(eng, DefaultConfig())
+	s.Bind(func() {})
+	s.Insert(req(1, device.ClassIdle, device.Read))
+	s.Insert(req(2, device.ClassBE, device.Read))
+	s.Insert(req(3, device.ClassRT, device.Read))
+	// Only RT dispatches immediately; lower classes stay blocked while
+	// the RT class is within its activity window.
+	got := drain(s)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("first drain = %v, want just the RT request", got)
+	}
+	// After the window lapses, the remaining classes flow in order
+	// (BE's own insertion is already outside its window by then).
+	eng.RunUntil(eng.Now().Add(2 * DefaultConfig().ActiveWindow))
+	got = drain(s)
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("post-window drain = %v, want BE then idle", got)
+	}
+}
+
+func TestLowerClassBlockedWhileHigherActive(t *testing.T) {
+	eng := sim.NewEngine()
+	s := New(eng, DefaultConfig())
+	s.Bind(func() {})
+	s.Insert(req(1, device.ClassRT, device.Read))
+	s.Insert(req(2, device.ClassBE, device.Read))
+	if r := s.Dispatch(); r == nil || r.ID != 1 {
+		t.Fatal("RT should dispatch first")
+	}
+	// RT queue is now empty but recently active: BE must stay blocked.
+	if r := s.Dispatch(); r != nil {
+		t.Fatalf("BE dispatched during RT activity window: %d", r.ID)
+	}
+	eng.RunUntil(eng.Now().Add(2 * DefaultConfig().ActiveWindow))
+	if r := s.Dispatch(); r == nil || r.ID != 2 {
+		t.Fatal("BE should dispatch after the RT window lapses")
+	}
+}
+
+func TestNoneRanksWithBE(t *testing.T) {
+	eng := sim.NewEngine()
+	s := New(eng, DefaultConfig())
+	s.Bind(func() {})
+	s.Insert(req(1, device.ClassNone, device.Read))
+	s.Insert(req(2, device.ClassRT, device.Read))
+	got := drain(s)
+	if len(got) == 0 || got[0] != 2 {
+		t.Fatalf("RT should beat unset class: %v", got)
+	}
+}
+
+func TestFIFOWithinClass(t *testing.T) {
+	eng := sim.NewEngine()
+	s := New(eng, DefaultConfig())
+	for i := uint64(1); i <= 10; i++ {
+		s.Insert(req(i, device.ClassBE, device.Read))
+	}
+	got := drain(s)
+	for i, id := range got {
+		if id != uint64(i+1) {
+			t.Fatalf("within-class order not FIFO: %v", got)
+		}
+	}
+}
+
+func TestPriorityAgingRescuesStarved(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.PrioAgingExpire = 1 * sim.Second
+	s := New(eng, cfg)
+	s.Bind(func() {})
+
+	idle := req(1, device.ClassIdle, device.Read)
+	idle.Queued = eng.Now()
+	s.Insert(idle)
+	// A continuous stream of RT requests would starve it forever.
+	next := uint64(2)
+	feed := func() {
+		r := req(next, device.ClassRT, device.Read)
+		r.Queued = eng.Now()
+		s.Insert(r)
+		next++
+	}
+	feed()
+	feed()
+	sawIdleAt := sim.Time(-1)
+	for i := 0; i < 10000 && sawIdleAt < 0; i++ {
+		r := s.Dispatch()
+		if r == nil {
+			// Advance time and refill RT work.
+			eng.RunUntil(eng.Now().Add(10 * sim.Millisecond))
+			feed()
+			continue
+		}
+		if r.ID == 1 {
+			sawIdleAt = eng.Now()
+		}
+	}
+	if sawIdleAt < 0 {
+		t.Fatal("idle request starved forever despite aging")
+	}
+	if got := sawIdleAt.Sub(0); got < cfg.PrioAgingExpire {
+		t.Fatalf("idle dispatched before aging expiry: %v", got)
+	}
+}
+
+func TestWriteStarvationBound(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.FifoBatch = 1 // dispatch one at a time to observe interleaving
+	s := New(eng, cfg)
+	for i := uint64(1); i <= 20; i++ {
+		s.Insert(req(i, device.ClassBE, device.Read))
+	}
+	for i := uint64(100); i < 110; i++ {
+		s.Insert(req(i, device.ClassBE, device.Write))
+	}
+	reads := 0
+	for {
+		r := s.Dispatch()
+		if r == nil {
+			t.Fatal("queue drained before any write")
+		}
+		if r.Op == device.Write {
+			break
+		}
+		reads++
+	}
+	// writes_starved=2 with batch=1: a write must dispatch after at
+	// most a few read batches.
+	if reads > 2*cfg.WritesStarved+1 {
+		t.Fatalf("writes starved for %d reads", reads)
+	}
+}
+
+func TestBatchingSticksToStream(t *testing.T) {
+	eng := sim.NewEngine()
+	s := New(eng, DefaultConfig()) // FifoBatch = 16
+	for i := uint64(1); i <= 16; i++ {
+		s.Insert(req(i, device.ClassBE, device.Read))
+	}
+	for i := uint64(100); i < 104; i++ {
+		s.Insert(req(i, device.ClassBE, device.Write))
+	}
+	// The first 16 dispatches must all come from the read stream (one
+	// full batch) even though writes are pending.
+	for i := 0; i < 16; i++ {
+		r := s.Dispatch()
+		if r.Op != device.Read {
+			t.Fatalf("dispatch %d left the batch early", i)
+		}
+	}
+}
+
+func TestEmptyDispatch(t *testing.T) {
+	s := New(sim.NewEngine(), DefaultConfig())
+	if s.Dispatch() != nil {
+		t.Fatal("empty scheduler dispatched something")
+	}
+	s.Completed(req(1, device.ClassBE, device.Read)) // must not panic
+}
+
+func TestOverheadsShape(t *testing.T) {
+	s := New(sim.NewEngine(), DefaultConfig())
+	o := s.Overheads()
+	if o.LockHold <= 0 || o.SubmitCPU <= 0 {
+		t.Fatal("mq-deadline must have a dispatch lock and CPU cost")
+	}
+	if o.CtxPerIO != 1.06 || o.CyclesPerIO != 31700 {
+		t.Fatalf("accounting profile = %+v, want the paper's 1.06/31.7K", o)
+	}
+	if s.Name() != "mq-deadline" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,59 @@
+// Package noop implements the "none" configuration: the default no-op
+// scheduler modern NVMe deployments use. Requests dispatch in FIFO
+// order with no added CPU cost beyond the baseline path and no
+// dispatch lock; its measured profile (1.00 context switches and 25.0K
+// cycles per I/O in the paper) is the baseline other knobs are
+// compared against.
+package noop
+
+import (
+	"isolbench/internal/blk"
+	"isolbench/internal/device"
+)
+
+// Scheduler is a FIFO pass-through.
+type Scheduler struct {
+	fifo []*device.Request
+	head int
+}
+
+// New returns a none/noop scheduler.
+func New() *Scheduler { return &Scheduler{} }
+
+// Name returns "none".
+func (s *Scheduler) Name() string { return "none" }
+
+// Bind is a no-op; the noop scheduler has no timers.
+func (s *Scheduler) Bind(func()) {}
+
+// Insert queues the request FIFO.
+func (s *Scheduler) Insert(r *device.Request) { s.fifo = append(s.fifo, r) }
+
+// Dispatch pops the oldest request.
+func (s *Scheduler) Dispatch() *device.Request {
+	if s.head >= len(s.fifo) {
+		s.fifo = s.fifo[:0]
+		s.head = 0
+		return nil
+	}
+	r := s.fifo[s.head]
+	s.fifo[s.head] = nil
+	s.head++
+	if s.head == len(s.fifo) {
+		s.fifo = s.fifo[:0]
+		s.head = 0
+	}
+	return r
+}
+
+// Completed is a no-op.
+func (s *Scheduler) Completed(*device.Request) {}
+
+// Overheads returns the baseline accounting profile.
+func (s *Scheduler) Overheads() blk.Overheads {
+	return blk.Overheads{CtxPerIO: 1.0, CyclesPerIO: 25000}
+}
+
+// DispatchWindow returns 0: the none configuration pushes requests to
+// the device's own queue depth.
+func (s *Scheduler) DispatchWindow() int { return 0 }

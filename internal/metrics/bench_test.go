@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"testing"
+
+	"isolbench/internal/sim"
+)
+
+// BenchmarkHistogramRecord measures the per-sample cost on the
+// completion hot path (every I/O records once).
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(80_000 + i%100_000))
+	}
+}
+
+func BenchmarkHistogramPercentile(b *testing.B) {
+	var h Histogram
+	for i := 0; i < 100_000; i++ {
+		h.Record(int64(80_000 + i%200_000))
+	}
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += h.Percentile(99)
+	}
+	_ = sink
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewCounter(0)
+	for i := 0; i < b.N; i++ {
+		c.Add(sim.Time(i*1000), 4096)
+	}
+}
+
+func BenchmarkJainIndex(b *testing.B) {
+	xs := make([]float64, 16)
+	for i := range xs {
+		xs[i] = float64(100 + i)
+	}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += JainIndex(xs)
+	}
+	_ = sink
+}

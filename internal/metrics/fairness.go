@@ -1,0 +1,64 @@
+package metrics
+
+// JainIndex computes Jain's fairness index over the given allocations:
+// J = (Σx)² / (n · Σx²). It is 1 when all allocations are equal and
+// approaches 1/n as one allocation dominates. Empty or all-zero input
+// yields 1 (nothing to be unfair about).
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		if x < 0 {
+			x = 0
+		}
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// WeightedJainIndex computes Jain's index over weight-normalized
+// allocations x_i/w_i, the metric the paper uses for proportional
+// fairness (§II-B, D2): an allocation is perfectly fair when each
+// tenant's share is proportional to its weight. Non-positive weights
+// are treated as 1.
+func WeightedJainIndex(xs, weights []float64) float64 {
+	norm := make([]float64, len(xs))
+	for i, x := range xs {
+		w := 1.0
+		if i < len(weights) && weights[i] > 0 {
+			w = weights[i]
+		}
+		norm[i] = x / w
+	}
+	return JainIndex(norm)
+}
+
+// ProportionalShares returns the ideal fraction of the total each
+// tenant should receive under weighted sharing: w_i / Σw.
+func ProportionalShares(weights []float64) []float64 {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	out := make([]float64, len(weights))
+	if total == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(weights))
+		}
+		return out
+	}
+	for i, w := range weights {
+		if w > 0 {
+			out[i] = w / total
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestJainIndexEqual(t *testing.T) {
+	if j := JainIndex([]float64{5, 5, 5, 5}); !almostEq(j, 1, 1e-12) {
+		t.Fatalf("equal allocations J = %v, want 1", j)
+	}
+}
+
+func TestJainIndexSingleDominates(t *testing.T) {
+	// One tenant gets everything: J -> 1/n.
+	xs := []float64{100, 0, 0, 0}
+	if j := JainIndex(xs); !almostEq(j, 0.25, 1e-12) {
+		t.Fatalf("dominated J = %v, want 0.25", j)
+	}
+}
+
+func TestJainIndexKnownValue(t *testing.T) {
+	// {1, 2, 3}: (6)^2 / (3 * 14) = 36/42.
+	if j := JainIndex([]float64{1, 2, 3}); !almostEq(j, 36.0/42.0, 1e-12) {
+		t.Fatalf("J = %v, want %v", j, 36.0/42.0)
+	}
+}
+
+func TestJainIndexEdgeCases(t *testing.T) {
+	if j := JainIndex(nil); j != 1 {
+		t.Fatalf("empty J = %v, want 1", j)
+	}
+	if j := JainIndex([]float64{0, 0}); j != 1 {
+		t.Fatalf("all-zero J = %v, want 1", j)
+	}
+	// Negative allocations are clamped to zero.
+	if j := JainIndex([]float64{-5, 10}); !almostEq(j, 0.5, 1e-12) {
+		t.Fatalf("negative-clamped J = %v, want 0.5", j)
+	}
+}
+
+func TestJainIndexBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Fold into a bandwidth-like range to avoid float overflow
+			// in the squared sums (allocations are bytes/sec).
+			xs = append(xs, math.Mod(math.Abs(v), 1e12))
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		j := JainIndex(xs)
+		return j >= 1/float64(len(xs))-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedJainPerfectProportional(t *testing.T) {
+	// Allocations exactly proportional to weights: J = 1.
+	w := []float64{1, 2, 3, 4}
+	xs := []float64{10, 20, 30, 40}
+	if j := WeightedJainIndex(xs, w); !almostEq(j, 1, 1e-12) {
+		t.Fatalf("proportional weighted J = %v, want 1", j)
+	}
+}
+
+func TestWeightedJainEqualSplitUnderWeights(t *testing.T) {
+	// Equal split despite weights 1:3 is unfair under the weighted
+	// index.
+	j := WeightedJainIndex([]float64{50, 50}, []float64{1, 3})
+	if j >= 0.99 {
+		t.Fatalf("equal split with unequal weights J = %v, want < 0.99", j)
+	}
+	// And it should equal plain Jain of {50, 50/3}.
+	want := JainIndex([]float64{50, 50.0 / 3})
+	if !almostEq(j, want, 1e-12) {
+		t.Fatalf("weighted J = %v, want %v", j, want)
+	}
+}
+
+func TestWeightedJainBadWeights(t *testing.T) {
+	// Non-positive or missing weights are treated as 1.
+	j := WeightedJainIndex([]float64{5, 5, 5}, []float64{0, -1})
+	if !almostEq(j, 1, 1e-12) {
+		t.Fatalf("defaulted weights J = %v, want 1", j)
+	}
+}
+
+func TestProportionalShares(t *testing.T) {
+	s := ProportionalShares([]float64{1, 3})
+	if !almostEq(s[0], 0.25, 1e-12) || !almostEq(s[1], 0.75, 1e-12) {
+		t.Fatalf("shares = %v", s)
+	}
+	var sum float64
+	for _, v := range ProportionalShares([]float64{2, 5, 9, 1}) {
+		sum += v
+	}
+	if !almostEq(sum, 1, 1e-12) {
+		t.Fatalf("shares do not sum to 1: %v", sum)
+	}
+	// All-zero weights degrade to an equal split.
+	s = ProportionalShares([]float64{0, 0})
+	if !almostEq(s[0], 0.5, 1e-12) {
+		t.Fatalf("zero weights shares = %v", s)
+	}
+}

@@ -1,0 +1,225 @@
+// Package metrics provides the measurement primitives used by
+// isol-bench: log-bucketed latency histograms with percentile and CDF
+// extraction, bandwidth time series, Jain's (weighted) fairness index,
+// and streaming mean/stddev accumulators.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is an HDR-style latency histogram with logarithmic buckets:
+// each power-of-two range is split into subBuckets linear buckets,
+// giving a bounded relative error (~1/subBuckets) at any magnitude.
+// Values are recorded in nanoseconds. The zero value is ready to use.
+type Histogram struct {
+	counts [nBuckets]uint64
+	total  uint64
+	sum    float64
+	min    int64
+	max    int64
+}
+
+// Bucket layout: values in [0, 2*perOctave) are one-per-bucket
+// ("linear" region); above that, each octave [2^o, 2^(o+1)) is split
+// into perOctave equal sub-buckets, giving ~1/perOctave (~1.5%)
+// relative resolution at every magnitude.
+const (
+	octaveBits = 6 // perOctave = 64 sub-buckets per octave
+	perOctave  = 1 << octaveBits
+	linearMax  = 2 * perOctave // values below this get exact buckets
+	nOctaves   = 50            // highest representable ~2^56 ns, beyond any sim
+	nBuckets   = linearMax + nOctaves*perOctave
+)
+
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < linearMax {
+		return int(v)
+	}
+	octave := bitLen(uint64(v)) - 1 // >= octaveBits+1
+	shift := uint(octave - octaveBits)
+	within := int(v>>shift) - perOctave // in [0, perOctave)
+	group := octave - (octaveBits + 1)  // 0 for the first log octave
+	idx := linearMax + group*perOctave + within
+	if idx >= nBuckets {
+		idx = nBuckets - 1
+	}
+	return idx
+}
+
+// bucketLow returns the lowest value mapping to bucket idx (the inverse
+// of bucketIndex, used to reconstruct representative values).
+func bucketLow(idx int) int64 {
+	if idx < linearMax {
+		return int64(idx)
+	}
+	group := (idx - linearMax) / perOctave
+	within := (idx - linearMax) % perOctave
+	octave := group + octaveBits + 1
+	shift := uint(octave - octaveBits)
+	return int64(perOctave+within) << shift
+}
+
+func bitLen(x uint64) int {
+	n := 0
+	for x > 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Record adds one observation of v nanoseconds.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[bucketIndex(v)]++
+	h.total++
+	h.sum += float64(v)
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the average observation, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min and Max return the extreme recorded values (0 when empty).
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max returns the largest recorded value (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Percentile returns the value at quantile p in [0,100]. The returned
+// value is the representative (lower bound) of the bucket containing
+// the quantile, clamped to the recorded min/max.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 100 {
+		return h.max
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			v := bucketLow(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// CDFPoint is one (latency, cumulative probability) pair.
+type CDFPoint struct {
+	Nanos int64
+	Prob  float64
+}
+
+// CDF returns up to maxPoints points tracing the cumulative latency
+// distribution. Empty histograms return nil.
+func (h *Histogram) CDF(maxPoints int) []CDFPoint {
+	if h.total == 0 || maxPoints <= 0 {
+		return nil
+	}
+	var pts []CDFPoint
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		pts = append(pts, CDFPoint{Nanos: bucketLow(i), Prob: float64(cum) / float64(h.total)})
+	}
+	if len(pts) <= maxPoints {
+		return pts
+	}
+	// Downsample evenly, always keeping the final point.
+	out := make([]CDFPoint, 0, maxPoints)
+	step := float64(len(pts)-1) / float64(maxPoints-1)
+	for i := 0; i < maxPoints; i++ {
+		out = append(out, pts[int(float64(i)*step+0.5)])
+	}
+	out[len(out)-1] = pts[len(pts)-1]
+	return out
+}
+
+// Merge adds all observations in o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+}
+
+// Reset clears all recorded observations.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+func (h *Histogram) String() string {
+	return fmt.Sprintf("hist{n=%d mean=%.1fus p50=%.1fus p99=%.1fus max=%.1fus}",
+		h.total, h.Mean()/1e3, float64(h.Percentile(50))/1e3,
+		float64(h.Percentile(99))/1e3, float64(h.max)/1e3)
+}
+
+// PercentileOfSorted returns quantile p (0..100) of a pre-sorted slice
+// using nearest-rank. Used for exact small-sample percentiles in tests.
+func PercentileOfSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if !sort.Float64sAreSorted(sorted) {
+		panic("metrics: PercentileOfSorted requires sorted input")
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}

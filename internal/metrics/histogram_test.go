@@ -1,0 +1,227 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(99) != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	if h.CDF(10) != nil {
+		t.Fatal("empty histogram CDF should be nil")
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	var h Histogram
+	h.Record(12345)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 12345 || h.Max() != 12345 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	for _, p := range []float64{0, 50, 90, 99, 100} {
+		if v := h.Percentile(p); v != 12345 {
+			t.Fatalf("P%v = %d, want 12345 (single value)", p, v)
+		}
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("negative value should clamp to 0")
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	// bucketLow(bucketIndex(v)) must be <= v and within the bucket's
+	// relative resolution.
+	for _, v := range []int64{0, 1, 63, 64, 127, 128, 129, 255, 256, 1000,
+		4096, 80_000, 181_200, 1_000_000, 5_000_000_000, 1 << 40} {
+		idx := bucketIndex(v)
+		low := bucketLow(idx)
+		if low > v {
+			t.Fatalf("bucketLow(%d)=%d > v=%d", idx, low, v)
+		}
+		if v >= linearMax {
+			if rel := float64(v-low) / float64(v); rel > 2.0/perOctave {
+				t.Fatalf("v=%d resolution %.4f too coarse", v, rel)
+			}
+		} else if low != v {
+			t.Fatalf("linear region v=%d mapped to %d", v, low)
+		}
+	}
+}
+
+func TestBucketMonotonic(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < 1<<20; v += 13 {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotonic at %d", v)
+		}
+		prev = idx
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	// Uniform 1..10000: P50 ~ 5000, P99 ~ 9900 within bucket error.
+	var h Histogram
+	for v := int64(1); v <= 10000; v++ {
+		h.Record(v)
+	}
+	p50 := float64(h.Percentile(50))
+	p99 := float64(h.Percentile(99))
+	if math.Abs(p50-5000) > 5000*0.05 {
+		t.Fatalf("P50 = %v, want ~5000", p50)
+	}
+	if math.Abs(p99-9900) > 9900*0.05 {
+		t.Fatalf("P99 = %v, want ~9900", p99)
+	}
+	if mean := h.Mean(); math.Abs(mean-5000.5) > 1 {
+		t.Fatalf("mean = %v, want 5000.5 exactly (sum-based)", mean)
+	}
+}
+
+func TestHistogramPercentileMonotonic(t *testing.T) {
+	var h Histogram
+	r := uint64(12345)
+	for i := 0; i < 10000; i++ {
+		r = r*6364136223846793005 + 1442695040888963407
+		h.Record(int64(r % 10_000_000))
+	}
+	prev := int64(-1)
+	for p := 0.0; p <= 100; p += 0.5 {
+		v := h.Percentile(p)
+		if v < prev {
+			t.Fatalf("percentile not monotonic at P%v: %d < %d", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	var h Histogram
+	for i := int64(0); i < 1000; i++ {
+		h.Record(i * 100)
+	}
+	cdf := h.CDF(32)
+	if len(cdf) == 0 || len(cdf) > 32 {
+		t.Fatalf("CDF length %d", len(cdf))
+	}
+	if last := cdf[len(cdf)-1]; math.Abs(last.Prob-1.0) > 1e-9 {
+		t.Fatalf("CDF does not end at 1.0: %v", last.Prob)
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Prob < cdf[i-1].Prob || cdf[i].Nanos < cdf[i-1].Nanos {
+			t.Fatalf("CDF not monotone at %d", i)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := int64(0); i < 500; i++ {
+		a.Record(100)
+		b.Record(10000)
+	}
+	a.Merge(&b)
+	if a.Count() != 1000 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != 100 || a.Max() != 10000 {
+		t.Fatalf("merged min/max = %d/%d", a.Min(), a.Max())
+	}
+	if p := a.Percentile(25); p != 100 {
+		t.Fatalf("merged P25 = %d, want 100", p)
+	}
+	if p := float64(a.Percentile(75)); math.Abs(p-10000) > 10000*0.05 {
+		t.Fatalf("merged P75 = %v, want ~10000", p)
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(5)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestHistogramQuickProperty(t *testing.T) {
+	// Property: P0 <= P50 <= P100, min <= P50 <= max, count preserved.
+	f := func(vals []uint32) bool {
+		var h Histogram
+		for _, v := range vals {
+			h.Record(int64(v))
+		}
+		if h.Count() != uint64(len(vals)) {
+			return false
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		p0, p50, p100 := h.Percentile(0), h.Percentile(50), h.Percentile(100)
+		return p0 <= p50 && p50 <= p100 && p0 == h.Min() && p100 == h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileOfSorted(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if v := PercentileOfSorted(vals, 50); v != 5 {
+		t.Fatalf("P50 = %v, want 5", v)
+	}
+	if v := PercentileOfSorted(vals, 100); v != 10 {
+		t.Fatalf("P100 = %v", v)
+	}
+	if v := PercentileOfSorted(vals, 0); v != 1 {
+		t.Fatalf("P0 = %v", v)
+	}
+	if v := PercentileOfSorted(nil, 50); v != 0 {
+		t.Fatalf("empty = %v", v)
+	}
+}
+
+func TestPercentileOfSortedPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted input did not panic")
+		}
+	}()
+	PercentileOfSorted([]float64{3, 1, 2}, 50)
+}
+
+func TestHistogramVsExactPercentiles(t *testing.T) {
+	// Compare bucketed percentiles against exact nearest-rank on a
+	// log-normal-ish latency distribution.
+	var h Histogram
+	var exact []float64
+	r := uint64(99)
+	for i := 0; i < 50000; i++ {
+		r = r*6364136223846793005 + 1442695040888963407
+		v := int64(80_000 + r%200_000) // 80-280 us
+		h.Record(v)
+		exact = append(exact, float64(v))
+	}
+	sort.Float64s(exact)
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		want := PercentileOfSorted(exact, p)
+		got := float64(h.Percentile(p))
+		if math.Abs(got-want)/want > 0.03 {
+			t.Fatalf("P%v: hist %v vs exact %v (>3%% off)", p, got, want)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package metrics
+
+import "isolbench/internal/sim"
+
+// Counter accumulates a byte/op count bucketed into fixed windows of
+// virtual time, producing a bandwidth or IOPS time series — the raw
+// material of the paper's Fig. 2 timelines.
+type Counter struct {
+	window  sim.Duration
+	start   sim.Time
+	buckets []float64
+	total   float64
+	first   sim.Time
+	last    sim.Time
+	any     bool
+}
+
+// NewCounter returns a counter with the given window size. A window of
+// 0 defaults to 100 ms.
+func NewCounter(window sim.Duration) *Counter {
+	if window <= 0 {
+		window = 100 * sim.Millisecond
+	}
+	return &Counter{window: window}
+}
+
+// Add records amount at virtual time t.
+func (c *Counter) Add(t sim.Time, amount float64) {
+	idx := int(t / sim.Time(c.window))
+	if idx < 0 {
+		idx = 0
+	}
+	for idx >= len(c.buckets) {
+		c.buckets = append(c.buckets, 0)
+	}
+	c.buckets[idx] += amount
+	c.total += amount
+	if !c.any || t < c.first {
+		c.first = t
+	}
+	if t > c.last {
+		c.last = t
+	}
+	c.any = true
+}
+
+// Total returns the sum of all recorded amounts.
+func (c *Counter) Total() float64 { return c.total }
+
+// Window returns the bucket width.
+func (c *Counter) Window() sim.Duration { return c.window }
+
+// Rate returns the average rate (amount per second) between the first
+// and last recorded events, or over `over` when non-zero. An empty
+// counter has rate 0.
+func (c *Counter) Rate(over sim.Duration) float64 {
+	if !c.any {
+		return 0
+	}
+	span := over
+	if span <= 0 {
+		span = c.last.Sub(c.first)
+		if span <= 0 {
+			span = c.window
+		}
+	}
+	return c.total / span.Seconds()
+}
+
+// RateBetween returns the average rate over [from, to). Buckets
+// partially covered are included in full; use window-aligned bounds for
+// exact answers.
+func (c *Counter) RateBetween(from, to sim.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	lo := int(from / sim.Time(c.window))
+	hi := int(to / sim.Time(c.window))
+	var sum float64
+	for i := lo; i < hi && i < len(c.buckets); i++ {
+		if i >= 0 {
+			sum += c.buckets[i]
+		}
+	}
+	return sum / to.Sub(from).Seconds()
+}
+
+// TimelinePoint is one (time, rate) sample of a series.
+type TimelinePoint struct {
+	At   sim.Time
+	Rate float64 // amount per second over the window ending at At
+}
+
+// Timeline returns the full per-window rate series.
+func (c *Counter) Timeline() []TimelinePoint {
+	out := make([]TimelinePoint, 0, len(c.buckets))
+	for i, v := range c.buckets {
+		out = append(out, TimelinePoint{
+			At:   sim.Time(i+1) * sim.Time(c.window),
+			Rate: v / c.window.Seconds(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"isolbench/internal/sim"
+)
+
+func TestCounterDefaults(t *testing.T) {
+	c := NewCounter(0)
+	if c.Window() != 100*sim.Millisecond {
+		t.Fatalf("default window = %v", c.Window())
+	}
+	if c.Rate(0) != 0 || c.Total() != 0 {
+		t.Fatal("empty counter not zero")
+	}
+}
+
+func TestCounterTotalAndRate(t *testing.T) {
+	c := NewCounter(100 * sim.Millisecond)
+	for i := 0; i < 10; i++ {
+		c.Add(sim.Time(i)*sim.Time(100*sim.Millisecond), 1000)
+	}
+	if c.Total() != 10000 {
+		t.Fatalf("total = %v", c.Total())
+	}
+	// Over an explicit 1 s span: 10000/s.
+	if r := c.Rate(sim.Second); math.Abs(r-10000) > 1e-9 {
+		t.Fatalf("rate = %v, want 10000", r)
+	}
+}
+
+func TestCounterRateBetween(t *testing.T) {
+	c := NewCounter(100 * sim.Millisecond)
+	// 500 in window [0,100ms), 1500 in [100,200ms).
+	c.Add(10*sim.Time(sim.Millisecond), 500)
+	c.Add(150*sim.Time(sim.Millisecond), 1500)
+	r := c.RateBetween(0, sim.Time(100*sim.Millisecond))
+	if math.Abs(r-5000) > 1e-9 {
+		t.Fatalf("first window rate = %v, want 5000/s", r)
+	}
+	r = c.RateBetween(0, sim.Time(200*sim.Millisecond))
+	if math.Abs(r-10000) > 1e-9 {
+		t.Fatalf("two-window rate = %v, want 10000/s", r)
+	}
+	if c.RateBetween(100, 100) != 0 {
+		t.Fatal("empty interval should be 0")
+	}
+}
+
+func TestCounterTimeline(t *testing.T) {
+	c := NewCounter(sim.Duration(sim.Second))
+	c.Add(sim.Time(500*sim.Millisecond), 100)  // window 0
+	c.Add(sim.Time(1500*sim.Millisecond), 300) // window 1
+	tl := c.Timeline()
+	if len(tl) != 2 {
+		t.Fatalf("timeline length = %d", len(tl))
+	}
+	if math.Abs(tl[0].Rate-100) > 1e-9 || math.Abs(tl[1].Rate-300) > 1e-9 {
+		t.Fatalf("timeline rates = %v %v", tl[0].Rate, tl[1].Rate)
+	}
+	if tl[0].At != sim.Time(sim.Second) {
+		t.Fatalf("timeline timestamps = %v", tl[0].At)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(v)
+	}
+	if w.N() != 8 {
+		t.Fatalf("n = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", w.Mean())
+	}
+	// Population variance is 4; sample variance = 32/7.
+	if math.Abs(w.Variance()-32.0/7.0) > 1e-12 {
+		t.Fatalf("variance = %v, want %v", w.Variance(), 32.0/7.0)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordSmall(t *testing.T) {
+	var w Welford
+	if w.Variance() != 0 || w.Stddev() != 0 || w.Mean() != 0 {
+		t.Fatal("empty welford not zero")
+	}
+	w.Add(3)
+	if w.Variance() != 0 {
+		t.Fatal("single-sample variance must be 0")
+	}
+	if w.Mean() != 3 {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+}

@@ -1,0 +1,52 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineEvent measures raw event scheduling+dispatch cost,
+// the floor under every simulated I/O.
+func BenchmarkEngineEvent(b *testing.B) {
+	e := NewEngine()
+	var fn func()
+	fn = func() {
+		e.After(100, fn)
+	}
+	e.After(100, fn)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkEngineFanout measures heap behaviour with many pending
+// events (a deep device queue's worth).
+func BenchmarkEngineFanout(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < 1024; i++ {
+		d := Duration(i + 1)
+		var fn func()
+		fn = func() { e.After(d, fn) }
+		e.After(d, fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkRNGExpDuration(b *testing.B) {
+	r := NewRNG(1)
+	var sink Duration
+	for i := 0; i < b.N; i++ {
+		sink += r.ExpDuration(1000)
+	}
+	_ = sink
+}

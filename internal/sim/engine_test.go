@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("new engine clock = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 || e.Processed() != 0 {
+		t.Fatalf("new engine has pending/processed events")
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOWithinSameInstant(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEnginePastSchedulingClamps(t *testing.T) {
+	e := NewEngine()
+	fired := Time(-1)
+	e.At(100, func() {
+		e.At(50, func() { fired = e.Now() }) // in the past
+	})
+	e.Run()
+	if fired != 100 {
+		t.Fatalf("past event fired at %v, want clamped to 100", fired)
+	}
+}
+
+func TestEngineRunUntilHorizon(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(20, func() { ran++ })
+	e.At(30, func() { ran++ })
+	e.RunUntil(20)
+	if ran != 2 {
+		t.Fatalf("RunUntil(20) ran %d events, want 2", ran)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock after RunUntil = %v, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.RunUntil(100)
+	if ran != 3 || e.Now() != 100 {
+		t.Fatalf("after second RunUntil: ran=%d now=%v", ran, e.Now())
+	}
+}
+
+func TestEngineAfterIsRelative(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(500, func() {
+		e.After(25, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 525 {
+		t.Fatalf("After fired at %v, want 525", at)
+	}
+}
+
+func TestEngineCascade(t *testing.T) {
+	// Events scheduling events: a chain of N steps lands at N.
+	e := NewEngine()
+	const n = 1000
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < n {
+			e.After(1, step)
+		}
+	}
+	e.After(1, step)
+	e.Run()
+	if count != n || e.Now() != n {
+		t.Fatalf("cascade count=%d now=%v, want %d/%d", count, e.Now(), n, n)
+	}
+}
+
+func TestEngineNegativeAfterClamps(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(10, func() {
+		e.After(-5, func() { fired = true })
+	})
+	e.RunUntil(10)
+	if !fired {
+		t.Fatal("negative After never fired at current time")
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	tm := Time(1_000_000)
+	if tm.Add(500) != 1_000_500 {
+		t.Fatalf("Add broken")
+	}
+	if tm.Sub(Time(400_000)) != 600_000 {
+		t.Fatalf("Sub broken")
+	}
+	if Second.Seconds() != 1.0 {
+		t.Fatalf("Seconds broken")
+	}
+	if Millisecond.Millis() != 1.0 || Microsecond.Micros() != 1.0 {
+		t.Fatalf("unit conversions broken")
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := map[Duration]string{
+		2 * Second:      "2.000s",
+		3 * Millisecond: "3.000ms",
+		7 * Microsecond: "7.000us",
+		42:              "42ns",
+	}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(d), got, want)
+		}
+	}
+}
+
+func TestDurationOfBytes(t *testing.T) {
+	if d := DurationOfBytes(1<<30, float64(1<<30)); d != Second {
+		t.Fatalf("1 GiB at 1 GiB/s = %v, want 1s", d)
+	}
+	if d := DurationOfBytes(0, 100); d != 0 {
+		t.Fatalf("zero bytes = %v, want 0", d)
+	}
+	if d := DurationOfBytes(100, 0); d <= 0 {
+		t.Fatalf("zero rate should return a huge sentinel, got %v", d)
+	}
+}
+
+func TestEngineEventOrderProperty(t *testing.T) {
+	// Property: for any set of scheduled times, execution times are
+	// non-decreasing.
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		var seen []Time
+		for _, tt := range times {
+			at := Time(tt)
+			e.At(at, func() { seen = append(seen, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

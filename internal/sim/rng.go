@@ -1,0 +1,97 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic random-number generator
+// (splitmix64 seeded xorshift128+). Each simulation component owns its
+// own RNG so component order never perturbs another component's stream.
+type RNG struct {
+	s0, s1 uint64
+}
+
+// NewRNG returns a generator seeded from seed via splitmix64. Any seed,
+// including zero, yields a valid stream.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	r.s0 = next()
+	r.s1 = next()
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s0 = 1
+	}
+	return r
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Jitter returns d scaled by a uniform factor in [1-f, 1+f]. f is
+// clamped to [0, 1].
+func (r *RNG) Jitter(d Duration, f float64) Duration {
+	if f <= 0 {
+		return d
+	}
+	if f > 1 {
+		f = 1
+	}
+	scale := 1 - f + 2*f*r.Float64()
+	out := Duration(float64(d) * scale)
+	if out < 0 {
+		return 0
+	}
+	return out
+}
+
+// ExpDuration returns an exponentially distributed duration with the
+// given mean, truncated at 8x the mean to bound tails deterministically.
+func (r *RNG) ExpDuration(mean Duration) Duration {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	// Inverse CDF; avoid log(0).
+	if u >= 0.999999 {
+		u = 0.999999
+	}
+	d := Duration(float64(mean) * -math.Log(1-u))
+	if max := 8 * mean; d > max {
+		d = max
+	}
+	return d
+}

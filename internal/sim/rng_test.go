@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestRNGZeroSeedWorks(t *testing.T) {
+	r := NewRNG(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("zero-seeded RNG produced only %d distinct values", len(seen))
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestRNGIntnUniform(t *testing.T) {
+	r := NewRNG(11)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Intn(10)]++
+	}
+	for b, c := range counts {
+		if c < n/10*8/10 || c > n/10*12/10 {
+			t.Fatalf("bucket %d count %d far from uniform %d", b, c, n/10)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestJitterBounds(t *testing.T) {
+	r := NewRNG(3)
+	base := Duration(1000)
+	for i := 0; i < 10000; i++ {
+		d := r.Jitter(base, 0.2)
+		if d < 800 || d > 1200 {
+			t.Fatalf("jitter 0.2 out of bounds: %v", d)
+		}
+	}
+	if d := r.Jitter(base, 0); d != base {
+		t.Fatalf("zero jitter changed value: %v", d)
+	}
+}
+
+func TestJitterClampsFactor(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		if d := r.Jitter(100, 5.0); d < 0 || d > 200 {
+			t.Fatalf("over-unity jitter factor not clamped: %v", d)
+		}
+	}
+}
+
+func TestExpDurationMean(t *testing.T) {
+	r := NewRNG(9)
+	mean := Duration(1000)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		d := r.ExpDuration(mean)
+		if d < 0 || d > 8*mean {
+			t.Fatalf("ExpDuration out of bounds: %v", d)
+		}
+		sum += float64(d)
+	}
+	// Truncation at 8x shaves ~0.3% off the mean.
+	got := sum / n
+	if got < 900 || got > 1100 {
+		t.Fatalf("ExpDuration mean %v, want ~1000", got)
+	}
+}
+
+func TestExpDurationZeroMean(t *testing.T) {
+	if d := NewRNG(1).ExpDuration(0); d != 0 {
+		t.Fatalf("ExpDuration(0) = %v, want 0", d)
+	}
+}
+
+func TestInt63nProperty(t *testing.T) {
+	r := NewRNG(13)
+	f := func(n int64) bool {
+		if n <= 0 {
+			n = -n + 1
+		}
+		v := r.Int63n(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock, an event queue, and seeded random-number generation.
+//
+// All isol-bench substrates (the SSD device model, the host CPU model,
+// the cgroup I/O controllers) run on top of one Engine. Virtual time is
+// measured in integer nanoseconds so runs are exactly reproducible.
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time, in nanoseconds. It mirrors
+// time.Duration but is kept distinct so wall-clock time can never leak
+// into a simulation.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Micros returns the duration as a floating-point number of microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// Millis returns the duration as a floating-point number of milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / float64(Millisecond) }
+
+func (t Time) String() string { return fmt.Sprintf("t+%.6fs", float64(t)/float64(Second)) }
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", d.Millis())
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fus", d.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// DurationOfBytes returns the virtual time needed to move n bytes at
+// bytesPerSec. It saturates instead of overflowing and never returns a
+// negative duration.
+func DurationOfBytes(n int64, bytesPerSec float64) Duration {
+	if bytesPerSec <= 0 {
+		return Duration(1<<62 - 1)
+	}
+	sec := float64(n) / bytesPerSec
+	d := Duration(sec * float64(Second))
+	if d < 0 {
+		return 0
+	}
+	return d
+}

@@ -1,0 +1,193 @@
+// Package trace records per-request I/O traces from a simulated device
+// and replays them as open-loop workloads. Synthetic closed-loop apps
+// (internal/workload) answer "what can this knob do under pressure";
+// trace replay answers "what would my production arrival pattern see"
+// — the two standard evaluation modes in storage research.
+//
+// The on-disk format is JSON Lines, one request per line:
+//
+//	{"t":123456,"op":"r","size":4096,"off":8192,"cg":3,"lat":81234}
+//
+// where t is the submission time and lat the completion latency, both
+// in nanoseconds of virtual time.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"isolbench/internal/device"
+	"isolbench/internal/sim"
+)
+
+// Entry is one traced request.
+type Entry struct {
+	At     sim.Time `json:"t"`             // submission time
+	Op     string   `json:"op"`            // "r" or "w"
+	Size   int64    `json:"size"`          //
+	Offset int64    `json:"off"`           //
+	Seq    bool     `json:"seq,omitempty"` //
+	Cgroup int      `json:"cg,omitempty"`  //
+	LatNs  int64    `json:"lat,omitempty"` // measured latency (informational)
+}
+
+// OpKind converts the entry's op tag to a device op.
+func (e Entry) OpKind() device.Op {
+	if e.Op == "w" {
+		return device.Write
+	}
+	return device.Read
+}
+
+// FromRequest builds an entry from a completed request.
+func FromRequest(r *device.Request) Entry {
+	op := "r"
+	if r.Op == device.Write {
+		op = "w"
+	}
+	return Entry{
+		At:     r.Submit,
+		Op:     op,
+		Size:   r.Size,
+		Offset: r.Offset,
+		Seq:    r.Seq,
+		Cgroup: r.Cgroup,
+		LatNs:  int64(r.Latency()),
+	}
+}
+
+// Recorder collects completed requests in submission order (traces are
+// sorted before writing, since completion order differs).
+type Recorder struct {
+	entries []Entry
+	limit   int
+}
+
+// NewRecorder returns a recorder that keeps at most limit entries
+// (0 = unlimited).
+func NewRecorder(limit int) *Recorder {
+	return &Recorder{limit: limit}
+}
+
+// Attach chains the recorder onto a device's completion hook,
+// preserving any existing hook.
+func (rec *Recorder) Attach(dev *device.Device) {
+	prev := dev.OnDone
+	dev.OnDone = func(r *device.Request) {
+		rec.Observe(r)
+		if prev != nil {
+			prev(r)
+		}
+	}
+}
+
+// Observe records one completed request.
+func (rec *Recorder) Observe(r *device.Request) {
+	if rec.limit > 0 && len(rec.entries) >= rec.limit {
+		return
+	}
+	rec.entries = append(rec.entries, FromRequest(r))
+}
+
+// Len returns the number of recorded entries.
+func (rec *Recorder) Len() int { return len(rec.entries) }
+
+// Entries returns the recorded entries sorted by submission time.
+func (rec *Recorder) Entries() []Entry {
+	out := make([]Entry, len(rec.entries))
+	copy(out, rec.entries)
+	sortEntries(out)
+	return out
+}
+
+func sortEntries(es []Entry) {
+	// Insertion-friendly: completions arrive nearly sorted by submit
+	// time; a simple binary-insertion pass is fine at trace sizes.
+	for i := 1; i < len(es); i++ {
+		j := i
+		for j > 0 && es[j-1].At > es[j].At {
+			es[j-1], es[j] = es[j], es[j-1]
+			j--
+		}
+	}
+}
+
+// WriteJSONL writes entries as JSON lines.
+func WriteJSONL(w io.Writer, entries []Entry) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range entries {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace. Blank lines are skipped; any other
+// malformed line is an error with its line number.
+func ReadJSONL(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", ln, err)
+		}
+		if e.Size <= 0 {
+			return nil, fmt.Errorf("trace line %d: non-positive size", ln)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sortEntries(out)
+	return out, nil
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Requests   int
+	ReadBytes  int64
+	WriteBytes int64
+	Span       sim.Duration
+	MeanIOPS   float64
+}
+
+// Summarize computes trace statistics.
+func Summarize(entries []Entry) Stats {
+	var s Stats
+	if len(entries) == 0 {
+		return s
+	}
+	s.Requests = len(entries)
+	first, last := entries[0].At, entries[0].At
+	for _, e := range entries {
+		if e.OpKind() == device.Write {
+			s.WriteBytes += e.Size
+		} else {
+			s.ReadBytes += e.Size
+		}
+		if e.At < first {
+			first = e.At
+		}
+		if e.At > last {
+			last = e.At
+		}
+	}
+	s.Span = last.Sub(first)
+	if s.Span > 0 {
+		s.MeanIOPS = float64(s.Requests) / s.Span.Seconds()
+	}
+	return s
+}

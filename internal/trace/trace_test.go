@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"isolbench/internal/device"
+	"isolbench/internal/sim"
+)
+
+func TestFromRequestRoundTrip(t *testing.T) {
+	r := &device.Request{
+		Op: device.Write, Size: 8192, Offset: 4096, Seq: true, Cgroup: 7,
+		Submit: 1000, Complete: 81000,
+	}
+	e := FromRequest(r)
+	if e.Op != "w" || e.OpKind() != device.Write {
+		t.Fatalf("op = %+v", e)
+	}
+	if e.At != 1000 || e.LatNs != 80000 || e.Size != 8192 || !e.Seq || e.Cgroup != 7 {
+		t.Fatalf("entry = %+v", e)
+	}
+	rr := &device.Request{Op: device.Read, Size: 4096}
+	if FromRequest(rr).OpKind() != device.Read {
+		t.Fatal("read op mapping")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	in := []Entry{
+		{At: 100, Op: "r", Size: 4096, Offset: 0},
+		{At: 50, Op: "w", Size: 8192, Offset: 4096, Seq: true, Cgroup: 2, LatNs: 500},
+		{At: 200, Op: "r", Size: 512, Offset: 1 << 30},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("entries = %d", len(out))
+	}
+	// ReadJSONL sorts by submission time.
+	if out[0].At != 50 || out[1].At != 100 || out[2].At != 200 {
+		t.Fatalf("not sorted: %+v", out)
+	}
+	if out[0].Op != "w" || out[0].LatNs != 500 || !out[0].Seq {
+		t.Fatalf("fields lost: %+v", out[0])
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"t":1,"op":"r","size":0}` + "\n")); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	// Blank lines are fine.
+	out, err := ReadJSONL(strings.NewReader("\n\n" + `{"t":1,"op":"r","size":4096}` + "\n\n"))
+	if err != nil || len(out) != 1 {
+		t.Fatalf("blank-line handling: %v %d", err, len(out))
+	}
+}
+
+func TestRecorderAttach(t *testing.T) {
+	eng := sim.NewEngine()
+	dev, err := device.New(eng, device.Flash980Profile(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(0)
+	prevCalled := 0
+	dev.OnDone = func(*device.Request) { prevCalled++ }
+	rec.Attach(dev)
+	for i := 0; i < 20; i++ {
+		r := &device.Request{ID: uint64(i), Op: device.Read, Size: 4096, Submit: eng.Now()}
+		dev.Submit(r)
+	}
+	eng.RunUntil(sim.Time(50 * sim.Millisecond))
+	if rec.Len() != 20 {
+		t.Fatalf("recorded %d/20", rec.Len())
+	}
+	if prevCalled != 20 {
+		t.Fatal("recorder clobbered the existing completion hook")
+	}
+	es := rec.Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i].At < es[i-1].At {
+			t.Fatal("entries not sorted by submit time")
+		}
+	}
+	if es[0].LatNs <= 0 {
+		t.Fatal("latency not captured")
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	rec := NewRecorder(5)
+	for i := 0; i < 10; i++ {
+		rec.Observe(&device.Request{Op: device.Read, Size: 4096})
+	}
+	if rec.Len() != 5 {
+		t.Fatalf("limit not enforced: %d", rec.Len())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]Entry{
+		{At: 0, Op: "r", Size: 4096},
+		{At: sim.Time(sim.Second), Op: "w", Size: 8192},
+		{At: sim.Time(2 * sim.Second), Op: "r", Size: 4096},
+	})
+	if s.Requests != 3 || s.ReadBytes != 8192 || s.WriteBytes != 8192 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Span != 2*sim.Second || s.MeanIOPS != 1.5 {
+		t.Fatalf("span/iops = %v / %v", s.Span, s.MeanIOPS)
+	}
+	if z := Summarize(nil); z.Requests != 0 || z.MeanIOPS != 0 {
+		t.Fatal("empty trace stats")
+	}
+}

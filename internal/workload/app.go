@@ -1,0 +1,329 @@
+package workload
+
+import (
+	"fmt"
+
+	"isolbench/internal/blk"
+	"isolbench/internal/device"
+	"isolbench/internal/host"
+	"isolbench/internal/metrics"
+	"isolbench/internal/sim"
+)
+
+// App is one running workload generator. It keeps up to QD requests
+// outstanding, paying the host submission/completion CPU costs on its
+// pinned core, and records per-app latency and bandwidth.
+type App struct {
+	eng   *sim.Engine
+	cpu   *host.CPU
+	core  *host.Server
+	costs host.Costs
+	queue *blk.Queue
+	spec  Spec
+	rng   *sim.RNG
+
+	over blk.Overheads // cached controller+scheduler path overheads
+
+	pool        []*device.Request
+	outstanding int
+	submitting  bool
+	started     bool
+	doneQ       []*device.Request
+	reaping     bool
+
+	tokens     float64
+	lastRefill sim.Time
+
+	seqCursor int64
+	nextID    uint64
+
+	hist      metrics.Histogram
+	bytesDone *metrics.Counter
+	iosDone   uint64
+	bytesRead int64
+	bytesWrit int64
+
+	wakeGen uint64
+}
+
+// NewApp builds an app bound to a queue and a core. It attaches one
+// process to the spec's cgroup.
+func NewApp(eng *sim.Engine, cpu *host.CPU, costs host.Costs, q *blk.Queue, spec Spec, seed uint64) (*App, error) {
+	spec = spec.withDefaults()
+	if spec.Group == nil {
+		return nil, fmt.Errorf("workload: app %q has no cgroup", spec.Name)
+	}
+	if err := spec.Group.AttachProc(); err != nil {
+		return nil, fmt.Errorf("workload: app %q: %w", spec.Name, err)
+	}
+	a := &App{
+		eng:       eng,
+		cpu:       cpu,
+		core:      cpu.Core(spec.Core),
+		costs:     costs,
+		queue:     q,
+		spec:      spec,
+		rng:       sim.NewRNG(seed),
+		over:      q.PathOverheads(),
+		bytesDone: metrics.NewCounter(100 * sim.Millisecond),
+	}
+	for i := 0; i < spec.QD; i++ {
+		a.pool = append(a.pool, &device.Request{})
+	}
+	return a, nil
+}
+
+// Spec returns the app's configuration.
+func (a *App) Spec() Spec { return a.spec }
+
+// Start arms the app's first submission at its start time.
+func (a *App) Start() {
+	if a.started {
+		return
+	}
+	a.started = true
+	a.lastRefill = a.spec.Start
+	a.eng.At(a.spec.Start, a.trySubmit)
+}
+
+// active reports whether the app should be issuing at time t, per its
+// start/stop window and burst schedule. The second result is when it
+// next becomes active (valid when inactive and not permanently done).
+func (a *App) active(t sim.Time) (bool, sim.Time) {
+	if t < a.spec.Start {
+		return false, a.spec.Start
+	}
+	if a.spec.Stop > 0 && t >= a.spec.Stop {
+		return false, 0
+	}
+	if a.spec.BurstOn <= 0 {
+		return true, 0
+	}
+	cycle := a.spec.BurstOn + a.spec.BurstOff
+	into := sim.Duration(t - a.spec.Start)
+	phase := into % cycle
+	if phase < a.spec.BurstOn {
+		return true, 0
+	}
+	next := t.Add(cycle - phase)
+	return false, next
+}
+
+// refillTokens accrues rate-limit budget.
+func (a *App) refillTokens() {
+	if a.spec.RateLimit <= 0 {
+		return
+	}
+	now := a.eng.Now()
+	dt := now.Sub(a.lastRefill).Seconds()
+	if dt <= 0 {
+		return
+	}
+	a.lastRefill = now
+	a.tokens += a.spec.RateLimit * dt
+	if cap := maxf(2*float64(a.spec.Size), a.spec.RateLimit*0.002); a.tokens > cap {
+		a.tokens = cap
+	}
+}
+
+func maxf(x, y float64) float64 {
+	if x > y {
+		return x
+	}
+	return y
+}
+
+// trySubmit issues as many requests as QD, rate budget, and the batch
+// cap allow, charging the submission CPU cost once per batch.
+func (a *App) trySubmit() {
+	if a.submitting {
+		return
+	}
+	now := a.eng.Now()
+	ok, next := a.active(now)
+	if !ok {
+		if next > 0 {
+			a.wake(next)
+		}
+		return
+	}
+	free := a.spec.QD - a.outstanding
+	if free <= 0 {
+		return
+	}
+	n := free
+	if a.costs.MaxBatch > 0 && n > a.costs.MaxBatch {
+		n = a.costs.MaxBatch
+	}
+	if a.spec.RateLimit > 0 {
+		a.refillTokens()
+		afford := int(a.tokens / float64(a.spec.Size))
+		if afford <= 0 {
+			// Wake when one request's worth of budget has accrued.
+			// Round the wait up: truncating to the current instant
+			// would respin forever on a sub-byte deficit.
+			deficit := float64(a.spec.Size) - a.tokens
+			wait := sim.Duration(deficit/a.spec.RateLimit*float64(sim.Second)) + 1
+			a.wake(now.Add(wait))
+			return
+		}
+		if n > afford {
+			n = afford
+		}
+		a.tokens -= float64(n) * float64(a.spec.Size)
+	}
+
+	submitAt := now
+	cost := a.costs.SubmitCost(n) + sim.Duration(n)*a.over.SubmitCPU
+	if a.over.ContentionFactor > 0 {
+		if backlog := a.core.Backlog(); backlog > a.over.ContentionFree {
+			extra := sim.Duration(a.over.ContentionFactor * float64(backlog-a.over.ContentionFree))
+			if extra > a.over.ContentionCap {
+				extra = a.over.ContentionCap
+			}
+			cost += extra
+		}
+	}
+	a.outstanding += n
+	a.submitting = true
+	batch := n
+	a.core.Exec(cost, func() {
+		a.submitting = false
+		for i := 0; i < batch; i++ {
+			a.queue.Submit(a.buildRequest(submitAt))
+		}
+		a.trySubmit()
+	})
+}
+
+// wake schedules a generation-guarded retry (later wakes that were
+// superseded by real activity are dropped).
+func (a *App) wake(at sim.Time) {
+	a.wakeGen++
+	gen := a.wakeGen
+	a.eng.At(at, func() {
+		if gen != a.wakeGen {
+			return
+		}
+		a.trySubmit()
+	})
+}
+
+// buildRequest pulls a pooled request and fills it.
+func (a *App) buildRequest(submitAt sim.Time) *device.Request {
+	var r *device.Request
+	if n := len(a.pool); n > 0 {
+		r = a.pool[n-1]
+		a.pool = a.pool[:n-1]
+		r.Reset()
+	} else {
+		r = &device.Request{}
+	}
+	a.nextID++
+	r.ID = a.nextID
+	r.Op = a.spec.Op
+	if a.spec.MixedRW {
+		if a.rng.Float64() < a.spec.ReadFrac {
+			r.Op = device.Read
+		} else {
+			r.Op = device.Write
+		}
+	}
+	r.Size = a.spec.Size
+	r.Seq = a.spec.Seq
+	if a.spec.Seq {
+		r.Offset = a.seqCursor
+		a.seqCursor += a.spec.Size
+	} else {
+		r.Offset = a.rng.Int63n(1 << 40)
+	}
+	r.AppID = a.spec.Core // informational
+	r.Cgroup = a.spec.Group.ID()
+	r.Class = prioClass(a.spec.Group.EffectivePrio())
+	r.Weight = a.spec.Group.Knobs().BFQWeight
+	r.Submit = submitAt
+	r.OnComplete = a.onComplete
+	return r
+}
+
+// onComplete runs at device completion. Completions are reaped in
+// batches (io_uring CQ semantics): the first completion schedules a
+// reap task on the app's core; completions arriving before the reap
+// runs share its fixed cost.
+func (a *App) onComplete(r *device.Request) {
+	a.doneQ = append(a.doneQ, r)
+	if !a.reaping {
+		a.reaping = true
+		a.scheduleReap()
+	}
+}
+
+func (a *App) scheduleReap() {
+	n := len(a.doneQ)
+	cost := a.costs.ReapCost(n) + sim.Duration(n)*a.over.CompleteCPU
+	a.core.Exec(cost, func() {
+		now := a.eng.Now()
+		for _, r := range a.doneQ {
+			a.hist.Record(int64(now.Sub(r.Submit)))
+			a.bytesDone.Add(now, float64(r.Size))
+			a.iosDone++
+			if r.Op == device.Write {
+				a.bytesWrit += r.Size
+			} else {
+				a.bytesRead += r.Size
+			}
+			a.cpu.AccountIO(a.over.CtxPerIO, a.over.CyclesPerIO)
+			a.outstanding--
+			a.pool = append(a.pool, r)
+		}
+		a.doneQ = a.doneQ[:0]
+		a.reaping = false
+		a.trySubmit()
+	})
+}
+
+// Stats is an app's measurement snapshot.
+type Stats struct {
+	Name       string
+	IOs        uint64
+	ReadBytes  int64
+	WriteBytes int64
+	MeanLatNs  float64
+	P50Ns      int64
+	P90Ns      int64
+	P99Ns      int64
+	MaxNs      int64
+}
+
+// Stats returns the app's current measurements.
+func (a *App) Stats() Stats {
+	return Stats{
+		Name:       a.spec.Name,
+		IOs:        a.iosDone,
+		ReadBytes:  a.bytesRead,
+		WriteBytes: a.bytesWrit,
+		MeanLatNs:  a.hist.Mean(),
+		P50Ns:      a.hist.Percentile(50),
+		P90Ns:      a.hist.Percentile(90),
+		P99Ns:      a.hist.Percentile(99),
+		MaxNs:      a.hist.Max(),
+	}
+}
+
+// Histogram exposes the app's latency histogram (read-only use).
+func (a *App) Histogram() *metrics.Histogram { return &a.hist }
+
+// Bandwidth exposes the app's completed-bytes counter.
+func (a *App) Bandwidth() *metrics.Counter { return a.bytesDone }
+
+// ResetMetrics clears measurements (used to discard warmup).
+func (a *App) ResetMetrics() {
+	a.hist.Reset()
+	a.bytesDone = metrics.NewCounter(100 * sim.Millisecond)
+	a.iosDone = 0
+	a.bytesRead = 0
+	a.bytesWrit = 0
+}
+
+// Outstanding returns the in-flight request count (tests).
+func (a *App) Outstanding() int { return a.outstanding }

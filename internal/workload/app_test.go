@@ -1,0 +1,324 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"isolbench/internal/blk"
+	"isolbench/internal/cgroup"
+	"isolbench/internal/device"
+	"isolbench/internal/host"
+	"isolbench/internal/iosched/noop"
+	"isolbench/internal/sim"
+)
+
+type rig struct {
+	eng   *sim.Engine
+	cpu   *host.CPU
+	tree  *cgroup.Tree
+	group *cgroup.Group
+	queue *blk.Queue
+	dev   *device.Device
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	r := &rig{eng: sim.NewEngine(), tree: cgroup.NewTree()}
+	r.cpu = host.NewCPU(r.eng, 4)
+	m, err := r.tree.Root().Create("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnableController("io"); err != nil {
+		t.Fatal(err)
+	}
+	r.group, err = m.Create("tenant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.dev, err = device.New(r.eng, device.Flash980Profile(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.queue = blk.NewQueue(r.eng, r.dev, noop.New(), nil)
+	return r
+}
+
+func (r *rig) app(t *testing.T, spec Spec) *App {
+	t.Helper()
+	a, err := NewApp(r.eng, r.cpu, host.DefaultCosts(), r.queue, spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAppRequiresGroup(t *testing.T) {
+	r := newRig(t)
+	if _, err := NewApp(r.eng, r.cpu, host.DefaultCosts(), r.queue, Spec{Name: "x"}, 1); err == nil {
+		t.Fatal("app without cgroup accepted")
+	}
+}
+
+func TestAppAttachesProcess(t *testing.T) {
+	r := newRig(t)
+	r.app(t, LCApp("lc", r.group))
+	if r.group.Procs() != 1 {
+		t.Fatalf("procs = %d", r.group.Procs())
+	}
+}
+
+func TestAppRejectedByManagementGroup(t *testing.T) {
+	r := newRig(t)
+	mgmt := r.group.Parent() // has subtree control
+	if _, err := NewApp(r.eng, r.cpu, host.DefaultCosts(), r.queue, LCApp("lc", mgmt), 1); err == nil {
+		t.Fatal("app joined a management group")
+	}
+}
+
+func TestLCAppQD1Latency(t *testing.T) {
+	r := newRig(t)
+	a := r.app(t, LCApp("lc", r.group))
+	a.Start()
+	r.eng.RunUntil(sim.Time(sim.Second))
+	st := a.Stats()
+	if st.IOs < 9000 {
+		t.Fatalf("QD1 app did only %d IOs in 1s", st.IOs)
+	}
+	// ~75 us device + ~9 us CPU path.
+	if st.P50Ns < 70_000 || st.P50Ns > 120_000 {
+		t.Fatalf("LC P50 = %d ns, want ~85us", st.P50Ns)
+	}
+	if a.Outstanding() > 1 {
+		t.Fatalf("QD1 app has %d outstanding", a.Outstanding())
+	}
+}
+
+func TestBatchAppFillsQDOnSlowDevice(t *testing.T) {
+	// When the device is the bottleneck, the app must drive its full
+	// queue depth. (Against a fast device a single submitter cannot
+	// outpace completions, so effective QD stays low — the reason one
+	// batch-app does not saturate an NVMe SSD in Fig. 4a.)
+	r := newRig(t)
+	prof := device.Flash980Profile()
+	prof.Channels = 4
+	prof.GCChannels = 0 // slow device
+	slow, err := device.New(r.eng, prof, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := blk.NewQueue(r.eng, slow, noop.New(), nil)
+	a, err := NewApp(r.eng, r.cpu, host.DefaultCosts(), q, BatchApp("b", r.group), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	r.eng.RunUntil(sim.Time(100 * sim.Millisecond))
+	if out := a.Outstanding(); out < 250 {
+		t.Fatalf("batch app outstanding = %d, want 256 on a slow device", out)
+	}
+}
+
+func TestBatchAppSteadyAgainstFastDevice(t *testing.T) {
+	r := newRig(t)
+	a := r.app(t, BatchApp("b", r.group))
+	a.Start()
+	r.eng.RunUntil(sim.Time(200 * sim.Millisecond))
+	st := a.Stats()
+	iops := float64(st.IOs) / 0.2
+	// One submitter against a ~770K IOPS device: submission-bound at
+	// roughly 350-450K IOPS.
+	if iops < 250_000 || iops > 500_000 {
+		t.Fatalf("single batch app = %.0f IOPS, want ~400K (submission-bound)", iops)
+	}
+}
+
+func TestRateLimitHonored(t *testing.T) {
+	r := newRig(t)
+	spec := BatchApp("rl", r.group)
+	spec.QD = 8
+	spec.Size = 64 << 10
+	spec.RateLimit = 100 << 20 // 100 MiB/s
+	a := r.app(t, spec)
+	a.Start()
+	r.eng.RunUntil(sim.Time(2 * sim.Second))
+	st := a.Stats()
+	rate := float64(st.ReadBytes) / 2
+	if rate > 110*(1<<20) || rate < 85*(1<<20) {
+		t.Fatalf("rate-limited app ran at %.1f MiB/s, want ~100", rate/(1<<20))
+	}
+}
+
+func TestStartStopWindow(t *testing.T) {
+	r := newRig(t)
+	spec := LCApp("phased", r.group)
+	spec.Start = sim.Time(500 * sim.Millisecond)
+	spec.Stop = sim.Time(1 * sim.Second)
+	a := r.app(t, spec)
+	a.Start()
+	r.eng.RunUntil(sim.Time(400 * sim.Millisecond))
+	if a.Stats().IOs != 0 {
+		t.Fatal("app ran before its start time")
+	}
+	r.eng.RunUntil(sim.Time(2 * sim.Second))
+	st := a.Stats()
+	if st.IOs == 0 {
+		t.Fatal("app never ran")
+	}
+	// Bandwidth counter must be empty outside the window.
+	if rate := a.Bandwidth().RateBetween(sim.Time(1200*sim.Millisecond), sim.Time(2*sim.Second)); rate > 0 {
+		t.Fatalf("app still completing long after stop: %v B/s", rate)
+	}
+}
+
+func TestBurstSchedule(t *testing.T) {
+	r := newRig(t)
+	spec := BatchApp("bursty", r.group)
+	spec.QD = 16
+	spec.BurstOn = 100 * sim.Millisecond
+	spec.BurstOff = 400 * sim.Millisecond
+	a := r.app(t, spec)
+	a.Start()
+	r.eng.RunUntil(sim.Time(2 * sim.Second))
+	ctr := a.Bandwidth()
+	on := ctr.RateBetween(0, sim.Time(100*sim.Millisecond))
+	off := ctr.RateBetween(sim.Time(200*sim.Millisecond), sim.Time(400*sim.Millisecond))
+	if on == 0 {
+		t.Fatal("no traffic during burst-on")
+	}
+	if off > on/10 {
+		t.Fatalf("burst-off traffic %.0f vs on %.0f", off, on)
+	}
+}
+
+func TestMixedRWRatio(t *testing.T) {
+	r := newRig(t)
+	spec := BatchApp("mix", r.group)
+	spec.MixedRW = true
+	spec.ReadFrac = 0.7
+	spec.QD = 64
+	a := r.app(t, spec)
+	a.Start()
+	r.eng.RunUntil(sim.Time(sim.Second))
+	st := a.Stats()
+	frac := float64(st.ReadBytes) / float64(st.ReadBytes+st.WriteBytes)
+	if math.Abs(frac-0.7) > 0.05 {
+		t.Fatalf("read fraction = %.3f, want ~0.7", frac)
+	}
+}
+
+func TestSequentialOffsets(t *testing.T) {
+	r := newRig(t)
+	spec := BatchApp("seq", r.group)
+	spec.Seq = true
+	spec.QD = 4
+	a := r.app(t, spec)
+	// Drain a few requests and check offsets advance contiguously.
+	var offs []int64
+	old := r.dev.OnDone
+	r.dev.OnDone = func(rq *device.Request) {
+		offs = append(offs, rq.Offset)
+		if old != nil {
+			old(rq)
+		}
+	}
+	a.Start()
+	r.eng.RunUntil(sim.Time(10 * sim.Millisecond))
+	if len(offs) < 8 {
+		t.Fatalf("too few requests: %d", len(offs))
+	}
+	seen := map[int64]bool{}
+	for _, o := range offs {
+		if o%4096 != 0 || seen[o] {
+			t.Fatalf("bad sequential offset %d", o)
+		}
+		seen[o] = true
+	}
+}
+
+func TestResetMetrics(t *testing.T) {
+	r := newRig(t)
+	a := r.app(t, LCApp("lc", r.group))
+	a.Start()
+	r.eng.RunUntil(sim.Time(100 * sim.Millisecond))
+	a.ResetMetrics()
+	if st := a.Stats(); st.IOs != 0 || st.ReadBytes != 0 || st.P99Ns != 0 {
+		t.Fatalf("metrics survived reset: %+v", st)
+	}
+	r.eng.RunUntil(sim.Time(200 * sim.Millisecond))
+	if a.Stats().IOs == 0 {
+		t.Fatal("app stopped after reset")
+	}
+}
+
+func TestRequestPoolReuse(t *testing.T) {
+	// The app must not allocate a new request per IO: pooled requests
+	// cycle, so total distinct pointers stays bounded by QD.
+	r := newRig(t)
+	a := r.app(t, LCApp("lc", r.group))
+	ptrs := map[*device.Request]bool{}
+	old := r.dev.OnDone
+	r.dev.OnDone = func(rq *device.Request) {
+		ptrs[rq] = true
+		if old != nil {
+			old(rq)
+		}
+	}
+	a.Start()
+	r.eng.RunUntil(sim.Time(200 * sim.Millisecond))
+	if len(ptrs) > 2 {
+		t.Fatalf("QD1 app used %d distinct request objects", len(ptrs))
+	}
+}
+
+func TestPrioClassPropagation(t *testing.T) {
+	r := newRig(t)
+	if err := r.group.SetFile("io.prio.class", "rt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.group.SetFile("io.bfq.weight", "777"); err != nil {
+		t.Fatal(err)
+	}
+	a := r.app(t, LCApp("lc", r.group))
+	var got *device.Request
+	old := r.dev.OnDone
+	r.dev.OnDone = func(rq *device.Request) {
+		got = rq
+		if old != nil {
+			old(rq)
+		}
+	}
+	a.Start()
+	r.eng.RunUntil(sim.Time(5 * sim.Millisecond))
+	if got == nil {
+		t.Fatal("no request seen")
+	}
+	if got.Class != device.ClassRT || got.Weight != 777 || got.Cgroup != r.group.ID() {
+		t.Fatalf("request policy context = class %v weight %d cgroup %d", got.Class, got.Weight, got.Cgroup)
+	}
+}
+
+func TestManyAppsShareCore(t *testing.T) {
+	r := newRig(t)
+	apps := make([]*App, 16)
+	for i := range apps {
+		g, err := r.group.Parent().Create(fmt.Sprintf("t%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := LCApp(fmt.Sprintf("lc%d", i), g)
+		spec.Core = 0 // all on one core
+		apps[i] = r.app(t, spec)
+		apps[i].Start()
+	}
+	r.eng.RunUntil(sim.Time(sim.Second))
+	// The shared core saturates: per-app IOPS falls below isolated.
+	var total uint64
+	for _, a := range apps {
+		total += a.Stats().IOs
+	}
+	if total < 80_000 || total > 130_000 {
+		t.Fatalf("16 LC-apps on one core did %d IOs/s, want ~110K (core-bound)", total)
+	}
+}

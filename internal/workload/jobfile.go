@@ -1,0 +1,261 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"isolbench/internal/device"
+	"isolbench/internal/sim"
+)
+
+// JobFile is a parsed fio-style job file: a [global] section of
+// defaults plus one section per job. The supported subset covers
+// everything isol-bench's workloads need:
+//
+//	[global]
+//	rw=randread          ; read|write|randread|randwrite|randrw|rw
+//	bs=4k                ; block size (k/m suffixes)
+//	iodepth=256
+//	numjobs=4            ; clones of this job
+//	rate=1500m           ; bandwidth cap, bytes/sec (k/m/g suffixes)
+//	runtime=60           ; virtual seconds (0 = until the run ends)
+//	startdelay=10        ; virtual seconds before the job starts
+//	rwmixread=70         ; % reads for randrw/rw
+//	cgroup=tenant-a      ; cgroup the job's processes join
+//
+//	[batch-reader]
+//	cgroup=tenant-b
+//	iodepth=64
+type JobFile struct {
+	Jobs []JobSpec
+}
+
+// JobSpec is one job section resolved against the global defaults.
+// Group binding happens later (the parser has no cgroup tree).
+type JobSpec struct {
+	Name    string
+	Cgroup  string
+	NumJobs int
+	Spec    Spec // Spec.Group is nil; Name/Group filled at instantiation
+}
+
+type jobParams struct {
+	rw         string
+	bs         int64
+	iodepth    int
+	numjobs    int
+	rate       float64
+	runtime    float64
+	startdelay float64
+	rwmixread  float64
+	cgroup     string
+}
+
+func defaultParams() jobParams {
+	return jobParams{rw: "randread", bs: 4096, iodepth: 1, numjobs: 1, rwmixread: 50}
+}
+
+// ParseJobFile parses a job file. Lines starting with ';' or '#' are
+// comments. Unknown keys are errors (catching typos beats silently
+// running the wrong workload).
+func ParseJobFile(src string) (*JobFile, error) {
+	global := defaultParams()
+	var jf JobFile
+	var cur *jobParams
+	var curName string
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		js, err := buildJob(curName, *cur)
+		if err != nil {
+			return err
+		}
+		jf.Jobs = append(jf.Jobs, js)
+		return nil
+	}
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || line[0] == ';' || line[0] == '#' {
+			continue
+		}
+		if i := strings.IndexAny(line, ";#"); i > 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if strings.HasPrefix(line, "[") {
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("jobfile line %d: malformed section %q", ln+1, line)
+			}
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			name := strings.TrimSpace(line[1 : len(line)-1])
+			if name == "" {
+				return nil, fmt.Errorf("jobfile line %d: empty section name", ln+1)
+			}
+			if strings.EqualFold(name, "global") {
+				cur, curName = nil, ""
+				continue
+			}
+			p := global // copy defaults
+			cur, curName = &p, name
+			continue
+		}
+		key, val, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("jobfile line %d: expected key=value, got %q", ln+1, line)
+		}
+		target := &global
+		if cur != nil {
+			target = cur
+		}
+		if err := setParam(target, strings.TrimSpace(key), strings.TrimSpace(val)); err != nil {
+			return nil, fmt.Errorf("jobfile line %d: %w", ln+1, err)
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if len(jf.Jobs) == 0 {
+		return nil, fmt.Errorf("jobfile: no job sections")
+	}
+	return &jf, nil
+}
+
+func setParam(p *jobParams, key, val string) error {
+	switch strings.ToLower(key) {
+	case "rw", "readwrite":
+		switch val {
+		case "read", "write", "randread", "randwrite", "randrw", "rw":
+			p.rw = val
+		default:
+			return fmt.Errorf("unsupported rw=%q", val)
+		}
+	case "bs", "blocksize":
+		n, err := parseSize(val)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad bs=%q", val)
+		}
+		p.bs = n
+	case "iodepth":
+		n, err := strconv.Atoi(val)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad iodepth=%q", val)
+		}
+		p.iodepth = n
+	case "numjobs":
+		n, err := strconv.Atoi(val)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad numjobs=%q", val)
+		}
+		p.numjobs = n
+	case "rate":
+		n, err := parseSize(val)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad rate=%q", val)
+		}
+		p.rate = float64(n)
+	case "runtime":
+		f, err := parseSeconds(val)
+		if err != nil {
+			return fmt.Errorf("bad runtime=%q", val)
+		}
+		p.runtime = f
+	case "startdelay":
+		f, err := parseSeconds(val)
+		if err != nil {
+			return fmt.Errorf("bad startdelay=%q", val)
+		}
+		p.startdelay = f
+	case "rwmixread":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f < 0 || f > 100 {
+			return fmt.Errorf("bad rwmixread=%q", val)
+		}
+		p.rwmixread = f
+	case "cgroup":
+		p.cgroup = val
+	default:
+		return fmt.Errorf("unsupported key %q", key)
+	}
+	return nil
+}
+
+func buildJob(name string, p jobParams) (JobSpec, error) {
+	spec := Spec{
+		Size:      p.bs,
+		QD:        p.iodepth,
+		RateLimit: p.rate,
+	}
+	switch p.rw {
+	case "read":
+		spec.Op, spec.Seq = device.Read, true
+	case "write":
+		spec.Op, spec.Seq = device.Write, true
+	case "randread":
+		spec.Op = device.Read
+	case "randwrite":
+		spec.Op = device.Write
+	case "randrw":
+		spec.MixedRW = true
+		spec.ReadFrac = p.rwmixread / 100
+	case "rw":
+		spec.MixedRW = true
+		spec.Seq = true
+		spec.ReadFrac = p.rwmixread / 100
+	}
+	spec.Start = sim.Time(p.startdelay * float64(sim.Second))
+	if p.runtime > 0 {
+		spec.Stop = spec.Start.Add(sim.Duration(p.runtime * float64(sim.Second)))
+	}
+	cg := p.cgroup
+	if cg == "" {
+		cg = name
+	}
+	return JobSpec{Name: name, Cgroup: cg, NumJobs: p.numjobs, Spec: spec}, nil
+}
+
+// parseSize parses fio-style sizes: plain bytes or k/m/g suffixes
+// (binary, like fio).
+func parseSize(s string) (int64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "k") || strings.HasSuffix(s, "kb"):
+		mult = 1 << 10
+		s = strings.TrimSuffix(strings.TrimSuffix(s, "b"), "k")
+	case strings.HasSuffix(s, "m") || strings.HasSuffix(s, "mb"):
+		mult = 1 << 20
+		s = strings.TrimSuffix(strings.TrimSuffix(s, "b"), "m")
+	case strings.HasSuffix(s, "g") || strings.HasSuffix(s, "gb"):
+		mult = 1 << 30
+		s = strings.TrimSuffix(strings.TrimSuffix(s, "b"), "g")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return n * mult, nil
+}
+
+// parseSeconds parses "60", "60s", "2m".
+func parseSeconds(s string) (float64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "ms"):
+		mult = 0.001
+		s = strings.TrimSuffix(s, "ms")
+	case strings.HasSuffix(s, "s"):
+		s = strings.TrimSuffix(s, "s")
+	case strings.HasSuffix(s, "m"):
+		mult = 60
+		s = strings.TrimSuffix(s, "m")
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	return f * mult, nil
+}

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"isolbench/internal/device"
+	"isolbench/internal/sim"
+)
+
+const sampleJobFile = `
+; isol-bench fairness scenario: two tenants, one LC + one batch
+[global]
+rw=randread
+bs=4k
+runtime=60
+
+[cache]
+cgroup=tenant-lc
+iodepth=1
+
+[batch]   ; throughput tenant
+cgroup=tenant-batch
+iodepth=256
+numjobs=4
+rate=1500m
+startdelay=10
+`
+
+func TestParseJobFile(t *testing.T) {
+	jf, err := ParseJobFile(sampleJobFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jf.Jobs) != 2 {
+		t.Fatalf("jobs = %d", len(jf.Jobs))
+	}
+	cache := jf.Jobs[0]
+	if cache.Name != "cache" || cache.Cgroup != "tenant-lc" || cache.NumJobs != 1 {
+		t.Fatalf("cache job = %+v", cache)
+	}
+	if cache.Spec.QD != 1 || cache.Spec.Size != 4096 || cache.Spec.Op != device.Read || cache.Spec.Seq {
+		t.Fatalf("cache spec = %+v", cache.Spec)
+	}
+	if cache.Spec.Stop != sim.Time(60*sim.Second) {
+		t.Fatalf("cache stop = %v", cache.Spec.Stop)
+	}
+	batch := jf.Jobs[1]
+	if batch.NumJobs != 4 || batch.Spec.QD != 256 {
+		t.Fatalf("batch job = %+v", batch)
+	}
+	if batch.Spec.RateLimit != 1500*(1<<20) {
+		t.Fatalf("batch rate = %v", batch.Spec.RateLimit)
+	}
+	if batch.Spec.Start != sim.Time(10*sim.Second) || batch.Spec.Stop != sim.Time(70*sim.Second) {
+		t.Fatalf("batch window = %v..%v", batch.Spec.Start, batch.Spec.Stop)
+	}
+}
+
+func TestParseJobFileRWModes(t *testing.T) {
+	cases := map[string]func(Spec) bool{
+		"read":      func(s Spec) bool { return s.Op == device.Read && s.Seq && !s.MixedRW },
+		"write":     func(s Spec) bool { return s.Op == device.Write && s.Seq },
+		"randread":  func(s Spec) bool { return s.Op == device.Read && !s.Seq },
+		"randwrite": func(s Spec) bool { return s.Op == device.Write && !s.Seq },
+		"randrw":    func(s Spec) bool { return s.MixedRW && !s.Seq },
+		"rw":        func(s Spec) bool { return s.MixedRW && s.Seq },
+	}
+	for mode, check := range cases {
+		jf, err := ParseJobFile("[j]\nrw=" + mode + "\nrwmixread=70\n")
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if !check(jf.Jobs[0].Spec) {
+			t.Fatalf("%s -> %+v", mode, jf.Jobs[0].Spec)
+		}
+		if mode == "randrw" && jf.Jobs[0].Spec.ReadFrac != 0.7 {
+			t.Fatalf("rwmixread not applied: %v", jf.Jobs[0].Spec.ReadFrac)
+		}
+	}
+}
+
+func TestParseJobFileSizes(t *testing.T) {
+	for in, want := range map[string]int64{
+		"512": 512, "4k": 4096, "64k": 65536, "1m": 1 << 20, "2g": 2 << 30, "4kb": 4096,
+	} {
+		got, err := parseSize(in)
+		if err != nil || got != want {
+			t.Fatalf("parseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	if _, err := parseSize("abc"); err == nil {
+		t.Fatal("garbage size accepted")
+	}
+}
+
+func TestParseJobFileDurations(t *testing.T) {
+	for in, want := range map[string]float64{
+		"60": 60, "60s": 60, "2m": 120, "500ms": 0.5,
+	} {
+		got, err := parseSeconds(in)
+		if err != nil || got != want {
+			t.Fatalf("parseSeconds(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+}
+
+func TestParseJobFileErrors(t *testing.T) {
+	cases := []string{
+		"",                        // no jobs
+		"[global]\nrw=randread\n", // only globals
+		"[j]\nbogus=1\n",          // unknown key
+		"[j]\nrw=trim\n",          // unsupported mode
+		"[j\nrw=read\n",           // malformed section
+		"[j]\niodepth=-2\n",       // bad value
+		"[j]\nnonsense\n",         // not key=value
+		"[]\nrw=read\n",           // empty section name
+		"[j]\nrwmixread=150\n",    // out of range
+	}
+	for _, src := range cases {
+		if _, err := ParseJobFile(src); err == nil {
+			t.Fatalf("accepted bad job file %q", src)
+		}
+	}
+}
+
+func TestJobFileGlobalInheritanceAndOverride(t *testing.T) {
+	jf, err := ParseJobFile(`
+[global]
+bs=64k
+iodepth=8
+[a]
+[b]
+bs=4k
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jf.Jobs[0].Spec.Size != 64<<10 || jf.Jobs[0].Spec.QD != 8 {
+		t.Fatalf("a did not inherit globals: %+v", jf.Jobs[0].Spec)
+	}
+	if jf.Jobs[1].Spec.Size != 4096 || jf.Jobs[1].Spec.QD != 8 {
+		t.Fatalf("b override wrong: %+v", jf.Jobs[1].Spec)
+	}
+}
+
+func TestJobFileDefaultCgroupIsJobName(t *testing.T) {
+	jf, err := ParseJobFile("[solo]\nrw=randread\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jf.Jobs[0].Cgroup != "solo" {
+		t.Fatalf("default cgroup = %q", jf.Jobs[0].Cgroup)
+	}
+}
+
+func TestJobFileCommentsEverywhere(t *testing.T) {
+	jf, err := ParseJobFile(strings.Join([]string{
+		"# header comment",
+		"[global]",
+		"bs=4k ; trailing",
+		"; full-line",
+		"[job] # section comment... not allowed inside brackets, after is fine",
+		"iodepth=2",
+	}, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jf.Jobs[0].Spec.QD != 2 || jf.Jobs[0].Spec.Size != 4096 {
+		t.Fatalf("comments broke parsing: %+v", jf.Jobs[0].Spec)
+	}
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"fmt"
+
+	"isolbench/internal/blk"
+	"isolbench/internal/cgroup"
+	"isolbench/internal/device"
+	"isolbench/internal/host"
+	"isolbench/internal/metrics"
+	"isolbench/internal/sim"
+	"isolbench/internal/trace"
+)
+
+// ReplayApp replays a recorded trace as an open-loop workload: each
+// request is submitted at its recorded timestamp (optionally
+// time-scaled), regardless of completions — so queueing under a slow
+// knob shows up as growing latency rather than reduced offered load,
+// exactly how production traffic behaves.
+type ReplayApp struct {
+	eng   *sim.Engine
+	cpu   *host.CPU
+	core  *host.Server
+	costs host.Costs
+	queue *blk.Queue
+	group *cgroup.Group
+	over  blk.Overheads
+
+	entries []trace.Entry
+	scale   float64
+	idx     int
+	started bool
+
+	inflight  int
+	hist      metrics.Histogram
+	bytesDone *metrics.Counter
+	iosDone   uint64
+}
+
+// NewReplayApp builds a replayer bound to a queue and core. scale
+// stretches (>1) or compresses (<1) inter-arrival gaps; 0 means 1.0.
+func NewReplayApp(eng *sim.Engine, cpu *host.CPU, costs host.Costs, q *blk.Queue,
+	group *cgroup.Group, entries []trace.Entry, core int, scale float64) (*ReplayApp, error) {
+	if group == nil {
+		return nil, fmt.Errorf("workload: replay app has no cgroup")
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	if err := group.AttachProc(); err != nil {
+		return nil, err
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	return &ReplayApp{
+		eng:       eng,
+		cpu:       cpu,
+		core:      cpu.Core(core),
+		costs:     costs,
+		queue:     q,
+		group:     group,
+		over:      q.PathOverheads(),
+		entries:   entries,
+		scale:     scale,
+		bytesDone: metrics.NewCounter(100 * sim.Millisecond),
+	}, nil
+}
+
+// Start schedules every arrival.
+func (a *ReplayApp) Start() {
+	if a.started {
+		return
+	}
+	a.started = true
+	base := a.entries[0].At
+	for i := range a.entries {
+		e := a.entries[i]
+		at := sim.Time(float64(e.At-base) * a.scale)
+		a.eng.At(at, func() { a.submit(e) })
+	}
+}
+
+func (a *ReplayApp) submit(e trace.Entry) {
+	submitAt := a.eng.Now()
+	cost := a.costs.SubmitCost(1) + a.over.SubmitCPU
+	a.inflight++
+	a.core.Exec(cost, func() {
+		r := &device.Request{
+			Op:     e.OpKind(),
+			Size:   e.Size,
+			Offset: e.Offset,
+			Seq:    e.Seq,
+			Cgroup: a.group.ID(),
+			Class:  prioClass(a.group.EffectivePrio()),
+			Weight: a.group.Knobs().BFQWeight,
+			Submit: submitAt,
+		}
+		r.OnComplete = a.onComplete
+		a.queue.Submit(r)
+	})
+}
+
+func (a *ReplayApp) onComplete(r *device.Request) {
+	a.core.Exec(a.costs.ReapCost(1)+a.over.CompleteCPU, func() {
+		a.hist.Record(int64(a.eng.Now().Sub(r.Submit)))
+		a.bytesDone.Add(a.eng.Now(), float64(r.Size))
+		a.iosDone++
+		a.inflight--
+		a.cpu.AccountIO(a.over.CtxPerIO, a.over.CyclesPerIO)
+	})
+}
+
+// Done reports whether every entry was submitted and completed.
+func (a *ReplayApp) Done() bool {
+	return a.started && a.iosDone == uint64(len(a.entries))
+}
+
+// Stats returns the replay's measurements.
+func (a *ReplayApp) Stats() Stats {
+	return Stats{
+		Name:      "replay",
+		IOs:       a.iosDone,
+		MeanLatNs: a.hist.Mean(),
+		P50Ns:     a.hist.Percentile(50),
+		P90Ns:     a.hist.Percentile(90),
+		P99Ns:     a.hist.Percentile(99),
+		MaxNs:     a.hist.Max(),
+	}
+}
+
+// Histogram exposes the latency histogram.
+func (a *ReplayApp) Histogram() *metrics.Histogram { return &a.hist }
+
+// Bandwidth exposes the completed-bytes counter.
+func (a *ReplayApp) Bandwidth() *metrics.Counter { return a.bytesDone }

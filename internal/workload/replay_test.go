@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"testing"
+
+	"isolbench/internal/blk"
+	"isolbench/internal/device"
+	"isolbench/internal/host"
+	"isolbench/internal/iosched/noop"
+	"isolbench/internal/sim"
+	"isolbench/internal/trace"
+)
+
+func mkTrace(n int, gapUs int64) []trace.Entry {
+	out := make([]trace.Entry, n)
+	for i := range out {
+		out[i] = trace.Entry{
+			At: sim.Time(int64(i) * gapUs * int64(sim.Microsecond)),
+			Op: "r", Size: 4096, Offset: int64(i) * 4096,
+		}
+	}
+	return out
+}
+
+func TestReplayOpenLoop(t *testing.T) {
+	r := newRig(t)
+	entries := mkTrace(1000, 100) // 10K IOPS for 100 ms
+	app, err := NewReplayApp(r.eng, r.cpu, host.DefaultCosts(), r.queue, r.group, entries, 0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Start()
+	r.eng.RunUntil(sim.Time(200 * sim.Millisecond))
+	if !app.Done() {
+		t.Fatalf("replay incomplete: %d/%d", app.Stats().IOs, len(entries))
+	}
+	st := app.Stats()
+	// An unloaded device serves each at ~85 us.
+	if st.P50Ns < 70_000 || st.P50Ns > 130_000 {
+		t.Fatalf("replay P50 = %d ns", st.P50Ns)
+	}
+	// Open loop: total bytes = trace bytes.
+	if got := app.Bandwidth().Total(); got != 1000*4096 {
+		t.Fatalf("bytes = %v", got)
+	}
+}
+
+func TestReplayTimeScale(t *testing.T) {
+	r := newRig(t)
+	entries := mkTrace(100, 1000) // spans 99 ms at scale 1
+	app, err := NewReplayApp(r.eng, r.cpu, host.DefaultCosts(), r.queue, r.group, entries, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Start()
+	// At scale 0.5 the last arrival is at ~49.5 ms.
+	r.eng.RunUntil(sim.Time(60 * sim.Millisecond))
+	if !app.Done() {
+		t.Fatalf("compressed replay incomplete: %d/100", app.Stats().IOs)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	r := newRig(t)
+	if _, err := NewReplayApp(r.eng, r.cpu, host.DefaultCosts(), r.queue, nil, mkTrace(1, 1), 0, 1); err == nil {
+		t.Fatal("nil group accepted")
+	}
+	if _, err := NewReplayApp(r.eng, r.cpu, host.DefaultCosts(), r.queue, r.group, nil, 0, 1); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestReplayQueueingUnderSlowDevice(t *testing.T) {
+	// Open-loop property: when offered load exceeds device capacity,
+	// latency grows instead of throughput adapting.
+	r := newRig(t)
+	prof := r.dev.Profile()
+	prof.Channels = 2
+	prof.GCChannels = 0
+	slow, err := devNew(r, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := blk.NewQueue(r.eng, slow, noop.New(), nil)
+	entries := mkTrace(5000, 10) // 100K IOPS offered vs ~26K capacity
+	app, err := NewReplayApp(r.eng, r.cpu, host.DefaultCosts(), q, r.group, entries, 0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Start()
+	r.eng.RunUntil(sim.Time(sim.Second))
+	st := app.Stats()
+	if st.P99Ns < 5_000_000 {
+		t.Fatalf("overloaded open-loop P99 = %d ns, want tens of ms (queue growth)", st.P99Ns)
+	}
+}
+
+// devNew builds a device with the given profile on the rig's engine.
+func devNew(r *rig, prof device.Profile) (*device.Device, error) {
+	return device.New(r.eng, prof, 99)
+}

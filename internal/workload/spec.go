@@ -1,0 +1,90 @@
+// Package workload is the benchmark's fio equivalent: apps that keep a
+// configured queue depth of I/O outstanding against a block queue,
+// with request size, read/write mix, access pattern, rate limiting,
+// start/stop phases, and burst schedules. The paper's three app
+// classes (§II-A) are provided as presets: LC-apps (QD1 4 KiB random
+// reads, tail-latency sensitive), batch-apps (QD256 4 KiB random
+// reads, bandwidth sensitive) and BE-apps (best effort, no SLO).
+package workload
+
+import (
+	"isolbench/internal/cgroup"
+	"isolbench/internal/device"
+	"isolbench/internal/sim"
+)
+
+// Spec configures one app (one fio job).
+type Spec struct {
+	Name  string
+	Group *cgroup.Group // process group the app's process joins
+
+	Op       device.Op
+	ReadFrac float64 // for mixed workloads: probability a request is a read (1 = read-only); used only when MixedRW
+	MixedRW  bool
+	Seq      bool
+	Size     int64
+	QD       int
+
+	RateLimit float64 // bytes per second; 0 = unpaced
+
+	Start sim.Time
+	Stop  sim.Time // 0 = run until the simulation ends
+
+	// Burst schedule: when BurstOn > 0 the app alternates BurstOn
+	// active / BurstOff idle, starting active at Start.
+	BurstOn  sim.Duration
+	BurstOff sim.Duration
+
+	Core int // core index the app is pinned to (round-robin modulo cores)
+}
+
+// Defaults fills zero fields with sane values.
+func (s Spec) withDefaults() Spec {
+	if s.Size <= 0 {
+		s.Size = 4096
+	}
+	if s.QD <= 0 {
+		s.QD = 1
+	}
+	if s.MixedRW {
+		if s.ReadFrac < 0 {
+			s.ReadFrac = 0
+		}
+		if s.ReadFrac > 1 {
+			s.ReadFrac = 1
+		}
+	}
+	return s
+}
+
+// LCApp returns the paper's latency-critical app preset: 4 KiB random
+// reads at QD 1.
+func LCApp(name string, g *cgroup.Group) Spec {
+	return Spec{Name: name, Group: g, Op: device.Read, Size: 4096, QD: 1}
+}
+
+// BatchApp returns the paper's throughput app preset: 4 KiB random
+// reads at QD 256.
+func BatchApp(name string, g *cgroup.Group) Spec {
+	return Spec{Name: name, Group: g, Op: device.Read, Size: 4096, QD: 256}
+}
+
+// BEApp returns the paper's best-effort app preset — identical traffic
+// to a batch-app but with no performance requirement.
+func BEApp(name string, g *cgroup.Group) Spec {
+	return BatchApp(name, g)
+}
+
+// prioClass maps a cgroup io.prio.class to the request priority class.
+func prioClass(p cgroup.Prio) device.PrioClass {
+	switch p {
+	case cgroup.PrioRT:
+		return device.ClassRT
+	case cgroup.PrioBE:
+		return device.ClassBE
+	case cgroup.PrioIdle:
+		return device.ClassIdle
+	default:
+		return device.ClassNone
+	}
+}

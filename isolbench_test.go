@@ -1,0 +1,223 @@
+package isolbench_test
+
+// Integration tests against the public API: each test checks one of
+// the paper's ten observations (O1-O10) end to end through the facade.
+
+import (
+	"strings"
+	"testing"
+
+	"isolbench"
+	"isolbench/internal/sim"
+)
+
+func TestPublicKnobRoundTrip(t *testing.T) {
+	for _, k := range isolbench.AllKnobs() {
+		got, err := isolbench.ParseKnob(k.String())
+		if err != nil || got != k {
+			t.Fatalf("round trip %v: %v %v", k, got, err)
+		}
+	}
+}
+
+// O1: BFQ and MQ-DL have higher latency overhead than no knob even
+// with a single LC-app; io.max and io.latency have little overhead;
+// io.cost's overhead appears past the CPU saturation point.
+func TestO1LatencyOverhead(t *testing.T) {
+	p99 := map[isolbench.Knob][2]float64{}
+	for _, k := range isolbench.AllKnobs() {
+		pts, err := isolbench.LatencyScaling(isolbench.LatencyScalingConfig{
+			Knob: k, AppCounts: []int{1, 16}, Measure: 600 * sim.Millisecond, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p99[k] = [2]float64{float64(pts[0].P99), float64(pts[1].P99)}
+	}
+	base1, base16 := p99[isolbench.KnobNone][0], p99[isolbench.KnobNone][1]
+
+	if r := p99[isolbench.KnobMQDeadline][0] / base1; r < 1.03 || r > 1.20 {
+		t.Errorf("MQ-DL P99 overhead at 1 app = %.1f%%, want ~7.5%%", (r-1)*100)
+	}
+	if r := p99[isolbench.KnobBFQ][0] / base1; r < 1.08 || r > 1.35 {
+		t.Errorf("BFQ P99 overhead at 1 app = %.1f%%, want ~19%%", (r-1)*100)
+	}
+	for _, k := range []isolbench.Knob{isolbench.KnobIOMax, isolbench.KnobIOLatency} {
+		if r := p99[k][0] / base1; r > 1.03 {
+			t.Errorf("%v P99 overhead at 1 app = %.1f%%, want ~0", k, (r-1)*100)
+		}
+	}
+	// io.cost: no overhead at 1 app, marked overhead at 16 apps.
+	if r := p99[isolbench.KnobIOCost][0] / base1; r > 1.03 {
+		t.Errorf("io.cost P99 overhead at 1 app = %.1f%%, want ~0", (r-1)*100)
+	}
+	if r := p99[isolbench.KnobIOCost][1] / base16; r < 1.10 {
+		t.Errorf("io.cost P99 overhead at 16 apps = %.1f%%, want > 10%% (O1)", (r-1)*100)
+	}
+}
+
+// O2: the I/O schedulers cannot saturate the SSD; the controllers can.
+func TestO2BandwidthPlateau(t *testing.T) {
+	bw := map[isolbench.Knob]float64{}
+	for _, k := range isolbench.AllKnobs() {
+		pts, err := isolbench.BandwidthScaling(isolbench.BandwidthScalingConfig{
+			Knob: k, AppCounts: []int{9}, Measure: 500 * sim.Millisecond, Seed: 12,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bw[k] = pts[0].AggregateBW
+	}
+	none := bw[isolbench.KnobNone]
+	if none < 2.7*(1<<30) {
+		t.Fatalf("baseline saturation %.2f GiB/s, want ~2.93", none/(1<<30))
+	}
+	// Paper: MQ-DL -38%, BFQ -77%.
+	if r := bw[isolbench.KnobMQDeadline] / none; r < 0.45 || r > 0.80 {
+		t.Errorf("MQ-DL reached %.0f%% of none, want ~62%%", r*100)
+	}
+	if r := bw[isolbench.KnobBFQ] / none; r > 0.40 {
+		t.Errorf("BFQ reached %.0f%% of none, want ~23%%", r*100)
+	}
+	for _, k := range []isolbench.Knob{isolbench.KnobIOMax, isolbench.KnobIOLatency} {
+		if r := bw[k] / none; r < 0.9 {
+			t.Errorf("%v reached only %.0f%% of none", k, r*100)
+		}
+	}
+}
+
+// O4: io.cost, io.max (and BFQ before CPU saturation) achieve
+// weighted fairness; io.latency and io.prio.class do not.
+func TestO4WeightedFairness(t *testing.T) {
+	jain := map[isolbench.Knob]float64{}
+	for _, k := range isolbench.AllKnobs() {
+		r, err := isolbench.Fairness(isolbench.FairnessConfig{
+			Knob: k, Groups: 4, Weighted: true, Repeats: 1,
+			Measure: 600 * sim.Millisecond, Seed: 13,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jain[k] = r.Jain.Mean()
+	}
+	for _, k := range []isolbench.Knob{isolbench.KnobIOCost, isolbench.KnobIOMax, isolbench.KnobBFQ} {
+		if jain[k] < 0.9 {
+			t.Errorf("%v weighted Jain = %.3f, want >= 0.9 (O4)", k, jain[k])
+		}
+	}
+	for _, k := range []isolbench.Knob{isolbench.KnobMQDeadline, isolbench.KnobIOLatency} {
+		if jain[k] > 0.85 {
+			t.Errorf("%v weighted Jain = %.3f, should be poor (O4)", k, jain[k])
+		}
+	}
+}
+
+// O5: with mixed request sizes only io.max and io.cost stay fair; with
+// read/write interference io.cost prefers reads (lower fairness).
+func TestO5MixedWorkloadFairness(t *testing.T) {
+	sizes := map[isolbench.Knob]float64{}
+	for _, k := range []isolbench.Knob{isolbench.KnobNone, isolbench.KnobIOMax, isolbench.KnobIOCost} {
+		r, err := isolbench.Fairness(isolbench.FairnessConfig{
+			Knob: k, Groups: 2, Mix: isolbench.MixSizes, Repeats: 1,
+			Measure: 800 * sim.Millisecond, Seed: 14,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[k] = r.Jain.Mean()
+	}
+	if sizes[isolbench.KnobNone] > 0.7 {
+		t.Errorf("none mixed-size Jain = %.3f, want < 0.7 (large requests dominate)", sizes[isolbench.KnobNone])
+	}
+	if sizes[isolbench.KnobIOMax] < 0.9 || sizes[isolbench.KnobIOCost] < 0.85 {
+		t.Errorf("io.max/io.cost mixed-size Jain = %.3f/%.3f, want high (O5)",
+			sizes[isolbench.KnobIOMax], sizes[isolbench.KnobIOCost])
+	}
+
+	rw, err := isolbench.Fairness(isolbench.FairnessConfig{
+		Knob: isolbench.KnobIOCost, Groups: 2, Mix: isolbench.MixReadWrite,
+		Repeats: 1, Measure: 1200 * sim.Millisecond, Seed: 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j := rw.Jain.Mean(); j > 0.95 || j < 0.7 {
+		t.Errorf("io.cost read/write Jain = %.3f, want ~0.87 (read preference, O5)", j)
+	}
+	if rw.GroupBW[0] <= rw.GroupBW[1] {
+		t.Errorf("io.cost should favor the read group: %v", rw.GroupBW)
+	}
+}
+
+// O8: io.max trades priority against utilization but offers no floor:
+// raising the BE cap raises utilization and hurts the priority app.
+func TestO8IOMaxTradeoff(t *testing.T) {
+	pts, err := isolbench.Tradeoff(isolbench.TradeoffConfig{
+		Knob: isolbench.KnobIOMax, Kind: isolbench.PriorityBatch, Steps: 4,
+		Measure: 500 * sim.Millisecond, Seed: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	if first.PrioBW <= last.PrioBW || first.AggregateBW >= last.AggregateBW {
+		t.Errorf("io.max trade-off shape wrong: first %+v last %+v", first, last)
+	}
+}
+
+// O10: io.latency takes seconds to hand a bursty priority app its
+// bandwidth; io.max and io.cost respond in milliseconds.
+func TestO10BurstResponse(t *testing.T) {
+	resp := map[isolbench.Knob]*isolbench.BurstResult{}
+	for _, k := range []isolbench.Knob{isolbench.KnobIOMax, isolbench.KnobIOCost, isolbench.KnobIOLatency} {
+		r, err := isolbench.Burst(isolbench.BurstConfig{
+			Knob: k, Kind: isolbench.PriorityBatch,
+			Lead: 1 * sim.Second, Tail: 8 * sim.Second, Seed: 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp[k] = r
+	}
+	for _, k := range []isolbench.Knob{isolbench.KnobIOMax, isolbench.KnobIOCost} {
+		r := resp[k]
+		if !r.Achieved || r.Response > 400*sim.Millisecond {
+			t.Errorf("%v burst response = %v (achieved=%v), want milliseconds (O10)",
+				k, r.Response, r.Achieved)
+		}
+	}
+	il := resp[isolbench.KnobIOLatency]
+	if il.Achieved && il.Response < sim.Duration(sim.Second) {
+		t.Errorf("io.latency burst response = %v, want seconds (O10)", il.Response)
+	}
+}
+
+// Table I (quick): the derived verdicts must match the paper's rows.
+func TestTableIMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table I derivation runs every experiment")
+	}
+	rows, err := isolbench.TableI(isolbench.TableIConfig{Quick: true, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[isolbench.Knob][4]isolbench.Verdict{
+		// overhead, fairness, tradeoffs, bursts (Table I)
+		isolbench.KnobMQDeadline: {isolbench.Bad, isolbench.Bad, isolbench.Bad, isolbench.Bad},
+		isolbench.KnobBFQ:        {isolbench.Bad, isolbench.Bad, isolbench.Bad, isolbench.Bad},
+		isolbench.KnobIOMax:      {isolbench.Good, isolbench.Partial, isolbench.Partial, isolbench.Partial},
+		isolbench.KnobIOLatency:  {isolbench.Good, isolbench.Bad, isolbench.Partial, isolbench.Bad},
+		isolbench.KnobIOCost:     {isolbench.Partial, isolbench.Good, isolbench.Good, isolbench.Good},
+	}
+	var sb strings.Builder
+	isolbench.WriteTableI(&sb, rows, true)
+	for _, r := range rows {
+		w := want[r.Knob]
+		got := [4]isolbench.Verdict{r.Overhead, r.Fairness, r.Tradeoffs, r.Bursts}
+		for i, name := range []string{"overhead", "fairness", "tradeoffs", "bursts"} {
+			if got[i] != w[i] {
+				t.Errorf("%v %s = %v, paper says %v\n%s", r.Knob, name, got[i], w[i], sb.String())
+			}
+		}
+	}
+}
