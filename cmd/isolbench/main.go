@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -34,9 +35,43 @@ var (
 	jobFlag    = flag.String("job", "", "run a fio-style job file instead of a canned experiment")
 	recordFlag = flag.String("record", "", "with -job: write the run's device trace (JSONL) to this file")
 	replayFlag = flag.String("replay", "", "replay a JSONL trace under -knob instead of a canned experiment")
+
+	setFlags     knobFileFlags
+	statFlag     = flag.Bool("stat", false, "with -job: print each cgroup's io.stat after the run")
+	pressureFlag = flag.Bool("pressure", false, "with -job: print each cgroup's io.pressure (PSI) after the run")
+	traceEvFlag  = flag.String("trace-events", "", "with -job: write a Chrome trace-event file (load in Perfetto/chrome://tracing)")
+	spansFlag    = flag.String("spans", "", "with -job: write per-request stage spans (JSONL) to this file")
 )
 
+// knobFileFlags collects repeatable -set "cgroup:file=value" options
+// into the KnobFiles map applied before a -job run.
+type knobFileFlags map[string]map[string]string
+
+func (k *knobFileFlags) String() string { return fmt.Sprint(map[string]map[string]string(*k)) }
+
+func (k *knobFileFlags) Set(s string) error {
+	ci := strings.IndexByte(s, ':')
+	if ci <= 0 {
+		return fmt.Errorf("want cgroup:file=value, got %q", s)
+	}
+	cg := s[:ci]
+	fv := s[ci+1:]
+	ei := strings.IndexByte(fv, '=')
+	if ei <= 0 {
+		return fmt.Errorf("want cgroup:file=value, got %q", s)
+	}
+	if *k == nil {
+		*k = make(map[string]map[string]string)
+	}
+	if (*k)[cg] == nil {
+		(*k)[cg] = make(map[string]string)
+	}
+	(*k)[cg][fv[:ei]] = fv[ei+1:]
+	return nil
+}
+
 func main() {
+	flag.Var(&setFlags, "set", `with -job: write a cgroup control file before the run, as "cgroup:file=value" (repeatable), e.g. -set "tenant-batch:io.max=rbps=104857600"`)
 	flag.Parse()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "isolbench:", err)
@@ -310,9 +345,10 @@ func runJob(path string) error {
 	if *recordFlag != "" {
 		rec = trace.NewRecorder(0)
 	}
+	observe := *statFlag || *pressureFlag || *traceEvFlag != "" || *spansFlag != ""
 	res, err := core.RunJobFile(core.JobRunConfig{
 		Knob: knob, Profile: *profFlag, Source: string(src), Seed: *seedFlag,
-		Recorder: rec,
+		Recorder: rec, Observe: observe, KnobFiles: setFlags,
 	})
 	if err != nil {
 		return err
@@ -327,6 +363,9 @@ func runJob(path string) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "# recorded %d requests to %s\n", rec.Len(), *recordFlag)
+		if d := rec.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "# recorder limit reached: %d requests dropped\n", d)
+		}
 	}
 	fmt.Printf("# job file %s, knob=%s, %v measured\n", path, knob, res.Span)
 	fmt.Println("cgroup\tbandwidth\tIOs\tP50\tP99")
@@ -334,7 +373,40 @@ func runJob(path string) error {
 		fmt.Printf("%s\t%s\t%d\t%v\t%v\n", g.Name, core.GiB(g.BW), g.IOs, g.P50, g.P99)
 	}
 	fmt.Printf("aggregate\t%s\tcpu=%.1f%%\n", core.GiB(res.AggregateBW), res.CPUUtil*100)
+	if observe {
+		core.WriteObsSummary(os.Stdout, res.Obs)
+		core.WriteObsFiles(os.Stdout, res.Obs, *statFlag, *pressureFlag)
+		if *traceEvFlag != "" {
+			if err := writeObsFile(*traceEvFlag, res.Obs.WriteChromeTrace); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "# wrote Chrome trace events to %s (%d spans", *traceEvFlag, len(res.Obs.Spans()))
+			if d := res.Obs.SpansDropped(); d > 0 {
+				fmt.Fprintf(os.Stderr, ", %d older spans evicted", d)
+			}
+			fmt.Fprintln(os.Stderr, ")")
+		}
+		if *spansFlag != "" {
+			if err := writeObsFile(*spansFlag, res.Obs.WriteSpansJSONL); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "# wrote stage spans to %s\n", *spansFlag)
+		}
+	}
 	return nil
+}
+
+// writeObsFile creates path and streams one observer export into it.
+func writeObsFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func runReplay(path string) error {

@@ -8,6 +8,7 @@ package blk
 import (
 	"isolbench/internal/device"
 	"isolbench/internal/host"
+	"isolbench/internal/obs"
 	"isolbench/internal/sim"
 )
 
@@ -96,6 +97,11 @@ type Queue struct {
 
 	submitted uint64
 	completed uint64
+
+	// obs is the observability sink (nil = disabled fast path); devName
+	// labels this queue's device in io.stat and exports.
+	obs     *obs.Observer
+	devName string
 }
 
 // NewQueue wires a queue. ctl may be nil (no cgroup I/O controller).
@@ -110,6 +116,21 @@ func NewQueue(eng *sim.Engine, dev *device.Device, sched Scheduler, ctl Controll
 	dev.OnDone = q.onDeviceDone
 	return q
 }
+
+// SetObserver attaches the observability layer. devName is the
+// "major:minor" label this queue's device carries in io.stat lines and
+// trace exports. Passing nil detaches (the disabled fast path).
+func (q *Queue) SetObserver(o *obs.Observer, devName string) {
+	q.obs = o
+	q.devName = devName
+}
+
+// Observer returns the attached observability sink (nil when
+// disabled).
+func (q *Queue) Observer() *obs.Observer { return q.obs }
+
+// DevName returns the observability device label.
+func (q *Queue) DevName() string { return q.devName }
 
 // Device returns the backing device.
 func (q *Queue) Device() *device.Device { return q.dev }
@@ -150,6 +171,7 @@ func (q *Queue) Submit(r *device.Request) {
 
 func (q *Queue) toScheduler(r *device.Request) {
 	r.Queued = q.eng.Now()
+	q.obs.RunBegin(r.Cgroup)
 	q.sched.Insert(r)
 	q.Pump()
 }
@@ -174,6 +196,7 @@ func (q *Queue) Pump() {
 		if r == nil {
 			return
 		}
+		r.SchedOut = q.eng.Now()
 		q.reserved++
 		if hold <= 0 {
 			q.reserved--
@@ -190,6 +213,7 @@ func (q *Queue) Pump() {
 
 func (q *Queue) onDeviceDone(r *device.Request) {
 	q.completed++
+	q.obs.Completed(q.devName, r)
 	q.sched.Completed(r)
 	if q.ctl != nil {
 		q.ctl.Completed(r)

@@ -28,12 +28,32 @@ var (
 	ErrUnknownController = errors.New("cgroup: unknown controller")
 )
 
+// StatProvider serves the runtime-accounting files (io.stat,
+// io.pressure) that the static knob layer cannot produce on its own.
+// The observability layer (internal/obs) implements it; registration
+// happens through Tree.SetStatProvider so this package never imports
+// the observer.
+type StatProvider interface {
+	// StatFile returns the formatted io.stat body for the group id;
+	// ok is false when the group has produced no I/O.
+	StatFile(id int) (body string, ok bool)
+	// PressureFile returns the formatted io.pressure body (PSI
+	// some/full lines) for the group id.
+	PressureFile(id int) (body string, ok bool)
+}
+
 // Tree is one cgroup-v2 hierarchy with a root management group.
 type Tree struct {
 	root   *Group
 	byID   map[int]*Group
 	nextID int
+	stats  StatProvider
 }
+
+// SetStatProvider registers the accounting source behind io.stat and
+// io.pressure reads (nil disables them: the files read as empty, the
+// kernel's appearance for a group that never did I/O).
+func (t *Tree) SetStatProvider(p StatProvider) { t.stats = p }
 
 // NewTree returns a hierarchy containing only the root group. The root
 // has the io controller available for delegation.

@@ -137,6 +137,23 @@ func (g *Group) ReadFile(name string) (string, error) {
 			return fmt.Sprintf("ctrl=user model=linear rbps=%.0f rseqiops=%.0f rrandiops=%.0f wbps=%.0f wseqiops=%.0f wrandiops=%.0f",
 				m.RBps, m.RSeqIOPS, m.RRandIOPS, m.WBps, m.WSeqIOPS, m.WRandIOPS)
 		}), nil
+	case "io.stat":
+		if p := g.tree.stats; p != nil {
+			if body, ok := p.StatFile(g.id); ok {
+				return body, nil
+			}
+		}
+		// A group that never issued I/O reads as empty, like the kernel.
+		return "", nil
+	case "io.pressure":
+		if p := g.tree.stats; p != nil {
+			if body, ok := p.PressureFile(g.id); ok {
+				return body, nil
+			}
+		}
+		// No accounting source: all-zero PSI, the file's idle appearance.
+		return "some avg10=0.00 avg60=0.00 avg300=0.00 total=0\n" +
+			"full avg10=0.00 avg60=0.00 avg300=0.00 total=0", nil
 	case "cgroup.subtree_control":
 		if g.subtree["io"] {
 			return "io", nil

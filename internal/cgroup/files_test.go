@@ -302,3 +302,53 @@ func TestPrioNotInheritable(t *testing.T) {
 		t.Fatal("io.prio.class must not be inherited")
 	}
 }
+
+// fakeStats is a test StatProvider serving canned io.stat/io.pressure
+// bodies for one group id.
+type fakeStats struct{ id int }
+
+func (f fakeStats) StatFile(id int) (string, bool) {
+	if id != f.id {
+		return "", false
+	}
+	return "259:0 rbytes=4096 wbytes=0 rios=1 wios=0 dbytes=0 dios=0", true
+}
+
+func (f fakeStats) PressureFile(id int) (string, bool) {
+	if id != f.id {
+		return "", false
+	}
+	return "some avg10=12.34 avg60=1.00 avg300=0.10 total=42\n" +
+		"full avg10=0.00 avg60=0.00 avg300=0.00 total=0", true
+}
+
+func TestIOStatAndPressureFiles(t *testing.T) {
+	tr := NewTree()
+	m, _ := tr.Root().Create("m")
+	m.EnableController("io")
+	g, _ := m.Create("g")
+	idle, _ := m.Create("idle")
+
+	// Without a provider the files exist but read as idle.
+	if body, err := g.ReadFile("io.stat"); err != nil || body != "" {
+		t.Fatalf("io.stat without provider: %q, %v", body, err)
+	}
+	if body, err := g.ReadFile("io.pressure"); err != nil ||
+		body != "some avg10=0.00 avg60=0.00 avg300=0.00 total=0\n"+
+			"full avg10=0.00 avg60=0.00 avg300=0.00 total=0" {
+		t.Fatalf("io.pressure without provider: %q, %v", body, err)
+	}
+
+	tr.SetStatProvider(fakeStats{id: g.ID()})
+	body, err := g.ReadFile("io.stat")
+	if err != nil || body != "259:0 rbytes=4096 wbytes=0 rios=1 wios=0 dbytes=0 dios=0" {
+		t.Fatalf("io.stat = %q, %v", body, err)
+	}
+	if body, err = g.ReadFile("io.pressure"); err != nil || !strings.Contains(body, "some avg10=12.34") {
+		t.Fatalf("io.pressure = %q, %v", body, err)
+	}
+	// A group the provider has never seen still reads as idle.
+	if body, err = idle.ReadFile("io.stat"); err != nil || body != "" {
+		t.Fatalf("idle group io.stat = %q, %v", body, err)
+	}
+}

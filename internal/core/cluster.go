@@ -14,6 +14,7 @@ import (
 	"isolbench/internal/iosched/mqdeadline"
 	"isolbench/internal/iosched/noop"
 	"isolbench/internal/metrics"
+	"isolbench/internal/obs"
 	"isolbench/internal/sim"
 	"isolbench/internal/workload"
 )
@@ -57,6 +58,15 @@ type Options struct {
 	// Precondition ages every device so writes run at steady-state
 	// amplification (required before any write experiment, §III).
 	Precondition bool
+
+	// Observe enables the observability layer: an obs.Observer is
+	// created on the cluster's engine and wired into every queue,
+	// controller, scheduler, and device, and registered as the cgroup
+	// tree's io.stat/io.pressure provider. Off (the default) leaves
+	// every hook holding a nil observer — the one-branch fast path.
+	Observe bool
+	// ObsConfig bounds the observer's ring buffers (zero = defaults).
+	ObsConfig obs.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -93,6 +103,9 @@ type Cluster struct {
 	Queues  []*blk.Queue
 	Slice   *cgroup.Group // the management group tenant groups live under
 
+	// Obs is the observability hub; nil unless Options.Observe.
+	Obs *obs.Observer
+
 	// Knob-specific controller handles for introspection (index by
 	// device); nil slices when the knob does not use them.
 	IOLat  []*iolatency.Controller
@@ -123,6 +136,17 @@ func NewCluster(opts Options) (*Cluster, error) {
 		Tree: cgroup.NewTree(),
 	}
 	c.CPU = host.NewCPU(c.Eng, opts.Cores)
+
+	if opts.Observe {
+		c.Obs = obs.NewWithConfig(c.Eng, opts.ObsConfig)
+		c.Obs.CgroupName = func(id int) string {
+			if g := c.Tree.ByID(id); g != nil {
+				return g.Path()
+			}
+			return ""
+		}
+		c.Tree.SetStatProvider(c.Obs)
+	}
 
 	slice, err := c.Tree.Root().Create("isolbench.slice")
 	if err != nil {
@@ -157,32 +181,53 @@ func NewCluster(opts Options) (*Cluster, error) {
 		var ctl blk.Controller
 		switch opts.Knob {
 		case KnobMQDeadline:
-			sched = mqdeadline.New(c.Eng, mqdeadline.DefaultConfig())
+			md := mqdeadline.New(c.Eng, mqdeadline.DefaultConfig())
+			md.Obs = c.Obs
+			sched = md
 		case KnobBFQ:
 			cfg := bfq.DefaultConfig()
 			if opts.BFQSliceIdleOff {
 				cfg.SliceIdle = 0
 			}
 			cfg.LowLatency = opts.BFQLowLatency
-			sched = bfq.New(c.Eng, cfg)
+			bq := bfq.New(c.Eng, cfg)
+			bq.Obs = c.Obs
+			sched = bq
 		case KnobIOMax:
 			sched = noop.New()
-			ctl = iomax.New(c.Eng, c.Tree, DevName(i))
+			im := iomax.New(c.Eng, c.Tree, DevName(i))
+			im.Obs = c.Obs
+			ctl = im
 		case KnobIOLatency:
 			sched = noop.New()
 			il := iolatency.New(c.Eng, c.Tree, DevName(i), opts.Profile.MaxQD)
+			il.Obs = c.Obs
 			c.IOLat = append(c.IOLat, il)
 			ctl = il
 		case KnobIOCost:
 			sched = noop.New()
 			ic := iocost.New(c.Eng, c.Tree, DevName(i))
+			ic.Obs = c.Obs
 			c.IOCost = append(c.IOCost, ic)
 			ctl = ic
 		default:
 			sched = noop.New()
 		}
+		if c.Obs != nil {
+			name := DevName(i)
+			dev.OnGC = func(active bool, debtBytes int64) {
+				on := 0.0
+				if active {
+					on = 1
+				}
+				c.Obs.Sample("dev.gc_active."+name, -1, on)
+				c.Obs.Sample("dev.gc_debt."+name, -1, float64(debtBytes))
+			}
+		}
 		c.Devices = append(c.Devices, dev)
-		c.Queues = append(c.Queues, blk.NewQueue(c.Eng, dev, sched, ctl))
+		q := blk.NewQueue(c.Eng, dev, sched, ctl)
+		q.SetObserver(c.Obs, DevName(i))
+		c.Queues = append(c.Queues, q)
 	}
 	return c, nil
 }
@@ -263,6 +308,10 @@ type Result struct {
 	CtxPerIO    float64
 	CyclesPerIO float64
 	IOs         uint64
+
+	// Obs carries the run's observer when observability was enabled
+	// (RunJobFile sets it); nil otherwise.
+	Obs *obs.Observer
 }
 
 // Result collects measurements for the window opened by RunPhase.

@@ -117,3 +117,102 @@ func TestNoWallClockLeak(t *testing.T) {
 	}
 	_ = want
 }
+
+// runOnceObs is runOnce with the observability layer switched on or
+// off.
+func runOnceObs(t *testing.T, knob Knob, seed uint64, observe bool) Result {
+	t.Helper()
+	cl, err := NewCluster(Options{Knob: knob, Seed: seed, Observe: observe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi := 0; gi < 2; gi++ {
+		g, err := cl.NewGroup([]string{"a", "b"}[gi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 2; j++ {
+			spec := workload.BatchApp("x", g)
+			spec.Core = gi*2 + j
+			if _, err := cl.AddApp(spec, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cl.RunPhase(100*sim.Millisecond, 300*sim.Millisecond)
+	res := cl.Result()
+	res.Obs = cl.Obs
+	return res
+}
+
+// TestObsDeterminism: enabling the observability layer must not perturb
+// the simulation — same seed, obs on vs off, bit-identical results. The
+// observer only reads state and never schedules events, draws random
+// numbers, or feeds decisions back; this test is what keeps it that
+// way.
+func TestObsDeterminism(t *testing.T) {
+	for _, knob := range AllKnobs() {
+		off := runOnceObs(t, knob, 42, false)
+		on := runOnceObs(t, knob, 42, true)
+		if off.IOs != on.IOs || off.AggregateBW != on.AggregateBW || off.CPUUtil != on.CPUUtil ||
+			off.CtxPerIO != on.CtxPerIO || off.CyclesPerIO != on.CyclesPerIO {
+			t.Fatalf("%v: obs perturbed the run:\n off: %+v\n on:  %+v", knob, off, on)
+		}
+		for i := range off.Groups {
+			a, b := off.Groups[i], on.Groups[i]
+			if a.Bytes != b.Bytes || a.IOs != b.IOs || a.P50 != b.P50 || a.P99 != b.P99 {
+				t.Fatalf("%v: group %d diverged with obs on", knob, i)
+			}
+		}
+		// And the observer actually collected: spans whose stage sums
+		// equal end-to-end latency, and io.stat totals matching the
+		// workload's accounting.
+		if on.Obs == nil {
+			t.Fatalf("%v: observer missing", knob)
+		}
+		spans := on.Obs.Spans()
+		if len(spans) == 0 {
+			t.Fatalf("%v: no spans collected", knob)
+		}
+		for _, sp := range spans {
+			if sp.Total() <= 0 {
+				t.Fatalf("%v: span %d has no latency", knob, sp.ID)
+			}
+		}
+		if len(on.Obs.Cgroups()) == 0 {
+			t.Fatalf("%v: no cgroups observed", knob)
+		}
+		for _, cg := range on.Obs.Cgroups() {
+			if body, ok := on.Obs.StatFile(cg); !ok || body == "" {
+				t.Fatalf("%v: empty io.stat for cgroup %d", knob, cg)
+			}
+			if on.Obs.StageHistogram(cg, 0) == nil {
+				t.Fatalf("%v: missing stage histogram", knob)
+			}
+		}
+	}
+}
+
+// BenchmarkObsClusterOverhead measures a whole simulated run with the
+// observability layer off vs on — the end-to-end cost, not just the
+// hook sites.
+func BenchmarkObsClusterOverhead(b *testing.B) {
+	run := func(b *testing.B, observe bool) {
+		for i := 0; i < b.N; i++ {
+			cl, err := NewCluster(Options{Knob: KnobIOCost, Seed: 42, Observe: observe})
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := cl.NewGroup("g")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cl.AddApp(workload.BatchApp("x", g), 0); err != nil {
+				b.Fatal(err)
+			}
+			cl.RunPhase(20*sim.Millisecond, 100*sim.Millisecond)
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, false) })
+	b.Run("enabled", func(b *testing.B) { run(b, true) })
+}

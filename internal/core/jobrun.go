@@ -5,6 +5,7 @@ import (
 
 	"isolbench/internal/cgroup"
 	"isolbench/internal/device"
+	"isolbench/internal/obs"
 	"isolbench/internal/sim"
 	"isolbench/internal/trace"
 	"isolbench/internal/workload"
@@ -28,6 +29,11 @@ type JobRunConfig struct {
 	// Recorder, when non-nil, captures every completed request on
 	// device 0 as a replayable trace.
 	Recorder *trace.Recorder
+	// Observe enables the observability layer for the run; the
+	// resulting Observer is returned on Result.Obs.
+	Observe bool
+	// ObsConfig bounds the observer's ring buffers (zero = defaults).
+	ObsConfig obs.Config
 }
 
 // RunJobFile parses and executes a job file, returning the per-group
@@ -38,10 +44,12 @@ func RunJobFile(cfg JobRunConfig) (*Result, error) {
 		return nil, err
 	}
 	cl, err := NewCluster(Options{
-		Knob:    cfg.Knob,
-		Profile: device.ProfileByName(cfg.Profile),
-		Cores:   cfg.Cores,
-		Seed:    cfg.Seed,
+		Knob:      cfg.Knob,
+		Profile:   device.ProfileByName(cfg.Profile),
+		Cores:     cfg.Cores,
+		Seed:      cfg.Seed,
+		Observe:   cfg.Observe,
+		ObsConfig: cfg.ObsConfig,
 	})
 	if err != nil {
 		return nil, err
@@ -100,6 +108,7 @@ func RunJobFile(cfg JobRunConfig) (*Result, error) {
 	}
 	cl.RunPhase(cfg.Warmup, measure)
 	res := cl.Result()
+	res.Obs = cl.Obs
 	return &res, nil
 }
 

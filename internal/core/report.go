@@ -5,6 +5,7 @@ import (
 	"io"
 	"text/tabwriter"
 
+	"isolbench/internal/obs"
 	"isolbench/internal/sim"
 )
 
@@ -90,6 +91,55 @@ func WriteBurst(w io.Writer, r *BurstResult) {
 	}
 	fmt.Fprintf(w, "q10\tknob=%s\tpriority=%s\tresponse=%s\tsteady=%s\n",
 		r.Knob, r.Kind, status, GiB(r.SteadyBW))
+}
+
+// WriteObsSummary prints the observability layer's per-cgroup latency
+// decomposition: one row per pipeline stage (throttle wait, scheduler
+// queue, dispatch, device queue, device service) plus the end-to-end
+// total, in the spirit of biolatency per stage.
+func WriteObsSummary(w io.Writer, o *obs.Observer) {
+	rows := o.Summary()
+	if len(rows) == 0 {
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "# per-stage latency decomposition (obs)")
+	fmt.Fprintln(tw, "cgroup\tstage\tcount\tmean_us\tp50_us\tp99_us")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.1f\t%.1f\t%.1f\n",
+			r.Name, r.Stage, r.Count, r.MeanNs/1e3,
+			float64(r.P50Ns)/1e3, float64(r.P99Ns)/1e3)
+	}
+	tw.Flush()
+	if d := o.SpansDropped(); d > 0 {
+		fmt.Fprintf(w, "# obs: span ring overflowed, oldest %d spans evicted\n", d)
+	}
+}
+
+// WriteObsFiles prints each cgroup's io.stat and io.pressure exactly as
+// the kernel files would read.
+func WriteObsFiles(w io.Writer, o *obs.Observer, stat, pressure bool) {
+	if o == nil || (!stat && !pressure) {
+		return
+	}
+	for _, id := range o.Cgroups() {
+		name := "cgroup-" + fmt.Sprint(id)
+		if o.CgroupName != nil {
+			if n := o.CgroupName(id); n != "" {
+				name = n
+			}
+		}
+		if stat {
+			if body, ok := o.StatFile(id); ok && body != "" {
+				fmt.Fprintf(w, "# %s/io.stat\n%s\n", name, body)
+			}
+		}
+		if pressure {
+			if body, ok := o.PressureFile(id); ok {
+				fmt.Fprintf(w, "# %s/io.pressure\n%s\n", name, body)
+			}
+		}
+	}
 }
 
 // WriteTimelines prints Fig. 2-style per-app bandwidth series.

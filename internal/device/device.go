@@ -34,6 +34,12 @@ type Device struct {
 	// device queue.
 	OnDone func(*Request)
 
+	// OnGC, when set, observes garbage-collection state changes:
+	// active=true when GC starts seizing channels, then once per drain
+	// slice with the remaining debt, and active=false when it stops.
+	// The observability layer samples GC pressure through it.
+	OnGC func(active bool, debtBytes int64)
+
 	inflight int
 	busy     int // channels in service
 	seized   int // channels held by GC
@@ -114,6 +120,7 @@ func (d *Device) availableChannels() int {
 // by the request it waits behind).
 func (d *Device) startService(r *Request) {
 	d.busy++
+	r.Service = d.eng.Now()
 	access := d.accessTime(r)
 	if d.prof.CollisionFactor > 0 && d.busy > 1 {
 		if d.rng.Float64() < float64(d.busy-1)/float64(d.prof.Channels) {
@@ -227,6 +234,9 @@ func (d *Device) maybeStartGC() {
 	d.gcOn = true
 	d.seized = d.prof.GCChannels
 	d.stats.GCEvents++
+	if d.OnGC != nil {
+		d.OnGC(true, d.gcDebt)
+	}
 	d.gcTick()
 }
 
@@ -242,10 +252,16 @@ func (d *Device) gcTick() {
 			}
 			d.gcOn = false
 			d.seized = 0
+			if d.OnGC != nil {
+				d.OnGC(false, d.gcDebt)
+			}
 			for d.busy < d.availableChannels() && d.waiting.len() > 0 {
 				d.startService(d.waiting.pop())
 			}
 			return
+		}
+		if d.OnGC != nil {
+			d.OnGC(true, d.gcDebt)
 		}
 		d.gcTick()
 	})

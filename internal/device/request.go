@@ -57,10 +57,14 @@ type Request struct {
 	Class  PrioClass // from io.prio.class
 	Weight int       // resolved cgroup weight (BFQ/io.cost input)
 
-	// Lifecycle timestamps (virtual time).
+	// Lifecycle timestamps (virtual time). Each boundary closes one
+	// stage of the path; internal/obs decomposes a completed request's
+	// latency from these (see obs.SpanOf).
 	Submit   sim.Time // app issued the request (latency epoch)
 	Queued   sim.Time // arrived at the scheduler (past controllers)
-	Dispatch sim.Time // sent to the device
+	SchedOut sim.Time // scheduler released it toward dispatch
+	Dispatch sim.Time // sent to the device (past the dispatch lock)
+	Service  sim.Time // flash channel service began
 	Complete sim.Time
 
 	// OnComplete is invoked exactly once when the request finishes.
@@ -86,3 +90,10 @@ func (r *Request) DeviceLatency() sim.Duration { return r.Complete.Sub(r.Dispatc
 // WaitLatency returns time spent above the device (CPU queueing,
 // throttling, scheduler queues).
 func (r *Request) WaitLatency() sim.Duration { return r.Dispatch.Sub(r.Submit) }
+
+// SchedLatency returns time spent inside the scheduler's queues.
+func (r *Request) SchedLatency() sim.Duration { return r.SchedOut.Sub(r.Queued) }
+
+// ChannelWait returns time spent inside the device waiting for a free
+// flash channel (valid after service starts).
+func (r *Request) ChannelWait() sim.Duration { return r.Service.Sub(r.Dispatch) }

@@ -24,6 +24,7 @@ import (
 	"isolbench/internal/cgroup"
 	"isolbench/internal/device"
 	"isolbench/internal/metrics"
+	"isolbench/internal/obs"
 	"isolbench/internal/sim"
 )
 
@@ -88,6 +89,12 @@ type Controller struct {
 	tree *cgroup.Tree
 	dev  string
 	next func(*device.Request)
+
+	// Obs is the observability sink (nil = disabled): vrate is sampled
+	// each QoS tick as "iocost.vrate", per-group post-donation hweights
+	// each period as "iocost.hweight_inuse", and vtime debt is
+	// published on io.stat as cost.debt_ns.
+	Obs *obs.Observer
 
 	coefs    coefs
 	hasModel bool
@@ -250,6 +257,7 @@ func (c *Controller) Submit(r *device.Request) {
 		return
 	}
 	s.waiting.Push(r)
+	c.Obs.ThrottleBegin(r.Cgroup)
 	c.armRelease(s)
 }
 
@@ -287,6 +295,7 @@ func (c *Controller) release(s *gstate) {
 	for s.waiting.Len() > 0 && s.vtime <= c.vnow+margin {
 		r := s.waiting.Pop()
 		c.charge(s, r)
+		c.Obs.ThrottleEnd(r.Cgroup)
 		c.next(r)
 	}
 	if s.waiting.Len() > 0 {
@@ -334,6 +343,22 @@ func (c *Controller) periodTick() {
 		c.refreshWeights()
 	}
 	c.donate()
+	if c.Obs != nil {
+		// Sample post-donation shares and vtime debt on the period
+		// ticker. Read-only: the clock was already advanced by donate.
+		for id, s := range c.groups {
+			if !s.active {
+				continue
+			}
+			c.Obs.Sample("iocost.hweight_inuse", id, s.hweight)
+			debt := s.vtime - c.vnow
+			if debt < 0 {
+				debt = 0
+			}
+			c.Obs.SetGauge(c.dev, id, "cost.debt_ns", debt)
+			c.Obs.SetGauge(c.dev, id, "cost.nr_queued", float64(s.waiting.Len()))
+		}
+	}
 	c.eng.After(Period, c.periodTick)
 }
 
@@ -443,6 +468,7 @@ func (c *Controller) qosTick() {
 	if c.vrate > c.vrateMax {
 		c.vrateMax = c.vrate
 	}
+	c.Obs.Sample("iocost.vrate", -1, c.vrate)
 	c.rhist.Reset()
 	c.whist.Reset()
 	c.eng.After(QoSPeriod, c.qosTick)

@@ -13,6 +13,7 @@ import (
 	"isolbench/internal/cgroup"
 	"isolbench/internal/device"
 	"isolbench/internal/metrics"
+	"isolbench/internal/obs"
 	"isolbench/internal/sim"
 )
 
@@ -26,6 +27,12 @@ type Controller struct {
 	dev   string
 	next  func(*device.Request)
 	maxQD int
+
+	// Obs is the observability sink (nil = disabled): queue-depth
+	// decisions are sampled each window as "iolatency.qd", and the
+	// effective depth plus use_delay debt are published on io.stat as
+	// lat.depth / lat.use_delay.
+	Obs *obs.Observer
 
 	groups map[int]*state
 	armed  bool
@@ -87,6 +94,7 @@ func (c *Controller) Submit(r *device.Request) {
 		return
 	}
 	s.waiting.Push(r)
+	c.Obs.ThrottleBegin(r.Cgroup)
 }
 
 // Completed records the group's own latency sample and releases queued
@@ -103,7 +111,9 @@ func (c *Controller) Completed(r *device.Request) {
 func (c *Controller) releaseWaiting(s *state) {
 	for s.waiting.Len() > 0 && s.inflight < s.qdLimit {
 		s.inflight++
-		c.next(s.waiting.Pop())
+		r := s.waiting.Pop()
+		c.Obs.ThrottleEnd(r.Cgroup)
+		c.next(r)
 	}
 }
 
@@ -160,6 +170,11 @@ func (c *Controller) windowTick() {
 			}
 		}
 		s.hist.Reset()
+		if c.Obs != nil {
+			c.Obs.Sample("iolatency.qd", id, float64(s.qdLimit))
+			c.Obs.SetGauge(c.dev, id, "lat.depth", float64(s.qdLimit))
+			c.Obs.SetGauge(c.dev, id, "lat.use_delay", float64(s.useDelay))
+		}
 		c.releaseWaiting(s)
 	}
 	c.eng.After(Window, c.windowTick)

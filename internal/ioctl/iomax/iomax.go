@@ -15,6 +15,7 @@ import (
 	"isolbench/internal/blk"
 	"isolbench/internal/cgroup"
 	"isolbench/internal/device"
+	"isolbench/internal/obs"
 	"isolbench/internal/sim"
 )
 
@@ -28,6 +29,12 @@ type Controller struct {
 	tree *cgroup.Tree
 	dev  string
 	next func(*device.Request)
+
+	// Obs is the observability sink (nil = disabled): throttle
+	// enter/exit feed io.pressure, token balances are sampled as the
+	// "iomax.tokens.*" series, and the throttle-queue depth is
+	// published on io.stat as max.nr_queued.
+	Obs *obs.Observer
 
 	groups map[int]*bucket
 }
@@ -146,7 +153,29 @@ func (c *Controller) Submit(r *device.Request) {
 		return
 	}
 	b.waiting.Push(r)
+	c.Obs.ThrottleBegin(r.Cgroup)
+	c.sampleBucket(r.Cgroup, b, lim)
 	c.armTimer(r.Cgroup, b, lim)
+}
+
+// sampleBucket publishes the group's token balances and queue depth.
+func (c *Controller) sampleBucket(id int, b *bucket, lim cgroup.IOMax) {
+	if c.Obs == nil {
+		return
+	}
+	if !math.IsInf(lim.RBps, 1) {
+		c.Obs.Sample("iomax.tokens.rbytes", id, b.rBytes)
+	}
+	if !math.IsInf(lim.WBps, 1) {
+		c.Obs.Sample("iomax.tokens.wbytes", id, b.wBytes)
+	}
+	if !math.IsInf(lim.RIOPS, 1) {
+		c.Obs.Sample("iomax.tokens.rops", id, b.rOps)
+	}
+	if !math.IsInf(lim.WIOPS, 1) {
+		c.Obs.Sample("iomax.tokens.wops", id, b.wOps)
+	}
+	c.Obs.SetGauge(c.dev, id, "max.nr_queued", float64(b.waiting.Len()))
 }
 
 // armTimer schedules the next release attempt at the instant every
@@ -191,8 +220,10 @@ func (c *Controller) release(id int, b *bucket) {
 	for b.waiting.Len() > 0 && affordable(b, lim) {
 		r := b.waiting.Pop()
 		charge(b, lim, r)
+		c.Obs.ThrottleEnd(r.Cgroup)
 		c.next(r)
 	}
+	c.sampleBucket(id, b, lim)
 	if b.waiting.Len() > 0 {
 		c.armTimer(id, b, lim)
 	}

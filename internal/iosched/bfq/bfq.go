@@ -11,6 +11,7 @@ package bfq
 import (
 	"isolbench/internal/blk"
 	"isolbench/internal/device"
+	"isolbench/internal/obs"
 	"isolbench/internal/sim"
 )
 
@@ -74,6 +75,11 @@ type Scheduler struct {
 	// bytes served, queue vtime after charging). Used by tests and
 	// debugging tools.
 	SliceLog func(cgroup int, served int64, vtime float64)
+
+	// Obs is the observability sink (nil = disabled): each slice
+	// expiry is sampled as "bfq.slice_bytes" / "bfq.vtime" per cgroup,
+	// and slice_idle waits as "bfq.idle".
+	Obs *obs.Observer
 
 	queues    map[int]*queue
 	order     []*queue // stable iteration order
@@ -188,6 +194,7 @@ func (s *Scheduler) startIdle(q *queue) {
 	s.idling = true
 	s.idleGen++
 	gen := s.idleGen
+	s.Obs.Sample("bfq.idle", q.id, 1)
 	s.eng.After(s.cfg.SliceIdle, func() {
 		if gen != s.idleGen || !s.idling {
 			return
@@ -213,6 +220,10 @@ func (s *Scheduler) expire(q *queue) {
 		}
 		if s.SliceLog != nil {
 			s.SliceLog(q.id, q.served, q.vtime)
+		}
+		if s.Obs != nil {
+			s.Obs.Sample("bfq.slice_bytes", q.id, float64(q.served))
+			s.Obs.Sample("bfq.vtime", q.id, q.vtime)
 		}
 	}
 	q.served = 0

@@ -11,6 +11,7 @@ package mqdeadline
 import (
 	"isolbench/internal/blk"
 	"isolbench/internal/device"
+	"isolbench/internal/obs"
 	"isolbench/internal/sim"
 )
 
@@ -48,6 +49,11 @@ func DefaultConfig() Config {
 type Scheduler struct {
 	eng *sim.Engine
 	cfg Config
+
+	// Obs is the observability sink (nil = disabled): priority-aged
+	// dispatches are sampled as "mqdl.aged" per class rank, and batch
+	// starts as "mqdl.batch" (rank*2+dir).
+	Obs *obs.Observer
 
 	// fifo[classRank][dir]: deadline-ordered (== insertion-ordered)
 	// request lists.
@@ -208,6 +214,7 @@ func (s *Scheduler) Dispatch() *device.Request {
 			for dir := 0; dir < 2; dir++ {
 				if head := s.fifo[rank][dir].peek(); head != nil &&
 					now.Sub(head.Queued) >= s.cfg.PrioAgingExpire {
+					s.Obs.Sample("mqdl.aged", rank, 1)
 					s.startBatch(rank, dir)
 					return s.Dispatch()
 				}
@@ -254,6 +261,7 @@ func (s *Scheduler) writeExpired(rank int) bool {
 func (s *Scheduler) startBatch(rank, dir int) {
 	s.batchRank, s.batchDir = rank, dir
 	s.batchLeft = s.cfg.FifoBatch
+	s.Obs.Sample("mqdl.batch", -1, float64(rank*2+dir))
 }
 
 // Completed is a no-op for mq-deadline.

@@ -1,0 +1,415 @@
+// Package obs is the observability layer threaded through the request
+// path: stage-resolved latency spans (blktrace/biolatency-style),
+// kernel-style per-cgroup io.stat counters and io.pressure PSI
+// averages, and time series of controller internals (io.cost vrate and
+// hweights, io.latency queue-depth decisions, io.max token balances,
+// BFQ slice state).
+//
+// The layer is disabled by default: every component holds a *Observer
+// that is nil unless the user asked for observability, and every
+// exported method nil-checks its receiver, so the disabled path costs
+// one predictable branch per hook site. When enabled, spans and series
+// live in bounded ring buffers (oldest entries are overwritten and
+// counted as dropped) so memory stays flat on long runs.
+//
+// The observer never schedules engine events, never draws random
+// numbers, and never feeds anything back into the simulation, so a run
+// produces bit-identical results with observability on or off — the
+// property TestObsDeterminism pins down.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"isolbench/internal/device"
+	"isolbench/internal/metrics"
+	"isolbench/internal/sim"
+)
+
+// Default ring capacities.
+const (
+	DefaultSpanCap   = 1 << 16 // completed-request spans kept
+	DefaultSeriesCap = 1 << 13 // points kept per controller series
+)
+
+// Config bounds the observer's buffers.
+type Config struct {
+	SpanCap   int // max spans kept (0 = DefaultSpanCap)
+	SeriesCap int // max points per series (0 = DefaultSeriesCap)
+}
+
+// Observer is the per-cluster observability hub. The zero of the
+// *pointer* type — nil — is the disabled fast path; all methods are
+// safe to call on a nil receiver and return immediately.
+type Observer struct {
+	cfg Config
+	eng *sim.Engine
+
+	// CgroupName, when set, resolves a cgroup id to a printable path
+	// for exports (the cluster wires it; a func avoids importing the
+	// cgroup package).
+	CgroupName func(id int) string
+
+	spans       []Span // ring
+	spanHead    int    // index of the oldest span
+	spanCount   int
+	spanDropped uint64
+
+	groups map[int]*groupState   // per-cgroup accounting
+	series map[seriesKey]*Series // controller internals
+	order  []seriesKey           // stable series listing order
+	devs   map[string]struct{}   // device names seen
+	devsO  []string              // sorted device names
+	psiWin [3]sim.Duration       // PSI averaging windows
+}
+
+// psiWindows are the kernel's PSI averaging horizons.
+var psiWindows = [3]sim.Duration{10 * sim.Second, 60 * sim.Second, 300 * sim.Second}
+
+// New returns an enabled observer bound to the engine's virtual clock.
+func New(eng *sim.Engine) *Observer { return NewWithConfig(eng, Config{}) }
+
+// NewWithConfig returns an enabled observer with explicit buffer bounds.
+func NewWithConfig(eng *sim.Engine, cfg Config) *Observer {
+	if cfg.SpanCap <= 0 {
+		cfg.SpanCap = DefaultSpanCap
+	}
+	if cfg.SeriesCap <= 0 {
+		cfg.SeriesCap = DefaultSeriesCap
+	}
+	return &Observer{
+		cfg:    cfg,
+		eng:    eng,
+		groups: make(map[int]*groupState),
+		series: make(map[seriesKey]*Series),
+		devs:   make(map[string]struct{}),
+		psiWin: psiWindows,
+	}
+}
+
+// Enabled reports whether the observer is collecting (non-nil).
+func (o *Observer) Enabled() bool { return o != nil }
+
+// groupState is everything tracked per cgroup.
+type groupState struct {
+	stat   map[string]*IOStat // per device name
+	gauges map[string]map[string]float64
+	psi    PSI
+	hists  [NumStages]metrics.Histogram
+	e2e    metrics.Histogram
+}
+
+// IOStat mirrors the kernel's per-device io.stat counters.
+type IOStat struct {
+	RBytes int64
+	WBytes int64
+	RIOs   uint64
+	WIOs   uint64
+}
+
+func (o *Observer) groupFor(id int) *groupState {
+	g, ok := o.groups[id]
+	if !ok {
+		g = &groupState{
+			stat:   make(map[string]*IOStat),
+			gauges: make(map[string]map[string]float64),
+		}
+		g.psi.init(o.eng.Now(), o.psiWin)
+		o.groups[id] = g
+	}
+	return g
+}
+
+func (o *Observer) statFor(g *groupState, dev string) *IOStat {
+	s, ok := g.stat[dev]
+	if !ok {
+		s = &IOStat{}
+		g.stat[dev] = s
+		if _, seen := o.devs[dev]; !seen {
+			o.devs[dev] = struct{}{}
+			o.devsO = append(o.devsO, dev)
+			sort.Strings(o.devsO)
+		}
+	}
+	return s
+}
+
+// --- request-path hooks -------------------------------------------------
+
+// ThrottleBegin marks one request of the cgroup entering a controller's
+// throttle queue (PSI stall pressure rises).
+func (o *Observer) ThrottleBegin(cg int) {
+	if o == nil {
+		return
+	}
+	g := o.groupFor(cg)
+	g.psi.fold(o.eng.Now())
+	g.psi.throttled++
+}
+
+// ThrottleEnd marks one throttled request released toward the
+// scheduler.
+func (o *Observer) ThrottleEnd(cg int) {
+	if o == nil {
+		return
+	}
+	g := o.groupFor(cg)
+	g.psi.fold(o.eng.Now())
+	if g.psi.throttled > 0 {
+		g.psi.throttled--
+	}
+}
+
+// RunBegin marks one request of the cgroup making progress past the
+// controllers (scheduler queue, device). While at least one request
+// runs, a concurrently throttled cgroup is in "some" but not "full"
+// pressure.
+func (o *Observer) RunBegin(cg int) {
+	if o == nil {
+		return
+	}
+	g := o.groupFor(cg)
+	g.psi.fold(o.eng.Now())
+	g.psi.running++
+}
+
+// Completed observes a finished request on the named device: it closes
+// the PSI running interval, bumps io.stat counters, and records the
+// request's stage decomposition.
+func (o *Observer) Completed(dev string, r *device.Request) {
+	if o == nil {
+		return
+	}
+	g := o.groupFor(r.Cgroup)
+	g.psi.fold(o.eng.Now())
+	if g.psi.running > 0 {
+		g.psi.running--
+	}
+	st := o.statFor(g, dev)
+	if r.Op == device.Write {
+		st.WBytes += r.Size
+		st.WIOs++
+	} else {
+		st.RBytes += r.Size
+		st.RIOs++
+	}
+	sp := SpanOf(r)
+	for i := 0; i < int(NumStages); i++ {
+		g.hists[i].Record(int64(sp.Stages[i]))
+	}
+	g.e2e.Record(int64(r.Latency()))
+	o.pushSpan(sp)
+}
+
+// SetGauge publishes a controller-owned per-cgroup value (debt, delay,
+// queue depth, ...) shown on the cgroup's io.stat line for the device.
+func (o *Observer) SetGauge(dev string, cg int, key string, v float64) {
+	if o == nil {
+		return
+	}
+	g := o.groupFor(cg)
+	m, ok := g.gauges[dev]
+	if !ok {
+		m = make(map[string]float64)
+		g.gauges[dev] = m
+	}
+	m[key] = v
+	o.statFor(g, dev) // register the device for formatting
+}
+
+// --- spans --------------------------------------------------------------
+
+func (o *Observer) pushSpan(sp Span) {
+	if o.spanCount < o.cfg.SpanCap {
+		if len(o.spans) < o.cfg.SpanCap {
+			o.spans = append(o.spans, sp)
+		} else {
+			o.spans[(o.spanHead+o.spanCount)%o.cfg.SpanCap] = sp
+		}
+		o.spanCount++
+		return
+	}
+	// Full: overwrite the oldest (keep the latest window) and count it.
+	o.spans[o.spanHead] = sp
+	o.spanHead = (o.spanHead + 1) % o.cfg.SpanCap
+	o.spanDropped++
+}
+
+// Spans returns the retained spans in completion order.
+func (o *Observer) Spans() []Span {
+	if o == nil || o.spanCount == 0 {
+		return nil
+	}
+	out := make([]Span, 0, o.spanCount)
+	for i := 0; i < o.spanCount; i++ {
+		out = append(out, o.spans[(o.spanHead+i)%len(o.spans)])
+	}
+	return out
+}
+
+// SpansDropped reports how many spans were evicted from the ring.
+func (o *Observer) SpansDropped() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.spanDropped
+}
+
+// Cgroups returns the ids of every cgroup that produced traffic,
+// sorted.
+func (o *Observer) Cgroups() []int {
+	if o == nil {
+		return nil
+	}
+	ids := make([]int, 0, len(o.groups))
+	for id := range o.groups {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Devices returns every device name seen, sorted.
+func (o *Observer) Devices() []string {
+	if o == nil {
+		return nil
+	}
+	return o.devsO
+}
+
+func (o *Observer) nameOf(id int) string {
+	if o.CgroupName != nil {
+		if n := o.CgroupName(id); n != "" {
+			return n
+		}
+	}
+	return "cgroup-" + strconv.Itoa(id)
+}
+
+// --- kernel-style files -------------------------------------------------
+
+// StatFile renders the cgroup's io.stat: one line per device with the
+// kernel's rbytes/wbytes/rios/wios (dbytes/dios are always 0 — the
+// simulator has no discard path) followed by any controller gauges.
+// ok is false when the cgroup produced no traffic.
+func (o *Observer) StatFile(cg int) (string, bool) {
+	if o == nil {
+		return "", false
+	}
+	g, ok := o.groups[cg]
+	if !ok {
+		return "", false
+	}
+	var b strings.Builder
+	for _, dev := range o.devsO {
+		s, ok := g.stat[dev]
+		if !ok {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%s rbytes=%d wbytes=%d rios=%d wios=%d dbytes=0 dios=0",
+			dev, s.RBytes, s.WBytes, s.RIOs, s.WIOs)
+		if m := g.gauges[dev]; len(m) > 0 {
+			keys := make([]string, 0, len(m))
+			for k := range m {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, " %s=%s", k, strconv.FormatFloat(m[k], 'f', -1, 64))
+			}
+		}
+	}
+	return b.String(), true
+}
+
+// PressureFile renders the cgroup's io.pressure in the kernel's PSI
+// format: some/full lines with avg10/avg60/avg300 percentages and the
+// cumulative stall total in microseconds.
+func (o *Observer) PressureFile(cg int) (string, bool) {
+	if o == nil {
+		return "", false
+	}
+	g, ok := o.groups[cg]
+	if !ok {
+		return "", false
+	}
+	g.psi.fold(o.eng.Now())
+	return g.psi.format(), true
+}
+
+// PSISnapshot exposes the cgroup's current PSI state (tests,
+// summaries).
+func (o *Observer) PSISnapshot(cg int) (PSI, bool) {
+	if o == nil {
+		return PSI{}, false
+	}
+	g, ok := o.groups[cg]
+	if !ok {
+		return PSI{}, false
+	}
+	g.psi.fold(o.eng.Now())
+	return g.psi, true
+}
+
+// StageHistogram returns the cgroup's latency histogram for one stage
+// (nil when the cgroup is unknown).
+func (o *Observer) StageHistogram(cg int, st Stage) *metrics.Histogram {
+	if o == nil {
+		return nil
+	}
+	g, ok := o.groups[cg]
+	if !ok {
+		return nil
+	}
+	return &g.hists[st]
+}
+
+// --- summaries ----------------------------------------------------------
+
+// StageSummary is one (cgroup, stage) row of the latency decomposition.
+type StageSummary struct {
+	Cgroup int
+	Name   string
+	Stage  Stage
+	Count  uint64
+	MeanNs float64
+	P50Ns  int64
+	P99Ns  int64
+}
+
+// Summary returns the per-cgroup per-stage latency decomposition plus
+// an end-to-end row (Stage == NumStages) per cgroup, ordered by cgroup
+// id then stage.
+func (o *Observer) Summary() []StageSummary {
+	if o == nil {
+		return nil
+	}
+	var out []StageSummary
+	for _, id := range o.Cgroups() {
+		g := o.groups[id]
+		if g.e2e.Count() == 0 {
+			continue
+		}
+		name := o.nameOf(id)
+		for st := 0; st < int(NumStages); st++ {
+			h := &g.hists[st]
+			out = append(out, StageSummary{
+				Cgroup: id, Name: name, Stage: Stage(st),
+				Count: h.Count(), MeanNs: h.Mean(),
+				P50Ns: h.Percentile(50), P99Ns: h.Percentile(99),
+			})
+		}
+		out = append(out, StageSummary{
+			Cgroup: id, Name: name, Stage: NumStages,
+			Count: g.e2e.Count(), MeanNs: g.e2e.Mean(),
+			P50Ns: g.e2e.Percentile(50), P99Ns: g.e2e.Percentile(99),
+		})
+	}
+	return out
+}

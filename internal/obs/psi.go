@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+
+	"isolbench/internal/sim"
+)
+
+// PSI tracks a cgroup's I/O pressure the way the kernel's PSI
+// accounting does, adapted to the simulator's request-level view:
+//
+//   - "some" pressure accrues while at least one of the cgroup's
+//     requests is held in a controller throttle queue;
+//   - "full" pressure accrues while at least one request is throttled
+//     AND none of the cgroup's requests is making progress (nothing in
+//     the scheduler/device portion of the path).
+//
+// The rolling averages use a continuous-time exponential decay with
+// the kernel's 10/60/300 s horizons: folding an interval dt during
+// which the stall state was s (0 or 1) updates each average as
+//
+//	avg = s + (avg - s) * exp(-dt/win)
+//
+// This is the continuous analogue of the kernel's periodic EWMA and,
+// unlike a ticker, needs no engine events — updates happen lazily on
+// state transitions and reads, which keeps the observer from
+// perturbing simulation determinism.
+type PSI struct {
+	throttled int // requests in controller throttle queues
+	running   int // requests making progress past the controllers
+
+	last      sim.Time
+	win       [3]sim.Duration
+	SomeTotal sim.Duration // cumulative "some" stall time
+	FullTotal sim.Duration // cumulative "full" stall time
+	SomeAvg   [3]float64   // rolling occupancy in [0,1] per window
+	FullAvg   [3]float64
+}
+
+func (p *PSI) init(now sim.Time, win [3]sim.Duration) {
+	p.last = now
+	p.win = win
+}
+
+// Stalled reports the instantaneous some/full state.
+func (p *PSI) Stalled() (some, full bool) {
+	some = p.throttled > 0
+	full = some && p.running == 0
+	return
+}
+
+// fold accrues the interval since the last update under the current
+// stall state.
+func (p *PSI) fold(now sim.Time) {
+	dt := now.Sub(p.last)
+	if dt <= 0 {
+		return
+	}
+	p.last = now
+	some, full := p.Stalled()
+	if some {
+		p.SomeTotal += dt
+	}
+	if full {
+		p.FullTotal += dt
+	}
+	for i, w := range p.win {
+		if w <= 0 {
+			continue
+		}
+		decay := math.Exp(-dt.Seconds() / w.Seconds())
+		p.SomeAvg[i] = ewma(p.SomeAvg[i], some, decay)
+		p.FullAvg[i] = ewma(p.FullAvg[i], full, decay)
+	}
+}
+
+func ewma(avg float64, stalled bool, decay float64) float64 {
+	s := 0.0
+	if stalled {
+		s = 1.0
+	}
+	return s + (avg-s)*decay
+}
+
+// format renders the kernel's io.pressure layout, percentages with two
+// decimals and totals in microseconds.
+func (p *PSI) format() string {
+	return fmt.Sprintf(
+		"some avg10=%.2f avg60=%.2f avg300=%.2f total=%d\n"+
+			"full avg10=%.2f avg60=%.2f avg300=%.2f total=%d",
+		p.SomeAvg[0]*100, p.SomeAvg[1]*100, p.SomeAvg[2]*100, int64(p.SomeTotal)/int64(sim.Microsecond),
+		p.FullAvg[0]*100, p.FullAvg[1]*100, p.FullAvg[2]*100, int64(p.FullTotal)/int64(sim.Microsecond))
+}

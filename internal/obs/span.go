@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"isolbench/internal/device"
+	"isolbench/internal/sim"
+)
+
+// Stage indexes one contiguous segment of a request's path from the
+// application to the flash and back. Stages tile the request's life:
+// summing a span's stage durations reproduces its end-to-end latency
+// exactly.
+type Stage int
+
+// The five stages of the simulated request path.
+const (
+	// StageThrottle: workload submit to scheduler arrival — the
+	// submission-path CPU cost plus any cgroup-controller throttle hold
+	// (io.max tokens, io.latency queue-depth gate, io.cost vtime debt).
+	StageThrottle Stage = iota
+	// StageSched: scheduler queue residency, from insertion until the
+	// scheduler hands the request to the dispatch path (BFQ slice
+	// waits and idling, MQ-DL priority blocking live here).
+	StageSched
+	// StageDispatch: dispatch-lock wait between the scheduler's
+	// decision and the device accepting the request.
+	StageDispatch
+	// StageDevQueue: inside the device but waiting for a free flash
+	// channel (die/channel contention, GC channel seizure).
+	StageDevQueue
+	// StageDevice: channel access + transfer service, including
+	// die-collision delay.
+	StageDevice
+	// NumStages counts the stages; it doubles as the pseudo-stage id
+	// for end-to-end rows in summaries.
+	NumStages
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageThrottle:
+		return "throttle"
+	case StageSched:
+		return "sched"
+	case StageDispatch:
+		return "dispatch"
+	case StageDevQueue:
+		return "devqueue"
+	case StageDevice:
+		return "device"
+	default:
+		return "total"
+	}
+}
+
+// Span is one completed request's stage decomposition.
+type Span struct {
+	ID     uint64
+	Cgroup int
+	App    int
+	Op     device.Op
+	Size   int64
+	Submit sim.Time
+	Stages [NumStages]sim.Duration
+}
+
+// Total returns the sum of the stage durations, which by construction
+// equals the request's end-to-end latency.
+func (sp Span) Total() sim.Duration {
+	var t sim.Duration
+	for _, d := range sp.Stages {
+		t += d
+	}
+	return t
+}
+
+// SpanOf decomposes a completed request into stage durations using the
+// lifecycle timestamps stamped along the path. Missing timestamps
+// (a request that never waited at a boundary) collapse that stage to
+// zero rather than producing negative durations.
+func SpanOf(r *device.Request) Span {
+	sp := Span{
+		ID:     r.ID,
+		Cgroup: r.Cgroup,
+		App:    r.AppID,
+		Op:     r.Op,
+		Size:   r.Size,
+		Submit: r.Submit,
+	}
+	// Clamp each boundary to be monotonically non-decreasing so a
+	// skipped stamp (e.g. noop path) yields a zero stage.
+	t0 := r.Submit
+	t1 := clampT(r.Queued, t0)
+	t2 := clampT(r.SchedOut, t1)
+	t3 := clampT(r.Dispatch, t2)
+	t4 := clampT(r.Service, t3)
+	t5 := clampT(r.Complete, t4)
+	sp.Stages[StageThrottle] = t1.Sub(t0)
+	sp.Stages[StageSched] = t2.Sub(t1)
+	sp.Stages[StageDispatch] = t3.Sub(t2)
+	sp.Stages[StageDevQueue] = t4.Sub(t3)
+	sp.Stages[StageDevice] = t5.Sub(t4)
+	return sp
+}
+
+func clampT(t, floor sim.Time) sim.Time {
+	if t < floor {
+		return floor
+	}
+	return t
+}

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"isolbench/internal/device"
 	"isolbench/internal/sim"
@@ -63,6 +64,7 @@ func FromRequest(r *device.Request) Entry {
 type Recorder struct {
 	entries []Entry
 	limit   int
+	dropped uint64
 }
 
 // NewRecorder returns a recorder that keeps at most limit entries
@@ -83,9 +85,12 @@ func (rec *Recorder) Attach(dev *device.Device) {
 	}
 }
 
-// Observe records one completed request.
+// Observe records one completed request. Once the limit is reached,
+// further requests are counted as dropped rather than silently
+// discarded — check Dropped after the run.
 func (rec *Recorder) Observe(r *device.Request) {
 	if rec.limit > 0 && len(rec.entries) >= rec.limit {
+		rec.dropped++
 		return
 	}
 	rec.entries = append(rec.entries, FromRequest(r))
@@ -93,6 +98,10 @@ func (rec *Recorder) Observe(r *device.Request) {
 
 // Len returns the number of recorded entries.
 func (rec *Recorder) Len() int { return len(rec.entries) }
+
+// Dropped returns how many requests arrived after the recorder hit its
+// limit and were not recorded.
+func (rec *Recorder) Dropped() uint64 { return rec.dropped }
 
 // Entries returns the recorded entries sorted by submission time.
 func (rec *Recorder) Entries() []Entry {
@@ -102,9 +111,28 @@ func (rec *Recorder) Entries() []Entry {
 	return out
 }
 
+// sortEntriesCutoff is the size above which sortEntries switches from
+// insertion sort to sort.SliceStable. Completions arrive nearly sorted
+// by submit time, where insertion sort is close to linear, but a
+// deeply-reordered large trace would make it quadratic.
+const sortEntriesCutoff = 64
+
 func sortEntries(es []Entry) {
-	// Insertion-friendly: completions arrive nearly sorted by submit
-	// time; a simple binary-insertion pass is fine at trace sizes.
+	if len(es) <= sortEntriesCutoff {
+		insertionSortEntries(es)
+		return
+	}
+	// Nearly-sorted fast path: one linear scan detects the common case
+	// (shallow reordering from out-of-order completions) and keeps the
+	// cheap pass; anything worse goes to the O(n log n) stable sort.
+	if maxDisplacement(es) <= sortEntriesCutoff {
+		insertionSortEntries(es)
+		return
+	}
+	sort.SliceStable(es, func(i, j int) bool { return es[i].At < es[j].At })
+}
+
+func insertionSortEntries(es []Entry) {
 	for i := 1; i < len(es); i++ {
 		j := i
 		for j > 0 && es[j-1].At > es[j].At {
@@ -112,6 +140,34 @@ func sortEntries(es []Entry) {
 			j--
 		}
 	}
+}
+
+// maxDisplacement bounds how far any entry must travel to reach its
+// sorted position: it is the largest backward gap between an entry and
+// the running maximum of everything before it. Scanning stops early
+// once the bound exceeds the cutoff.
+func maxDisplacement(es []Entry) int {
+	runMax := es[0].At
+	disp := 0
+	for i := 1; i < len(es); i++ {
+		if es[i].At >= runMax {
+			runMax = es[i].At
+			continue
+		}
+		// Entry i sorts before at least one earlier entry; walk back to
+		// count how many it must pass. Cap the walk at the cutoff.
+		n := 0
+		for j := i - 1; j >= 0 && es[j].At > es[i].At; j-- {
+			n++
+			if n > sortEntriesCutoff {
+				return n
+			}
+		}
+		if n > disp {
+			disp = n
+		}
+	}
+	return disp
 }
 
 // WriteJSONL writes entries as JSON lines.
@@ -164,14 +220,18 @@ type Stats struct {
 	MeanIOPS   float64
 }
 
-// Summarize computes trace statistics.
+// Summarize computes trace statistics. The span runs from the first
+// submission to the last *completion* (At + LatNs): measuring only
+// submit-to-submit would shrink the window and overstate MeanIOPS,
+// badly so for short traces with slow tails.
 func Summarize(entries []Entry) Stats {
 	var s Stats
 	if len(entries) == 0 {
 		return s
 	}
 	s.Requests = len(entries)
-	first, last := entries[0].At, entries[0].At
+	first := entries[0].At
+	last := entries[0].At.Add(sim.Duration(entries[0].LatNs))
 	for _, e := range entries {
 		if e.OpKind() == device.Write {
 			s.WriteBytes += e.Size
@@ -181,8 +241,8 @@ func Summarize(entries []Entry) Stats {
 		if e.At < first {
 			first = e.At
 		}
-		if e.At > last {
-			last = e.At
+		if done := e.At.Add(sim.Duration(e.LatNs)); done > last {
+			last = done
 		}
 	}
 	s.Span = last.Sub(first)

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -123,5 +124,108 @@ func TestSummarize(t *testing.T) {
 	}
 	if z := Summarize(nil); z.Requests != 0 || z.MeanIOPS != 0 {
 		t.Fatal("empty trace stats")
+	}
+}
+
+func TestRecorderDropped(t *testing.T) {
+	rec := NewRecorder(5)
+	for i := 0; i < 12; i++ {
+		rec.Observe(&device.Request{Op: device.Read, Size: 4096})
+	}
+	if rec.Len() != 5 {
+		t.Fatalf("kept %d, limit 5", rec.Len())
+	}
+	if rec.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", rec.Dropped())
+	}
+	if NewRecorder(0).Dropped() != 0 {
+		t.Fatal("fresh recorder reports drops")
+	}
+}
+
+func TestSummarizeSpanToLastCompletion(t *testing.T) {
+	// Two requests submitted 1 s apart; the second takes 1 s to
+	// complete. The span must cover submit-to-last-completion (2 s), not
+	// submit-to-last-submit (1 s) — the latter doubles MeanIOPS.
+	s := Summarize([]Entry{
+		{At: 0, Op: "r", Size: 4096, LatNs: int64(100 * sim.Microsecond)},
+		{At: sim.Time(sim.Second), Op: "r", Size: 4096, LatNs: int64(sim.Second)},
+	})
+	if s.Span != 2*sim.Second {
+		t.Fatalf("span = %v, want 2s", s.Span)
+	}
+	if s.MeanIOPS != 1.0 {
+		t.Fatalf("MeanIOPS = %v, want 1.0", s.MeanIOPS)
+	}
+}
+
+func TestSortEntriesDeepReorder(t *testing.T) {
+	// A reversed trace far exceeds the nearly-sorted displacement bound
+	// and must take the sort.SliceStable path; equal keys keep their
+	// relative order (stability).
+	n := 1000
+	es := make([]Entry, n)
+	for i := range es {
+		es[i] = Entry{At: sim.Time((n - 1 - i) / 2), Offset: int64(i)}
+	}
+	sortEntries(es)
+	for i := 1; i < n; i++ {
+		if es[i].At < es[i-1].At {
+			t.Fatal("not sorted")
+		}
+		if es[i].At == es[i-1].At && es[i].Offset < es[i-1].Offset {
+			t.Fatal("equal-key order not stable")
+		}
+	}
+}
+
+func TestSortEntriesNearlySorted(t *testing.T) {
+	// Shallow out-of-order completion pattern: stays on the insertion
+	// fast path and still sorts correctly.
+	n := 500
+	es := make([]Entry, n)
+	for i := range es {
+		es[i] = Entry{At: sim.Time(i)}
+	}
+	for i := 0; i+3 < n; i += 7 {
+		es[i], es[i+3] = es[i+3], es[i]
+	}
+	sortEntries(es)
+	for i := 1; i < n; i++ {
+		if es[i].At < es[i-1].At {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func benchEntries(n int, shuffled bool) []Entry {
+	rng := rand.New(rand.NewSource(7))
+	es := make([]Entry, n)
+	for i := range es {
+		at := sim.Time(i * 1000)
+		if shuffled {
+			at = sim.Time(rng.Intn(n * 1000))
+		} else if i > 0 && rng.Intn(8) == 0 {
+			at = sim.Time((i - 1) * 1000) // shallow completion reorder
+		}
+		es[i] = Entry{At: at, Op: "r", Size: 4096}
+	}
+	return es
+}
+
+// BenchmarkSortEntries compares the nearly-sorted fast path against the
+// stable-sort fallback that replaced the old always-insertion sort
+// (quadratic on shuffled traces).
+func BenchmarkSortEntries(b *testing.B) {
+	for _, mode := range []string{"nearly-sorted", "shuffled"} {
+		src := benchEntries(100_000, mode == "shuffled")
+		b.Run(mode, func(b *testing.B) {
+			buf := make([]Entry, len(src))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(buf, src)
+				sortEntries(buf)
+			}
+		})
 	}
 }
