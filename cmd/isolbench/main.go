@@ -18,29 +18,36 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"isolbench"
 	"isolbench/internal/core"
+	"isolbench/internal/runpool"
 	"isolbench/internal/sim"
 	"isolbench/internal/trace"
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "experiment id: fig2|fig3|fig4|fig5|fig6|fig7|q10|tab1|all")
-	knobFlag   = flag.String("knob", "", "restrict to one knob (none|mq-deadline|bfq|io.max|io.latency|io.cost)")
-	quickFlag  = flag.Bool("quick", false, "short runs and coarse sweeps (fast, noisier)")
-	seedFlag   = flag.Uint64("seed", 1, "simulation seed")
-	profFlag   = flag.String("profile", "flash980", "device profile (flash980|optane), the paper's two SSDs")
-	jobFlag    = flag.String("job", "", "run a fio-style job file instead of a canned experiment")
-	recordFlag = flag.String("record", "", "with -job: write the run's device trace (JSONL) to this file")
-	replayFlag = flag.String("replay", "", "replay a JSONL trace under -knob instead of a canned experiment")
+	expFlag     = flag.String("exp", "all", "experiment id: fig2|fig3|fig4|fig5|fig6|fig7|q10|tab1|all")
+	knobFlag    = flag.String("knob", "", "restrict to one knob (none|mq-deadline|bfq|io.max|io.latency|io.cost)")
+	quickFlag   = flag.Bool("quick", false, "short runs and coarse sweeps (fast, noisier)")
+	seedFlag    = flag.Uint64("seed", 1, "simulation seed")
+	profFlag    = flag.String("profile", "flash980", "device profile (flash980|optane), the paper's two SSDs")
+	workersFlag = flag.Int("workers", runpool.DefaultWorkers(), "parallel simulation units per sweep (1 = fully sequential; output is identical at any width)")
+	jobFlag     = flag.String("job", "", "run a fio-style job file instead of a canned experiment")
+	recordFlag  = flag.String("record", "", "with -job: write the run's device trace (JSONL) to this file")
+	replayFlag  = flag.String("replay", "", "replay a JSONL trace under -knob instead of a canned experiment")
 
 	setFlags     knobFileFlags
 	statFlag     = flag.Bool("stat", false, "with -job: print each cgroup's io.stat after the run")
 	pressureFlag = flag.Bool("pressure", false, "with -job: print each cgroup's io.pressure (PSI) after the run")
 	traceEvFlag  = flag.String("trace-events", "", "with -job: write a Chrome trace-event file (load in Perfetto/chrome://tracing)")
 	spansFlag    = flag.String("spans", "", "with -job: write per-request stage spans (JSONL) to this file")
+
+	cpuProfFlag = flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
+	memProfFlag = flag.String("memprofile", "", "write a heap profile (runtime/pprof) to this file at exit")
 )
 
 // knobFileFlags collects repeatable -set "cgroup:file=value" options
@@ -73,7 +80,37 @@ func (k *knobFileFlags) Set(s string) error {
 func main() {
 	flag.Var(&setFlags, "set", `with -job: write a cgroup control file before the run, as "cgroup:file=value" (repeatable), e.g. -set "tenant-batch:io.max=rbps=104857600"`)
 	flag.Parse()
-	if err := run(); err != nil {
+	if *cpuProfFlag != "" {
+		f, err := os.Create(*cpuProfFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "isolbench: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "isolbench: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	err := run()
+	if *memProfFlag != "" {
+		f, merr := os.Create(*memProfFlag)
+		if merr == nil {
+			runtime.GC() // settle the heap so the profile reflects live objects
+			merr = pprof.WriteHeapProfile(f)
+			f.Close()
+		}
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "isolbench: -memprofile:", merr)
+		}
+	}
+	if err != nil {
+		if *cpuProfFlag != "" {
+			pprof.StopCPUProfile()
+		}
 		fmt.Fprintln(os.Stderr, "isolbench:", err)
 		os.Exit(1)
 	}
@@ -153,25 +190,24 @@ func runFig2() error {
 	if *quickFlag {
 		scale = 0.1
 	}
+	var cfgs []core.IllustrateConfig
 	for _, k := range ks {
 		variants := []bool{false}
 		if k == core.KnobBFQ || k == core.KnobIOCost {
 			variants = []bool{false, true} // uniform + weighted panels
 		}
 		for _, weighted := range variants {
-			series, err := core.RunIllustrate(core.IllustrateConfig{
+			cfgs = append(cfgs, core.IllustrateConfig{
 				Knob: k, Profile: *profFlag, Weighted: weighted, TimeScale: scale, Seed: *seedFlag,
 			})
-			if err != nil {
-				return err
-			}
-			name := k.String()
-			if weighted {
-				name += " (weights)"
-			}
-			core.WriteTimelines(os.Stdout, k, series)
-			_ = name
 		}
+	}
+	panels, err := core.RunIllustrateGrid(cfgs, *workersFlag)
+	if err != nil {
+		return err
+	}
+	for i, series := range panels {
+		core.WriteTimelines(os.Stdout, cfgs[i].Knob, series)
 	}
 	return nil
 }
@@ -185,17 +221,22 @@ func runFig3() error {
 	if *quickFlag {
 		counts = []int{1, 8, 16, 64, 256}
 	}
-	for _, k := range ks {
-		pts, err := core.RunLatencyScaling(core.LatencyScalingConfig{
-			Knob: k, Profile: *profFlag, AppCounts: counts, Measure: measure(2 * sim.Second), Seed: *seedFlag,
+	// Knob panels are independent; fan them out, print in knob order.
+	// Each panel fans its app counts out in turn.
+	byKnob, err := runpool.Map(*workersFlag, len(ks), func(i int) ([]core.LatencyScalingPoint, error) {
+		return core.RunLatencyScaling(core.LatencyScalingConfig{
+			Knob: ks[i], Profile: *profFlag, AppCounts: counts,
+			Measure: measure(2 * sim.Second), Seed: *seedFlag, Workers: *workersFlag,
 		})
-		if err != nil {
-			return err
-		}
-		core.WriteLatencyScaling(os.Stdout, k, pts)
+	})
+	if err != nil {
+		return err
+	}
+	for ki, pts := range byKnob {
+		core.WriteLatencyScaling(os.Stdout, ks[ki], pts)
 		for i, n := range counts {
 			if n == 1 || n == 16 || n == 256 {
-				core.WriteCDF(os.Stdout, k, n, pts[i])
+				core.WriteCDF(os.Stdout, ks[ki], n, pts[i])
 			}
 		}
 	}
@@ -212,15 +253,18 @@ func runFig4() error {
 		counts = []int{1, 5, 17}
 	}
 	for _, devs := range []int{1, 7} {
-		for _, k := range ks {
-			pts, err := core.RunBandwidthScaling(core.BandwidthScalingConfig{
-				Knob: k, Profile: *profFlag, AppCounts: counts, Devices: devs,
-				Measure: measure(1 * sim.Second), Seed: *seedFlag,
+		devs := devs
+		byKnob, err := runpool.Map(*workersFlag, len(ks), func(i int) ([]core.BandwidthScalingPoint, error) {
+			return core.RunBandwidthScaling(core.BandwidthScalingConfig{
+				Knob: ks[i], Profile: *profFlag, AppCounts: counts, Devices: devs,
+				Measure: measure(1 * sim.Second), Seed: *seedFlag, Workers: *workersFlag,
 			})
-			if err != nil {
-				return err
-			}
-			core.WriteBandwidthScaling(os.Stdout, k, pts)
+		})
+		if err != nil {
+			return err
+		}
+		for ki, pts := range byKnob {
+			core.WriteBandwidthScaling(os.Stdout, ks[ki], pts)
 		}
 	}
 	return nil
@@ -238,12 +282,15 @@ func runFig5() error {
 		groupCounts = []int{2, 16}
 	}
 	for _, weighted := range []bool{false, true} {
+		weighted := weighted
+		byKnob, err := runpool.Map(*workersFlag, len(ks), func(i int) ([]*core.FairnessResult, error) {
+			return core.FairnessScalability(ks[i], *profFlag, groupCounts, weighted, repeats, *seedFlag, *workersFlag)
+		})
+		if err != nil {
+			return err
+		}
 		var all []*core.FairnessResult
-		for _, k := range ks {
-			rs, err := core.FairnessScalability(k, *profFlag, groupCounts, weighted, repeats, *seedFlag)
-			if err != nil {
-				return err
-			}
+		for _, rs := range byKnob {
 			all = append(all, rs...)
 		}
 		fmt.Printf("# Fig.5 fairness scalability (weighted=%v)\n", weighted)
@@ -262,15 +309,15 @@ func runFig6() error {
 		repeats = 1
 	}
 	for _, mix := range []core.FairnessMix{core.MixSizes, core.MixPatterns, core.MixReadWrite} {
-		var all []*core.FairnessResult
-		for _, k := range ks {
-			r, err := core.RunFairness(core.FairnessConfig{
-				Knob: k, Profile: *profFlag, Groups: 2, Mix: mix, Repeats: repeats, Seed: *seedFlag,
+		mix := mix
+		all, err := runpool.Map(*workersFlag, len(ks), func(i int) (*core.FairnessResult, error) {
+			return core.RunFairness(core.FairnessConfig{
+				Knob: ks[i], Profile: *profFlag, Groups: 2, Mix: mix, Repeats: repeats,
+				Seed: *seedFlag, Workers: *workersFlag,
 			})
-			if err != nil {
-				return err
-			}
-			all = append(all, r)
+		})
+		if err != nil {
+			return err
 		}
 		fmt.Printf("# Fig.6 fairness, mixed workloads (%s)\n", mix)
 		core.WriteFairness(os.Stdout, all)
@@ -289,6 +336,9 @@ func runFig7() error {
 		steps = 5
 		variants = []core.BEVariant{core.BE4KRand}
 	}
+	// Flatten the knob x kind x variant grid into independent panels,
+	// fan them out, and print in grid order.
+	var cfgs []core.TradeoffConfig
 	for _, k := range ks {
 		for _, kind := range []core.PriorityKind{core.PriorityBatch, core.PriorityLC} {
 			// The paper only sweeps BE variants for the throttling
@@ -298,17 +348,21 @@ func runFig7() error {
 				vs = []core.BEVariant{core.BE4KRand}
 			}
 			for _, v := range vs {
-				cfg := core.TradeoffConfig{
+				cfgs = append(cfgs, core.TradeoffConfig{
 					Knob: k, Profile: *profFlag, Kind: kind, Variant: v, Steps: steps,
-					Measure: measure(1500 * sim.Millisecond), Seed: *seedFlag,
-				}
-				pts, err := core.RunTradeoff(cfg)
-				if err != nil {
-					return err
-				}
-				core.WriteTradeoff(os.Stdout, cfg, pts)
+					Measure: measure(1500 * sim.Millisecond), Seed: *seedFlag, Workers: *workersFlag,
+				})
 			}
 		}
+	}
+	panels, err := runpool.Map(*workersFlag, len(cfgs), func(i int) ([]core.TradeoffPoint, error) {
+		return core.RunTradeoff(cfgs[i])
+	})
+	if err != nil {
+		return err
+	}
+	for i, pts := range panels {
+		core.WriteTradeoff(os.Stdout, cfgs[i], pts)
 	}
 	return nil
 }
@@ -318,14 +372,18 @@ func runQ10() error {
 	if err != nil {
 		return err
 	}
+	var cfgs []core.BurstConfig
 	for _, k := range ks {
 		for _, kind := range []core.PriorityKind{core.PriorityBatch, core.PriorityLC} {
-			r, err := core.RunBurst(core.BurstConfig{Knob: k, Profile: *profFlag, Kind: kind, Seed: *seedFlag})
-			if err != nil {
-				return err
-			}
-			core.WriteBurst(os.Stdout, r)
+			cfgs = append(cfgs, core.BurstConfig{Knob: k, Profile: *profFlag, Kind: kind, Seed: *seedFlag})
 		}
+	}
+	results, err := core.RunBurstGrid(cfgs, *workersFlag)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		core.WriteBurst(os.Stdout, r)
 	}
 	return nil
 }
@@ -438,7 +496,7 @@ func runReplay(path string) error {
 }
 
 func runTab1() error {
-	rows, err := core.RunTableI(core.TableIConfig{Quick: *quickFlag, Seed: *seedFlag})
+	rows, err := core.RunTableI(core.TableIConfig{Quick: *quickFlag, Seed: *seedFlag, Workers: *workersFlag})
 	if err != nil {
 		return err
 	}

@@ -95,6 +95,14 @@ type Queue struct {
 	reserved int // dispatch decisions in flight toward the device
 	pumping  bool
 
+	// lockQ holds requests waiting for their serialized dispatch-lock
+	// section; lockFn is the single reusable closure handed to the lock
+	// server. host.Server executes work FIFO, so lockRelease always pops
+	// the request whose Exec enqueued it.
+	lockQ    []*device.Request
+	lockHead int
+	lockFn   func()
+
 	submitted uint64
 	completed uint64
 
@@ -109,6 +117,7 @@ type Queue struct {
 func NewQueue(eng *sim.Engine, dev *device.Device, sched Scheduler, ctl Controller) *Queue {
 	q := &Queue{eng: eng, dev: dev, sched: sched, ctl: ctl}
 	q.lock = host.NewServer(eng, "dispatch-lock:"+sched.Name())
+	q.lockFn = q.lockRelease
 	sched.Bind(q.Pump)
 	if ctl != nil {
 		ctl.Bind(q.toScheduler)
@@ -203,12 +212,23 @@ func (q *Queue) Pump() {
 			q.dev.Submit(r)
 			continue
 		}
-		req := r
-		q.lock.Exec(hold, func() {
-			q.reserved--
-			q.dev.Submit(req)
-		})
+		q.lockQ = append(q.lockQ, r)
+		q.lock.Exec(hold, q.lockFn)
 	}
+}
+
+// lockRelease finishes one serialized dispatch-lock section: it pops
+// the oldest queued request and hands it to the device.
+func (q *Queue) lockRelease() {
+	r := q.lockQ[q.lockHead]
+	q.lockQ[q.lockHead] = nil
+	q.lockHead++
+	if q.lockHead == len(q.lockQ) {
+		q.lockQ = q.lockQ[:0]
+		q.lockHead = 0
+	}
+	q.reserved--
+	q.dev.Submit(r)
 }
 
 func (q *Queue) onDeviceDone(r *device.Request) {

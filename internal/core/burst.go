@@ -6,6 +6,7 @@ import (
 	"isolbench/internal/cgroup"
 	"isolbench/internal/device"
 	"isolbench/internal/metrics"
+	"isolbench/internal/runpool"
 	"isolbench/internal/sim"
 	"isolbench/internal/workload"
 )
@@ -165,4 +166,13 @@ func RunBurst(cfg BurstConfig) (*BurstResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// RunBurstGrid runs independent burst experiments (one cluster each)
+// across a worker pool, returning results in config order — the Q10
+// grid of knobs x priority kinds.
+func RunBurstGrid(cfgs []BurstConfig, workers int) ([]*BurstResult, error) {
+	return runpool.Map(workers, len(cfgs), func(i int) (*BurstResult, error) {
+		return RunBurst(cfgs[i])
+	})
 }

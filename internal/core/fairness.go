@@ -6,6 +6,7 @@ import (
 	"isolbench/internal/cgroup"
 	"isolbench/internal/device"
 	"isolbench/internal/metrics"
+	"isolbench/internal/runpool"
 	"isolbench/internal/sim"
 	"isolbench/internal/workload"
 )
@@ -50,6 +51,7 @@ type FairnessConfig struct {
 	Warmup       sim.Duration
 	Measure      sim.Duration
 	Seed         uint64
+	Workers      int // repeat fan-out (<=0 GOMAXPROCS, 1 sequential)
 }
 
 func (c FairnessConfig) withDefaults() FairnessConfig {
@@ -154,7 +156,11 @@ func clampInt(v, lo, hi int) int {
 
 // RunFairness executes one fairness cell, repeating for deviation
 // statistics, and returns weighted-Jain and aggregate-bandwidth
-// distributions (Figs. 5 and 6).
+// distributions (Figs. 5 and 6). Repeats fan out across cfg.Workers
+// (each repeat owns its own cluster, seeded by repeat index); the
+// Welford accumulators are folded in repeat order on the calling
+// goroutine, so the floating-point result is identical at any pool
+// width.
 func RunFairness(cfg FairnessConfig) (*FairnessResult, error) {
 	cfg = cfg.withDefaults()
 	weights := fairnessWeights(cfg.Groups, cfg.Weighted)
@@ -162,84 +168,96 @@ func RunFairness(cfg FairnessConfig) (*FairnessResult, error) {
 		Knob: cfg.Knob, Groups: cfg.Groups, Weighted: cfg.Weighted,
 		Mix: cfg.Mix, Weights: weights,
 	}
-
-	for rep := 0; rep < cfg.Repeats; rep++ {
-		opts := Options{
-			Knob:         cfg.Knob,
-			Cores:        cfg.Cores,
-			Seed:         cfg.Seed + uint64(rep)*101,
-			Precondition: cfg.Mix == MixReadWrite,
-		}
-		cl, err := NewCluster(opts)
-		if err != nil {
-			return nil, err
-		}
-		var groups []*cgroup.Group
-		appIdx := 0
-		for gi := 0; gi < cfg.Groups; gi++ {
-			g, err := cl.NewGroup(fmt.Sprintf("tenant%d", gi))
-			if err != nil {
-				return nil, err
-			}
-			groups = append(groups, g)
-			for j := 0; j < cfg.AppsPerGroup; j++ {
-				spec := workload.BatchApp(fmt.Sprintf("t%d-a%d", gi, j), g)
-				switch cfg.Mix {
-				case MixSizes:
-					if gi%2 == 1 {
-						spec.Size = 256 << 10
-						spec.QD = 64 // same bytes in flight as 4 KiB@256 x 4
-					}
-				case MixPatterns:
-					spec.Seq = gi%2 == 1
-				case MixReadWrite:
-					if gi%2 == 1 {
-						spec.Op = device.Write
-					}
-				}
-				spec.Core = appIdx
-				appIdx++
-				if _, err := cl.AddApp(spec, 0); err != nil {
-					return nil, err
-				}
-			}
-		}
-		// io.max has no notion of weights: practitioners translate
-		// shares into static maximums (§VI-A), so uniform runs also
-		// get equal caps (a fraction of peak read bandwidth each).
-		if cfg.Weighted || cfg.Knob == KnobIOMax {
-			if err := applyFairnessWeights(cfg.Knob, groups, weights, 3.0e9); err != nil {
-				return nil, err
-			}
-		}
-		cl.RunPhase(cfg.Warmup, cfg.Measure)
-		r := cl.Result()
-		bws := make([]float64, len(r.Groups))
-		for i, g := range r.Groups {
-			bws[i] = g.BW
-		}
-		res.GroupBW = bws
-		res.Jain.Add(metrics.WeightedJainIndex(bws, weights))
-		res.AggBW.Add(r.AggregateBW)
+	type repOut struct {
+		bws   []float64
+		aggBW float64
+	}
+	reps, err := runpool.Map(cfg.Workers, cfg.Repeats, func(rep int) (repOut, error) {
+		bws, aggBW, err := runFairnessRepeat(cfg, weights, rep)
+		return repOut{bws: bws, aggBW: aggBW}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range reps {
+		res.GroupBW = r.bws
+		res.Jain.Add(metrics.WeightedJainIndex(r.bws, weights))
+		res.AggBW.Add(r.aggBW)
 	}
 	return res, nil
 }
 
+// runFairnessRepeat runs one seeded repeat of a fairness cell and
+// returns the per-group and aggregate bandwidths.
+func runFairnessRepeat(cfg FairnessConfig, weights []float64, rep int) ([]float64, float64, error) {
+	opts := Options{
+		Knob:         cfg.Knob,
+		Cores:        cfg.Cores,
+		Seed:         cfg.Seed + uint64(rep)*101,
+		Precondition: cfg.Mix == MixReadWrite,
+	}
+	cl, err := NewCluster(opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	var groups []*cgroup.Group
+	appIdx := 0
+	for gi := 0; gi < cfg.Groups; gi++ {
+		g, err := cl.NewGroup(fmt.Sprintf("tenant%d", gi))
+		if err != nil {
+			return nil, 0, err
+		}
+		groups = append(groups, g)
+		for j := 0; j < cfg.AppsPerGroup; j++ {
+			spec := workload.BatchApp(fmt.Sprintf("t%d-a%d", gi, j), g)
+			switch cfg.Mix {
+			case MixSizes:
+				if gi%2 == 1 {
+					spec.Size = 256 << 10
+					spec.QD = 64 // same bytes in flight as 4 KiB@256 x 4
+				}
+			case MixPatterns:
+				spec.Seq = gi%2 == 1
+			case MixReadWrite:
+				if gi%2 == 1 {
+					spec.Op = device.Write
+				}
+			}
+			spec.Core = appIdx
+			appIdx++
+			if _, err := cl.AddApp(spec, 0); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	// io.max has no notion of weights: practitioners translate
+	// shares into static maximums (§VI-A), so uniform runs also
+	// get equal caps (a fraction of peak read bandwidth each).
+	if cfg.Weighted || cfg.Knob == KnobIOMax {
+		if err := applyFairnessWeights(cfg.Knob, groups, weights, 3.0e9); err != nil {
+			return nil, 0, err
+		}
+	}
+	cl.RunPhase(cfg.Warmup, cfg.Measure)
+	r := cl.Result()
+	bws := make([]float64, len(r.Groups))
+	for i, g := range r.Groups {
+		bws[i] = g.BW
+	}
+	return bws, r.AggregateBW, nil
+}
+
 // FairnessScalability runs the Fig. 5 sweep: group counts x
-// {uniform, weighted} for one knob.
-func FairnessScalability(k Knob, profile string, groupCounts []int, weighted bool, repeats int, seed uint64) ([]*FairnessResult, error) {
+// {uniform, weighted} for one knob. Group counts fan out across
+// workers; each cell's repeats fan out in turn.
+func FairnessScalability(k Knob, profile string, groupCounts []int, weighted bool, repeats int, seed uint64, workers int) ([]*FairnessResult, error) {
 	if len(groupCounts) == 0 {
 		groupCounts = []int{2, 4, 8, 16}
 	}
-	var out []*FairnessResult
-	for _, n := range groupCounts {
-		r, err := RunFairness(FairnessConfig{
-			Knob: k, Profile: profile, Groups: n, Weighted: weighted, Repeats: repeats, Seed: seed,
+	return runpool.Map(workers, len(groupCounts), func(i int) (*FairnessResult, error) {
+		return RunFairness(FairnessConfig{
+			Knob: k, Profile: profile, Groups: groupCounts[i], Weighted: weighted,
+			Repeats: repeats, Seed: seed, Workers: workers,
 		})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	})
 }

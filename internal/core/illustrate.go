@@ -4,6 +4,7 @@ import (
 	"isolbench/internal/cgroup"
 	"isolbench/internal/device"
 	"isolbench/internal/metrics"
+	"isolbench/internal/runpool"
 	"isolbench/internal/sim"
 	"isolbench/internal/workload"
 )
@@ -138,4 +139,13 @@ func RunIllustrate(cfg IllustrateConfig) ([]TimelineSeries, error) {
 		out = append(out, TimelineSeries{App: s.name, Points: apps[i].Bandwidth().Timeline()})
 	}
 	return out, nil
+}
+
+// RunIllustrateGrid runs independent Fig. 2 panels (one cluster each)
+// across a worker pool, returning each panel's timeline series in
+// config order.
+func RunIllustrateGrid(cfgs []IllustrateConfig, workers int) ([][]TimelineSeries, error) {
+	return runpool.Map(workers, len(cfgs), func(i int) ([]TimelineSeries, error) {
+		return RunIllustrate(cfgs[i])
+	})
 }

@@ -6,6 +6,7 @@ import (
 	"isolbench/internal/cgroup"
 	"isolbench/internal/device"
 	"isolbench/internal/metrics"
+	"isolbench/internal/runpool"
 	"isolbench/internal/sim"
 	"isolbench/internal/workload"
 )
@@ -62,6 +63,7 @@ type LatencyScalingConfig struct {
 	Measure   sim.Duration
 	Seed      uint64
 	CDFPoints int
+	Workers   int // app-count fan-out (<=0 GOMAXPROCS, 1 sequential)
 }
 
 func (c LatencyScalingConfig) withDefaults() LatencyScalingConfig {
@@ -83,32 +85,35 @@ func (c LatencyScalingConfig) withDefaults() LatencyScalingConfig {
 // RunLatencyScaling reproduces Fig. 3 for one knob: N LC-apps (4 KiB
 // random reads, QD1), each in its own cgroup, all pinned to a single
 // CPU core on one SSD; latency CDF/P99 and core utilization per N.
+// App counts are independent units (one cluster each, seeded by N) and
+// fan out across cfg.Workers in count order.
 func RunLatencyScaling(cfg LatencyScalingConfig) ([]LatencyScalingPoint, error) {
 	cfg = cfg.withDefaults()
-	var out []LatencyScalingPoint
-	for _, n := range cfg.AppCounts {
+	return runpool.Map(cfg.Workers, len(cfg.AppCounts), func(ci int) (LatencyScalingPoint, error) {
+		var zero LatencyScalingPoint
+		n := cfg.AppCounts[ci]
 		cl, err := NewCluster(overheadOptions(cfg.Knob, cfg.Profile, 1, 1, cfg.Seed+uint64(n)))
 		if err != nil {
-			return nil, err
+			return zero, err
 		}
 		for i := 0; i < n; i++ {
 			g, err := cl.NewGroup(fmt.Sprintf("lc%d", i))
 			if err != nil {
-				return nil, err
+				return zero, err
 			}
 			if err := NeutralizeKnob(cfg.Knob, g); err != nil {
-				return nil, err
+				return zero, err
 			}
 			spec := workload.LCApp(fmt.Sprintf("lc%d", i), g)
 			spec.Core = 0
 			if _, err := cl.AddApp(spec, 0); err != nil {
-				return nil, err
+				return zero, err
 			}
 		}
 		cl.RunPhase(cfg.Warmup, cfg.Measure)
 		res := cl.Result()
 		h := cl.MergedHistogram()
-		out = append(out, LatencyScalingPoint{
+		return LatencyScalingPoint{
 			Apps:        n,
 			P50:         sim.Duration(h.Percentile(50)),
 			P99:         sim.Duration(h.Percentile(99)),
@@ -118,9 +123,8 @@ func RunLatencyScaling(cfg LatencyScalingConfig) ([]LatencyScalingPoint, error) 
 			CyclesPerIO: res.CyclesPerIO,
 			CDF:         h.CDF(cfg.CDFPoints),
 			IOPS:        float64(res.IOs) / res.Span.Seconds(),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // BandwidthScalingPoint is one (apps, bandwidth/CPU) sample of Fig. 4.
@@ -142,6 +146,7 @@ type BandwidthScalingConfig struct {
 	Warmup    sim.Duration
 	Measure   sim.Duration
 	Seed      uint64
+	Workers   int // app-count fan-out (<=0 GOMAXPROCS, 1 sequential)
 }
 
 func (c BandwidthScalingConfig) withDefaults() BandwidthScalingConfig {
@@ -165,38 +170,39 @@ func (c BandwidthScalingConfig) withDefaults() BandwidthScalingConfig {
 
 // RunBandwidthScaling reproduces Fig. 4 for one knob: N batch-apps
 // (4 KiB random reads, QD256) round-robined across the devices and
-// cores; aggregate bandwidth and CPU utilization per N.
+// cores; aggregate bandwidth and CPU utilization per N. App counts fan
+// out across cfg.Workers in count order.
 func RunBandwidthScaling(cfg BandwidthScalingConfig) ([]BandwidthScalingPoint, error) {
 	cfg = cfg.withDefaults()
-	var out []BandwidthScalingPoint
-	for _, n := range cfg.AppCounts {
+	return runpool.Map(cfg.Workers, len(cfg.AppCounts), func(ci int) (BandwidthScalingPoint, error) {
+		var zero BandwidthScalingPoint
+		n := cfg.AppCounts[ci]
 		cl, err := NewCluster(overheadOptions(cfg.Knob, cfg.Profile, cfg.Cores, cfg.Devices, cfg.Seed+uint64(n)))
 		if err != nil {
-			return nil, err
+			return zero, err
 		}
 		for i := 0; i < n; i++ {
 			g, err := cl.NewGroup(fmt.Sprintf("batch%d", i))
 			if err != nil {
-				return nil, err
+				return zero, err
 			}
 			if err := NeutralizeKnob(cfg.Knob, g); err != nil {
-				return nil, err
+				return zero, err
 			}
 			spec := workload.BatchApp(fmt.Sprintf("batch%d", i), g)
 			spec.Core = i
 			if _, err := cl.AddApp(spec, i%cfg.Devices); err != nil {
-				return nil, err
+				return zero, err
 			}
 		}
 		cl.RunPhase(cfg.Warmup, cfg.Measure)
 		res := cl.Result()
-		out = append(out, BandwidthScalingPoint{
+		return BandwidthScalingPoint{
 			Apps:        n,
 			Devices:     cfg.Devices,
 			AggregateBW: res.AggregateBW,
 			CPUUtil:     res.CPUUtil,
 			IOPS:        float64(res.IOs) / res.Span.Seconds(),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"isolbench/internal/sim"
+)
+
+// TestParallelDeterminism: the core invariant of the parallel
+// experiment executor — every experiment must produce bit-identical
+// results at any pool width, for every knob. Under `go test -race`
+// this also exercises the worker pool for data races.
+func TestParallelDeterminism(t *testing.T) {
+	const wide = 8
+	measure := 150 * sim.Millisecond
+	for _, k := range ControlKnobs() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+
+			// Trade-off sweep: settings fan out.
+			tc := TradeoffConfig{
+				Knob: k, Kind: PriorityBatch, Variant: BE4KRand,
+				Steps: 3, Warmup: 100 * sim.Millisecond, Measure: measure, Seed: 42,
+			}
+			tc.Workers = 1
+			seqPts, err := RunTradeoff(tc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.Workers = wide
+			parPts, err := RunTradeoff(tc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seqPts, parPts) {
+				t.Fatalf("RunTradeoff diverged between workers=1 and workers=%d:\n%+v\nvs\n%+v",
+					wide, seqPts, parPts)
+			}
+
+			// Fairness cell: repeats fan out, Welford accumulators are
+			// folded in repeat order.
+			fc := FairnessConfig{
+				Knob: k, Groups: 2, AppsPerGroup: 2, Weighted: true, Repeats: 2,
+				Warmup: 100 * sim.Millisecond, Measure: measure, Seed: 42,
+			}
+			fc.Workers = 1
+			seqF, err := RunFairness(fc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fc.Workers = wide
+			parF, err := RunFairness(fc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seqF, parF) {
+				t.Fatalf("RunFairness diverged between workers=1 and workers=%d:\n%+v\nvs\n%+v",
+					wide, seqF, parF)
+			}
+		})
+	}
+}
+
+// TestParallelDeterminismScaling checks the app-count fan-out of the
+// overhead experiments at both pool widths.
+func TestParallelDeterminismScaling(t *testing.T) {
+	const wide = 8
+	lc := LatencyScalingConfig{
+		Knob: KnobIOCost, AppCounts: []int{1, 4}, Measure: 200 * sim.Millisecond, Seed: 7,
+	}
+	lc.Workers = 1
+	seqL, err := RunLatencyScaling(lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc.Workers = wide
+	parL, err := RunLatencyScaling(lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqL, parL) {
+		t.Fatalf("RunLatencyScaling diverged between workers=1 and workers=%d", wide)
+	}
+
+	bc := BandwidthScalingConfig{
+		Knob: KnobIOMax, AppCounts: []int{1, 3}, Measure: 200 * sim.Millisecond, Seed: 7,
+	}
+	bc.Workers = 1
+	seqB, err := RunBandwidthScaling(bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc.Workers = wide
+	parB, err := RunBandwidthScaling(bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqB, parB) {
+		t.Fatalf("RunBandwidthScaling diverged between workers=1 and workers=%d", wide)
+	}
+}
+
+// BenchmarkTradeoffParallel measures the experiment-level speedup of
+// the worker pool: the same trade-off sweep sequentially and at the
+// default width. On a multi-core runner the parallel variant should
+// approach workers-fold lower wall-clock time.
+func BenchmarkTradeoffParallel(b *testing.B) {
+	cfg := TradeoffConfig{
+		Knob: KnobIOCost, Kind: PriorityBatch, Variant: BE4KRand,
+		Steps: 4, Measure: 200 * sim.Millisecond, Seed: 42,
+	}
+	run := func(b *testing.B, workers int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := cfg
+			c.Workers = workers
+			if _, err := RunTradeoff(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, 0) })
+}

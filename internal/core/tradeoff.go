@@ -5,6 +5,7 @@ import (
 
 	"isolbench/internal/cgroup"
 	"isolbench/internal/device"
+	"isolbench/internal/runpool"
 	"isolbench/internal/sim"
 	"isolbench/internal/workload"
 )
@@ -76,6 +77,7 @@ type TradeoffConfig struct {
 	Warmup  sim.Duration
 	Measure sim.Duration
 	Seed    uint64
+	Workers int // sweep-setting fan-out (<=0 GOMAXPROCS, 1 sequential)
 }
 
 func (c TradeoffConfig) withDefaults() TradeoffConfig {
@@ -238,57 +240,68 @@ func prioSpec(kind PriorityKind, g *cgroup.Group) workload.Spec {
 
 // RunTradeoff sweeps the knob's configuration space for one Fig. 7
 // panel and returns the (utilization, priority-performance) points
-// with the Pareto front marked.
+// with the Pareto front marked. Sweep settings are independent — each
+// one owns its own engine and cluster, seeded by setting index — so
+// they fan out across cfg.Workers; results come back in setting order
+// regardless of the pool width.
 func RunTradeoff(cfg TradeoffConfig) ([]TradeoffPoint, error) {
 	cfg = cfg.withDefaults()
 	settings := tradeoffSettings(cfg)
-	points := make([]TradeoffPoint, 0, len(settings))
-	for si, set := range settings {
-		cl, err := NewCluster(Options{
-			Knob:         cfg.Knob,
-			Profile:      device.ProfileByName(cfg.Profile),
-			Cores:        cfg.Cores,
-			Seed:         cfg.Seed + uint64(si)*977,
-			Precondition: cfg.Variant == BE4KWrite,
-		})
-		if err != nil {
-			return nil, err
-		}
-		prioG, err := cl.NewGroup("prio")
-		if err != nil {
-			return nil, err
-		}
-		beG, err := cl.NewGroup("be")
-		if err != nil {
-			return nil, err
-		}
-		if err := set.apply(prioG, beG, cl.Tree.Root()); err != nil {
-			return nil, err
-		}
-		prioApp, err := cl.AddApp(prioSpec(cfg.Kind, prioG), 0)
-		if err != nil {
-			return nil, err
-		}
-		for j := 0; j < 4; j++ {
-			spec := beSpec(cfg.Variant, fmt.Sprintf("be%d", j), beG)
-			spec.Core = 1 + j
-			if _, err := cl.AddApp(spec, 0); err != nil {
-				return nil, err
-			}
-		}
-		cl.RunPhase(cfg.Warmup, cfg.Measure)
-		res := cl.Result()
-		st := prioApp.Stats()
-		span := res.Span.Seconds()
-		points = append(points, TradeoffPoint{
-			Config:      set.name,
-			AggregateBW: res.AggregateBW,
-			PrioBW:      float64(st.ReadBytes+st.WriteBytes) / span,
-			PrioP99:     sim.Duration(st.P99Ns),
-		})
+	points, err := runpool.Map(cfg.Workers, len(settings), func(si int) (TradeoffPoint, error) {
+		return runTradeoffSetting(cfg, si, settings[si])
+	})
+	if err != nil {
+		return nil, err
 	}
 	MarkPareto(points, cfg.Kind)
 	return points, nil
+}
+
+// runTradeoffSetting measures one knob setting in a fresh cluster.
+func runTradeoffSetting(cfg TradeoffConfig, si int, set knobSetting) (TradeoffPoint, error) {
+	var zero TradeoffPoint
+	cl, err := NewCluster(Options{
+		Knob:         cfg.Knob,
+		Profile:      device.ProfileByName(cfg.Profile),
+		Cores:        cfg.Cores,
+		Seed:         cfg.Seed + uint64(si)*977,
+		Precondition: cfg.Variant == BE4KWrite,
+	})
+	if err != nil {
+		return zero, err
+	}
+	prioG, err := cl.NewGroup("prio")
+	if err != nil {
+		return zero, err
+	}
+	beG, err := cl.NewGroup("be")
+	if err != nil {
+		return zero, err
+	}
+	if err := set.apply(prioG, beG, cl.Tree.Root()); err != nil {
+		return zero, err
+	}
+	prioApp, err := cl.AddApp(prioSpec(cfg.Kind, prioG), 0)
+	if err != nil {
+		return zero, err
+	}
+	for j := 0; j < 4; j++ {
+		spec := beSpec(cfg.Variant, fmt.Sprintf("be%d", j), beG)
+		spec.Core = 1 + j
+		if _, err := cl.AddApp(spec, 0); err != nil {
+			return zero, err
+		}
+	}
+	cl.RunPhase(cfg.Warmup, cfg.Measure)
+	res := cl.Result()
+	st := prioApp.Stats()
+	span := res.Span.Seconds()
+	return TradeoffPoint{
+		Config:      set.name,
+		AggregateBW: res.AggregateBW,
+		PrioBW:      float64(st.ReadBytes+st.WriteBytes) / span,
+		PrioP99:     sim.Duration(st.P99Ns),
+	}, nil
 }
 
 // MarkPareto marks the Pareto-optimal points: no other point has both

@@ -6,6 +6,7 @@ import (
 	"math"
 	"text/tabwriter"
 
+	"isolbench/internal/runpool"
 	"isolbench/internal/sim"
 )
 
@@ -45,8 +46,9 @@ type DesiderataRow struct {
 // short windows and coarse sweeps (for tests); the full mode matches
 // the benchmark defaults.
 type TableIConfig struct {
-	Quick bool
-	Seed  uint64
+	Quick   bool
+	Seed    uint64
+	Workers int // knob-row and sub-experiment fan-out (<=0 GOMAXPROCS)
 }
 
 // nativeWeights reports whether the knob exposes a direct proportional
@@ -91,133 +93,146 @@ func RunTableI(cfg TableIConfig) ([]DesiderataRow, error) {
 
 	// Baselines from the no-knob configuration.
 	basePts, err := RunLatencyScaling(LatencyScalingConfig{
-		Knob: KnobNone, AppCounts: []int{1, 16}, Measure: measure, Seed: cfg.Seed,
+		Knob: KnobNone, AppCounts: []int{1, 16}, Measure: measure, Seed: cfg.Seed, Workers: cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
 	}
 	baseBW, err := RunBandwidthScaling(BandwidthScalingConfig{
-		Knob: KnobNone, AppCounts: []int{9}, Measure: measure, Seed: cfg.Seed,
+		Knob: KnobNone, AppCounts: []int{9}, Measure: measure, Seed: cfg.Seed, Workers: cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	var rows []DesiderataRow
-	for _, k := range ControlKnobs() {
-		row := DesiderataRow{Knob: k}
-		note := func(format string, args ...interface{}) {
-			row.Evidence = append(row.Evidence, fmt.Sprintf(format, args...))
-		}
+	// Each knob's row derives from its own set of runs, independent of
+	// every other row: fan the rows out, keeping presentation order.
+	knobs := ControlKnobs()
+	return runpool.Map(cfg.Workers, len(knobs), func(ki int) (DesiderataRow, error) {
+		return deriveRow(cfg, knobs[ki], measure, steps, repeats, basePts, baseBW)
+	})
+}
 
-		// --- D1 overhead ---
-		lat, err := RunLatencyScaling(LatencyScalingConfig{
-			Knob: k, AppCounts: []int{1, 16}, Measure: measure, Seed: cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		bw, err := RunBandwidthScaling(BandwidthScalingConfig{
-			Knob: k, AppCounts: []int{9}, Measure: measure, Seed: cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		lat1 := ratio(float64(lat[0].P99), float64(basePts[0].P99))
-		lat16 := ratio(float64(lat[1].P99), float64(basePts[1].P99))
-		bwRatio := bw[0].AggregateBW / baseBW[0].AggregateBW
-		note("P99 inflation: %+.1f%% @1 app, %+.1f%% @16 apps; bandwidth %.0f%% of none",
-			(lat1-1)*100, (lat16-1)*100, bwRatio*100)
-		switch {
-		case lat1 > 1.05 || bwRatio < 0.80:
-			row.Overhead = Bad
-		case lat16 > 1.25 || bwRatio < 0.95:
-			row.Overhead = Partial
-		default:
-			row.Overhead = Good
-		}
-
-		// --- D2 fairness ---
-		jains := map[string]float64{}
-		for name, fc := range map[string]FairnessConfig{
-			"uniform":  {Knob: k, Groups: 4, Repeats: repeats, Measure: measure, Seed: cfg.Seed},
-			"weighted": {Knob: k, Groups: 4, Weighted: true, Repeats: repeats, Measure: measure, Seed: cfg.Seed},
-			"sizes":    {Knob: k, Groups: 2, Mix: MixSizes, Repeats: repeats, Measure: measure, Seed: cfg.Seed},
-			"rw":       {Knob: k, Groups: 2, Mix: MixReadWrite, Repeats: repeats, Measure: measure, Seed: cfg.Seed},
-		} {
-			r, err := RunFairness(fc)
-			if err != nil {
-				return nil, err
-			}
-			jains[name] = r.Jain.Mean()
-		}
-		note("Jain: uniform %.2f, weighted %.2f, sizes %.2f, read/write %.2f",
-			jains["uniform"], jains["weighted"], jains["sizes"], jains["rw"])
-		minJ := math.Min(jains["weighted"], jains["sizes"])
-		allJ := math.Min(minJ, math.Min(jains["uniform"], jains["rw"]))
-		switch {
-		case minJ < 0.70 || bwRatio < 0.50:
-			row.Fairness = Bad
-		case allJ < 0.80 || !nativeWeights(k):
-			row.Fairness = Partial
-		default:
-			row.Fairness = Good
-		}
-
-		// --- D3 trade-offs ---
-		pts, err := RunTradeoff(TradeoffConfig{
-			Knob: k, Kind: PriorityBatch, Variant: BE4KRand,
-			Steps: steps, Measure: measure, Seed: cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		minP, maxP, maxAggP := spread(pts)
-		clusters := distinctOutcomes(pts)
-		note("trade-off: prioBW %.2f-%.2f GiB/s across %d outcome(s); prioBW at max-util %.2f GiB/s",
-			minP/(1<<30), maxP/(1<<30), clusters, maxAggP/(1<<30))
-		ptsBig, err := RunTradeoff(TradeoffConfig{
-			Knob: k, Kind: PriorityBatch, Variant: BE256K,
-			Steps: steps, Measure: measure, Seed: cfg.Seed + 13,
-		})
-		if err != nil {
-			return nil, err
-		}
-		_, maxPBig, _ := spread(ptsBig)
-		bigOK := maxP <= 0 || maxPBig >= 0.6*maxP
-		note("256 KiB BE variant: best prioBW %.2f GiB/s (%.0f%% of 4 KiB variant)",
-			maxPBig/(1<<30), 100*maxPBig/math.Max(maxP, 1))
-		switch {
-		case maxP < 1.15*minP || clusters <= 3:
-			row.Tradeoffs = Bad
-		case !bigOK || maxAggP < 0.7*maxP:
-			row.Tradeoffs = Partial
-		default:
-			row.Tradeoffs = Good
-		}
-
-		// --- D4 bursts ---
-		br, err := RunBurst(BurstConfig{Knob: k, Kind: PriorityBatch, Seed: cfg.Seed})
-		if err != nil {
-			return nil, err
-		}
-		if br.Achieved {
-			note("burst response: %s", br.Response)
-		} else {
-			note("burst response: never stabilized")
-		}
-		switch {
-		case !br.Achieved || br.Response > sim.Duration(sim.Second) || row.Tradeoffs == Bad:
-			row.Bursts = Bad
-		case row.Tradeoffs == Partial:
-			row.Bursts = Partial
-		default:
-			row.Bursts = Good
-		}
-
-		rows = append(rows, row)
+// deriveRow measures one knob against all four desiderata.
+func deriveRow(cfg TableIConfig, k Knob, measure sim.Duration, steps, repeats int,
+	basePts []LatencyScalingPoint, baseBW []BandwidthScalingPoint) (DesiderataRow, error) {
+	row := DesiderataRow{Knob: k}
+	note := func(format string, args ...interface{}) {
+		row.Evidence = append(row.Evidence, fmt.Sprintf(format, args...))
 	}
-	return rows, nil
+
+	// --- D1 overhead ---
+	lat, err := RunLatencyScaling(LatencyScalingConfig{
+		Knob: k, AppCounts: []int{1, 16}, Measure: measure, Seed: cfg.Seed, Workers: cfg.Workers,
+	})
+	if err != nil {
+		return row, err
+	}
+	bw, err := RunBandwidthScaling(BandwidthScalingConfig{
+		Knob: k, AppCounts: []int{9}, Measure: measure, Seed: cfg.Seed, Workers: cfg.Workers,
+	})
+	if err != nil {
+		return row, err
+	}
+	lat1 := ratio(float64(lat[0].P99), float64(basePts[0].P99))
+	lat16 := ratio(float64(lat[1].P99), float64(basePts[1].P99))
+	bwRatio := bw[0].AggregateBW / baseBW[0].AggregateBW
+	note("P99 inflation: %+.1f%% @1 app, %+.1f%% @16 apps; bandwidth %.0f%% of none",
+		(lat1-1)*100, (lat16-1)*100, bwRatio*100)
+	switch {
+	case lat1 > 1.05 || bwRatio < 0.80:
+		row.Overhead = Bad
+	case lat16 > 1.25 || bwRatio < 0.95:
+		row.Overhead = Partial
+	default:
+		row.Overhead = Good
+	}
+
+	// --- D2 fairness ---
+	fairCells := []struct {
+		name string
+		fc   FairnessConfig
+	}{
+		{"uniform", FairnessConfig{Knob: k, Groups: 4, Repeats: repeats, Measure: measure, Seed: cfg.Seed, Workers: cfg.Workers}},
+		{"weighted", FairnessConfig{Knob: k, Groups: 4, Weighted: true, Repeats: repeats, Measure: measure, Seed: cfg.Seed, Workers: cfg.Workers}},
+		{"sizes", FairnessConfig{Knob: k, Groups: 2, Mix: MixSizes, Repeats: repeats, Measure: measure, Seed: cfg.Seed, Workers: cfg.Workers}},
+		{"rw", FairnessConfig{Knob: k, Groups: 2, Mix: MixReadWrite, Repeats: repeats, Measure: measure, Seed: cfg.Seed, Workers: cfg.Workers}},
+	}
+	fairRes, err := runpool.Map(cfg.Workers, len(fairCells), func(i int) (*FairnessResult, error) {
+		return RunFairness(fairCells[i].fc)
+	})
+	if err != nil {
+		return row, err
+	}
+	jains := map[string]float64{}
+	for i, cell := range fairCells {
+		jains[cell.name] = fairRes[i].Jain.Mean()
+	}
+	note("Jain: uniform %.2f, weighted %.2f, sizes %.2f, read/write %.2f",
+		jains["uniform"], jains["weighted"], jains["sizes"], jains["rw"])
+	minJ := math.Min(jains["weighted"], jains["sizes"])
+	allJ := math.Min(minJ, math.Min(jains["uniform"], jains["rw"]))
+	switch {
+	case minJ < 0.70 || bwRatio < 0.50:
+		row.Fairness = Bad
+	case allJ < 0.80 || !nativeWeights(k):
+		row.Fairness = Partial
+	default:
+		row.Fairness = Good
+	}
+
+	// --- D3 trade-offs ---
+	pts, err := RunTradeoff(TradeoffConfig{
+		Knob: k, Kind: PriorityBatch, Variant: BE4KRand,
+		Steps: steps, Measure: measure, Seed: cfg.Seed, Workers: cfg.Workers,
+	})
+	if err != nil {
+		return row, err
+	}
+	minP, maxP, maxAggP := spread(pts)
+	clusters := distinctOutcomes(pts)
+	note("trade-off: prioBW %.2f-%.2f GiB/s across %d outcome(s); prioBW at max-util %.2f GiB/s",
+		minP/(1<<30), maxP/(1<<30), clusters, maxAggP/(1<<30))
+	ptsBig, err := RunTradeoff(TradeoffConfig{
+		Knob: k, Kind: PriorityBatch, Variant: BE256K,
+		Steps: steps, Measure: measure, Seed: cfg.Seed + 13, Workers: cfg.Workers,
+	})
+	if err != nil {
+		return row, err
+	}
+	_, maxPBig, _ := spread(ptsBig)
+	bigOK := maxP <= 0 || maxPBig >= 0.6*maxP
+	note("256 KiB BE variant: best prioBW %.2f GiB/s (%.0f%% of 4 KiB variant)",
+		maxPBig/(1<<30), 100*maxPBig/math.Max(maxP, 1))
+	switch {
+	case maxP < 1.15*minP || clusters <= 3:
+		row.Tradeoffs = Bad
+	case !bigOK || maxAggP < 0.7*maxP:
+		row.Tradeoffs = Partial
+	default:
+		row.Tradeoffs = Good
+	}
+
+	// --- D4 bursts ---
+	br, err := RunBurst(BurstConfig{Knob: k, Kind: PriorityBatch, Seed: cfg.Seed})
+	if err != nil {
+		return row, err
+	}
+	if br.Achieved {
+		note("burst response: %s", br.Response)
+	} else {
+		note("burst response: never stabilized")
+	}
+	switch {
+	case !br.Achieved || br.Response > sim.Duration(sim.Second) || row.Tradeoffs == Bad:
+		row.Bursts = Bad
+	case row.Tradeoffs == Partial:
+		row.Bursts = Partial
+	default:
+		row.Bursts = Good
+	}
+
+	return row, nil
 }
 
 func ratio(a, b float64) float64 {

@@ -175,7 +175,12 @@ func (h *Histogram) CDF(maxPoints int) []CDFPoint {
 	return out
 }
 
-// Merge adds all observations in o into h.
+// Merge adds all observations in o into h. Histograms are not
+// goroutine-safe: under the parallel experiment executor
+// (internal/runpool) each simulation unit records into its own
+// instance, and per-worker histograms are merged with this method on
+// the calling goroutine after the pool joins. Bucket counts are
+// integers, so the merged result is independent of merge order.
 func (h *Histogram) Merge(o *Histogram) {
 	if o == nil || o.total == 0 {
 		return

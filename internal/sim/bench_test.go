@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"container/heap"
+	"testing"
+)
 
 // BenchmarkEngineEvent measures raw event scheduling+dispatch cost,
 // the floor under every simulated I/O.
@@ -49,4 +52,65 @@ func BenchmarkRNGExpDuration(b *testing.B) {
 		sink += r.ExpDuration(1000)
 	}
 	_ = sink
+}
+
+// boxedEventHeap is the pre-rewrite container/heap implementation,
+// kept as the baseline side of BenchmarkEngineHotLoop: every Push
+// boxes an event into an interface, allocating per call.
+type boxedEventHeap []event
+
+func (h boxedEventHeap) Len() int { return len(h) }
+func (h boxedEventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h boxedEventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *boxedEventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *boxedEventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// BenchmarkEngineHotLoop measures the engine's steady-state queue
+// operation — pop the earliest event, push its successor — with a deep
+// pending population, for the specialized 4-ary heap vs the old
+// container/heap implementation. The 4-ary side must report
+// 0 allocs/op.
+func BenchmarkEngineHotLoop(b *testing.B) {
+	const pending = 256
+	b.Run("heap4", func(b *testing.B) {
+		e := NewEngine()
+		var seq uint64
+		for i := 0; i < pending; i++ {
+			seq++
+			e.push(event{at: Time(i), seq: seq})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev := e.pop()
+			seq++
+			e.push(event{at: ev.at + pending, seq: seq})
+		}
+	})
+	b.Run("container-heap", func(b *testing.B) {
+		var h boxedEventHeap
+		var seq uint64
+		for i := 0; i < pending; i++ {
+			seq++
+			heap.Push(&h, event{at: Time(i), seq: seq})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev := heap.Pop(&h).(event)
+			seq++
+			heap.Push(&h, event{at: ev.at + pending, seq: seq})
+		}
+	})
 }

@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // event is a scheduled callback. Events at the same instant fire in
 // scheduling order (seq breaks ties) so runs are deterministic.
 type event struct {
@@ -10,31 +8,21 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
 // Engine is a deterministic discrete-event simulator. The zero value is
 // ready to use; time starts at 0.
+//
+// The pending-event queue is an inlined 4-ary min-heap specialized to
+// event, ordered by (at, seq). Compared to container/heap it avoids
+// the interface boxing that allocated one event copy per Push, and the
+// wider fan-out halves the sift-down depth — the hot operation, since
+// the engine's steady state is pop-one, push-a-few. Because (at, seq)
+// is a total order (seq is unique), any heap shape pops events in
+// exactly the same sequence, so this rewrite is observably identical
+// to the old binary heap.
 type Engine struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events []event // 4-ary min-heap, root at index 0
 	nRun   uint64
 }
 
@@ -50,6 +38,72 @@ func (e *Engine) Processed() uint64 { return e.nRun }
 // Pending reports how many events are waiting to run.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// eventLess orders events by (at, seq).
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts ev, sifting the hole up instead of swapping: each level
+// does one compare and one move.
+func (e *Engine) push(ev event) {
+	h := append(e.events, event{})
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !eventLess(ev, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+	e.events = h
+}
+
+// pop removes and returns the minimum event. The last element is
+// sifted down into the root hole; moving it (rather than swapping at
+// each level) keeps the common pop-then-push pattern at one write per
+// level plus the final placement.
+func (e *Engine) pop() event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release the fn pointer to the GC
+	h = h[:n]
+	e.events = h
+	if n > 0 {
+		// Sift last down from the root.
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if eventLess(h[j], h[m]) {
+					m = j
+				}
+			}
+			if !eventLess(h[m], last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return top
+}
+
 // At schedules fn to run at virtual time t. Scheduling in the past runs
 // the event at the current time (never before now).
 func (e *Engine) At(t Time, fn func()) {
@@ -57,7 +111,7 @@ func (e *Engine) At(t Time, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current time.
@@ -74,7 +128,7 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.pop()
 	e.now = ev.at
 	e.nRun++
 	ev.fn()

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -184,5 +185,51 @@ func TestEngineEventOrderProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestEngineHeapAgainstReferenceSort drives the inlined 4-ary heap
+// directly through a long random push/pop interleaving and checks every
+// popped event against a reference minimum search / sort over a
+// mirrored slice — the property that the specialized heap pops in
+// exactly (at, seq) order.
+func TestEngineHeapAgainstReferenceSort(t *testing.T) {
+	rng := NewRNG(42)
+	e := NewEngine()
+	var mirror []event
+	var seq uint64
+	for op := 0; op < 20000; op++ {
+		if len(mirror) == 0 || rng.Uint64()%3 != 0 {
+			seq++
+			ev := event{at: Time(rng.Uint64() % 1024), seq: seq}
+			e.push(ev)
+			mirror = append(mirror, ev)
+			continue
+		}
+		mi := 0
+		for i := range mirror {
+			if eventLess(mirror[i], mirror[mi]) {
+				mi = i
+			}
+		}
+		want := mirror[mi]
+		mirror = append(mirror[:mi], mirror[mi+1:]...)
+		got := e.pop()
+		if got.at != want.at || got.seq != want.seq {
+			t.Fatalf("op %d: popped (at=%v seq=%d), reference min (at=%v seq=%d)",
+				op, got.at, got.seq, want.at, want.seq)
+		}
+	}
+	// Drain the remainder against a full reference sort.
+	sort.Slice(mirror, func(i, j int) bool { return eventLess(mirror[i], mirror[j]) })
+	for i, want := range mirror {
+		got := e.pop()
+		if got.at != want.at || got.seq != want.seq {
+			t.Fatalf("drain %d: popped (at=%v seq=%d), want (at=%v seq=%d)",
+				i, got.at, got.seq, want.at, want.seq)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("heap not empty after drain: %d pending", e.Pending())
 	}
 }

@@ -61,6 +61,12 @@ func FromRequest(r *device.Request) Entry {
 
 // Recorder collects completed requests in submission order (traces are
 // sorted before writing, since completion order differs).
+//
+// A Recorder is not goroutine-safe: under the parallel experiment
+// executor (internal/runpool) each simulation unit must own its own
+// Recorder. Sharing one across units is forbidden; instead merge the
+// per-worker instances with Merge on the calling goroutine after the
+// pool joins.
 type Recorder struct {
 	entries []Entry
 	limit   int
@@ -94,6 +100,25 @@ func (rec *Recorder) Observe(r *device.Request) {
 		return
 	}
 	rec.entries = append(rec.entries, FromRequest(r))
+}
+
+// Merge folds another recorder's entries into rec, respecting rec's
+// limit: entries past the limit count as dropped, and the other
+// recorder's dropped count carries over. Call it on one goroutine after
+// the worker pool joins (Entries re-sorts, so merge order does not
+// affect the output).
+func (rec *Recorder) Merge(o *Recorder) {
+	if o == nil {
+		return
+	}
+	for _, e := range o.entries {
+		if rec.limit > 0 && len(rec.entries) >= rec.limit {
+			rec.dropped++
+			continue
+		}
+		rec.entries = append(rec.entries, e)
+	}
+	rec.dropped += o.dropped
 }
 
 // Len returns the number of recorded entries.

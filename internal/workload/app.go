@@ -31,6 +31,16 @@ type App struct {
 	doneQ       []*device.Request
 	reaping     bool
 
+	// Reusable closures for the submit->complete hot path. Allocating
+	// these once is safe because the submitting/reaping flags guarantee
+	// at most one outstanding instance of each; the pending* fields
+	// carry the batch arguments.
+	submitFn     func()
+	reapFn       func()
+	onCompleteFn func(*device.Request)
+	pendingBatch int
+	pendingAt    sim.Time
+
 	tokens     float64
 	lastRefill sim.Time
 
@@ -67,6 +77,9 @@ func NewApp(eng *sim.Engine, cpu *host.CPU, costs host.Costs, q *blk.Queue, spec
 		over:      q.PathOverheads(),
 		bytesDone: metrics.NewCounter(100 * sim.Millisecond),
 	}
+	a.submitFn = a.submitBatch
+	a.reapFn = a.reapBatch
+	a.onCompleteFn = a.onComplete
 	for i := 0; i < spec.QD; i++ {
 		a.pool = append(a.pool, &device.Request{})
 	}
@@ -186,14 +199,21 @@ func (a *App) trySubmit() {
 	}
 	a.outstanding += n
 	a.submitting = true
-	batch := n
-	a.core.Exec(cost, func() {
-		a.submitting = false
-		for i := 0; i < batch; i++ {
-			a.queue.Submit(a.buildRequest(submitAt))
-		}
-		a.trySubmit()
-	})
+	a.pendingBatch = n
+	a.pendingAt = submitAt
+	a.core.Exec(cost, a.submitFn)
+}
+
+// submitBatch delivers the batch staged by trySubmit once its CPU cost
+// has been paid.
+func (a *App) submitBatch() {
+	a.submitting = false
+	batch := a.pendingBatch
+	submitAt := a.pendingAt
+	for i := 0; i < batch; i++ {
+		a.queue.Submit(a.buildRequest(submitAt))
+	}
+	a.trySubmit()
 }
 
 // wake schedules a generation-guarded retry (later wakes that were
@@ -242,7 +262,7 @@ func (a *App) buildRequest(submitAt sim.Time) *device.Request {
 	r.Class = prioClass(a.spec.Group.EffectivePrio())
 	r.Weight = a.spec.Group.Knobs().BFQWeight
 	r.Submit = submitAt
-	r.OnComplete = a.onComplete
+	r.OnComplete = a.onCompleteFn
 	return r
 }
 
@@ -261,25 +281,30 @@ func (a *App) onComplete(r *device.Request) {
 func (a *App) scheduleReap() {
 	n := len(a.doneQ)
 	cost := a.costs.ReapCost(n) + sim.Duration(n)*a.over.CompleteCPU
-	a.core.Exec(cost, func() {
-		now := a.eng.Now()
-		for _, r := range a.doneQ {
-			a.hist.Record(int64(now.Sub(r.Submit)))
-			a.bytesDone.Add(now, float64(r.Size))
-			a.iosDone++
-			if r.Op == device.Write {
-				a.bytesWrit += r.Size
-			} else {
-				a.bytesRead += r.Size
-			}
-			a.cpu.AccountIO(a.over.CtxPerIO, a.over.CyclesPerIO)
-			a.outstanding--
-			a.pool = append(a.pool, r)
+	a.core.Exec(cost, a.reapFn)
+}
+
+// reapBatch drains the completion queue once the reap cost has been
+// paid. Completions that arrived after scheduleReap sized the cost ride
+// along, matching io_uring's batched CQ reaping.
+func (a *App) reapBatch() {
+	now := a.eng.Now()
+	for _, r := range a.doneQ {
+		a.hist.Record(int64(now.Sub(r.Submit)))
+		a.bytesDone.Add(now, float64(r.Size))
+		a.iosDone++
+		if r.Op == device.Write {
+			a.bytesWrit += r.Size
+		} else {
+			a.bytesRead += r.Size
 		}
-		a.doneQ = a.doneQ[:0]
-		a.reaping = false
-		a.trySubmit()
-	})
+		a.cpu.AccountIO(a.over.CtxPerIO, a.over.CyclesPerIO)
+		a.outstanding--
+		a.pool = append(a.pool, r)
+	}
+	a.doneQ = a.doneQ[:0]
+	a.reaping = false
+	a.trySubmit()
 }
 
 // Stats is an app's measurement snapshot.

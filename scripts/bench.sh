@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# bench.sh — run the engine and executor benchmarks and emit
+# BENCH_engine.json with ns/op and allocs/op per benchmark.
+#
+# Usage: scripts/bench.sh [output.json]
+# Extra control via env: BENCHTIME (default 1s), COUNT (default 1).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_engine.json}"
+benchtime="${BENCHTIME:-1s}"
+count="${COUNT:-1}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'EngineHotLoop|TradeoffParallel' -benchmem \
+    -benchtime "$benchtime" -count "$count" \
+    ./internal/sim/ ./internal/core/ | tee "$raw"
+
+awk '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix
+    ns[name] = $3; bytes[name] = ""; allocs[name] = ""
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "B/op") bytes[name] = $i
+        if ($(i+1) == "allocs/op") allocs[name] = $i
+    }
+    if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
+}
+END {
+    printf "{\n  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns[name]
+        if (bytes[name] != "")  printf ", \"bytes_per_op\": %s", bytes[name]
+        if (allocs[name] != "") printf ", \"allocs_per_op\": %s", allocs[name]
+        printf "}%s\n", (i < n-1 ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out"
