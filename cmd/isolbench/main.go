@@ -10,7 +10,8 @@
 // Experiments: fig2 (illustrative timelines), fig3 (latency/CPU
 // scaling), fig4 (bandwidth scalability), fig5 (fairness scalability),
 // fig6 (fairness under mixed workloads), fig7 (priority/utilization
-// trade-offs), q10 (burst response), tab1 (Table I verdicts).
+// trade-offs), q10 (burst response), tab1 (Table I verdicts),
+// resilience (isolation verdicts under injected device faults).
 package main
 
 import (
@@ -24,13 +25,14 @@ import (
 
 	"isolbench"
 	"isolbench/internal/core"
+	"isolbench/internal/fault"
 	"isolbench/internal/runpool"
 	"isolbench/internal/sim"
 	"isolbench/internal/trace"
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment id: fig2|fig3|fig4|fig5|fig6|fig7|q10|tab1|all")
+	expFlag     = flag.String("exp", "all", "experiment id: fig2|fig3|fig4|fig5|fig6|fig7|q10|tab1|resilience|all")
 	knobFlag    = flag.String("knob", "", "restrict to one knob (none|mq-deadline|bfq|io.max|io.latency|io.cost)")
 	quickFlag   = flag.Bool("quick", false, "short runs and coarse sweeps (fast, noisier)")
 	seedFlag    = flag.Uint64("seed", 1, "simulation seed")
@@ -139,7 +141,7 @@ func run() error {
 	}
 	exps := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
-		exps = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "q10", "tab1"}
+		exps = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "q10", "tab1", "resilience"}
 	}
 	for _, e := range exps {
 		var err error
@@ -160,6 +162,8 @@ func run() error {
 			err = runQ10()
 		case "tab1":
 			err = runTab1()
+		case "resilience":
+			err = runResilience()
 		default:
 			err = fmt.Errorf("unknown experiment %q", e)
 		}
@@ -492,6 +496,22 @@ func runReplay(path string) error {
 		sum.Requests, sum.MeanIOPS, knob)
 	fmt.Printf("P50=%.1fus P90=%.1fus P99=%.1fus max=%.1fus\n",
 		float64(st.P50Ns)/1e3, float64(st.P90Ns)/1e3, float64(st.P99Ns)/1e3, float64(st.MaxNs)/1e3)
+	return nil
+}
+
+func runResilience() error {
+	ks, err := knobs(false)
+	if err != nil {
+		return err
+	}
+	results, err := core.RunResilienceGrid(ks, fault.BuiltinProfiles(), core.ResilienceConfig{
+		Measure: measure(2 * sim.Second),
+		Seed:    *seedFlag,
+	}, *workersFlag)
+	if err != nil {
+		return err
+	}
+	core.WriteResilience(os.Stdout, results)
 	return nil
 }
 

@@ -52,6 +52,38 @@ func maxDur(a, b sim.Duration) sim.Duration {
 	return b
 }
 
+// RetryPolicy is the blk-layer recovery configuration: a per-attempt
+// timeout watchdog plus bounded retries with exponential backoff, the
+// scaled-down analogue of the kernel's nvme timeout/requeue path.
+// The zero value disables recovery entirely (no watchdog events are
+// scheduled, keeping fault-free runs byte-identical).
+type RetryPolicy struct {
+	// MaxRetries bounds resubmissions per request; past it the request
+	// is failed up to the application.
+	MaxRetries int
+	// Backoff is the delay before the first retry; it doubles per
+	// attempt up to BackoffMax.
+	Backoff    sim.Duration
+	BackoffMax sim.Duration
+	// Timeout arms a watchdog per dispatch; an attempt exceeding it is
+	// aborted (lost commands free their queue slot) and retried. 0
+	// disables the watchdog.
+	Timeout sim.Duration
+}
+
+// DefaultRetryPolicy mirrors the kernel's shape (nvme io_timeout +
+// requeue with backoff) scaled to the simulated device's microsecond
+// service times: the kernel's 30 s timeout guards ~100 us I/Os, ours
+// guards the same ratio.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxRetries: 5,
+		Backoff:    500 * sim.Microsecond,
+		BackoffMax: 16 * sim.Millisecond,
+		Timeout:    100 * sim.Millisecond,
+	}
+}
+
 // Scheduler is an I/O scheduler attached to one device queue. Insert
 // hands it a request; Dispatch returns the next request to send to the
 // device (nil if nothing may be dispatched right now — e.g. BFQ is
@@ -105,6 +137,16 @@ type Queue struct {
 
 	submitted uint64
 	completed uint64
+
+	// Recovery path. pending maps each in-device request to its armed
+	// watchdog token; a completion invalidates the token so the stale
+	// timer is a no-op even if the pooled request is reused.
+	retry    RetryPolicy
+	pending  map[*device.Request]uint64
+	wdToken  uint64
+	retries  uint64
+	timeouts uint64
+	failures uint64
 
 	// obs is the observability sink (nil = disabled fast path); devName
 	// labels this queue's device in io.stat and exports.
@@ -160,11 +202,35 @@ func (q *Queue) PathOverheads() Overheads {
 	return o
 }
 
+// SetRetryPolicy installs the recovery configuration. Call before the
+// run starts; the zero policy disables recovery.
+func (q *Queue) SetRetryPolicy(p RetryPolicy) {
+	q.retry = p
+	if p.Timeout > 0 && q.pending == nil {
+		q.pending = make(map[*device.Request]uint64)
+	}
+}
+
+// RetryPolicy returns the active recovery configuration.
+func (q *Queue) RetryPolicy() RetryPolicy { return q.retry }
+
 // Submitted and Completed report queue-level counters.
 func (q *Queue) Submitted() uint64 { return q.submitted }
 
-// Completed reports how many requests finished on this queue.
+// Completed reports how many requests finished successfully on this
+// queue (permanent failures are counted by Failures instead).
 func (q *Queue) Completed() uint64 { return q.completed }
+
+// Retries reports how many attempts were resubmitted after a transient
+// error or timeout.
+func (q *Queue) Retries() uint64 { return q.retries }
+
+// Timeouts reports how many attempts the watchdog gave up on.
+func (q *Queue) Timeouts() uint64 { return q.timeouts }
+
+// Failures reports how many requests exhausted their retry budget and
+// were failed up to the application.
+func (q *Queue) Failures() uint64 { return q.failures }
 
 // Submit enters a request into the path. CPU costs must already have
 // been paid by the caller (the workload layer models the submitting
@@ -209,7 +275,7 @@ func (q *Queue) Pump() {
 		q.reserved++
 		if hold <= 0 {
 			q.reserved--
-			q.dev.Submit(r)
+			q.toDevice(r)
 			continue
 		}
 		q.lockQ = append(q.lockQ, r)
@@ -228,10 +294,36 @@ func (q *Queue) lockRelease() {
 		q.lockHead = 0
 	}
 	q.reserved--
+	q.toDevice(r)
+}
+
+// toDevice hands one dispatch decision to the device, arming the
+// timeout watchdog when recovery is configured. With the zero policy
+// this is exactly the old direct submit — no extra events.
+func (q *Queue) toDevice(r *device.Request) {
+	if q.retry.Timeout > 0 {
+		q.wdToken++
+		token := q.wdToken
+		q.pending[r] = token
+		q.eng.After(q.retry.Timeout, func() { q.onTimeout(r, token) })
+	}
 	q.dev.Submit(r)
 }
 
 func (q *Queue) onDeviceDone(r *device.Request) {
+	delete(q.pending, r)
+	if r.Failed || r.TimedOut {
+		// A failed attempt still releases scheduler/controller state
+		// (the kernel completes the request into the error path), then
+		// recovery decides: resubmit or fail upward.
+		q.sched.Completed(r)
+		if q.ctl != nil {
+			q.ctl.Completed(r)
+		}
+		q.recover(r, false)
+		q.Pump()
+		return
+	}
 	q.completed++
 	q.obs.Completed(q.devName, r)
 	q.sched.Completed(r)
@@ -239,4 +331,84 @@ func (q *Queue) onDeviceDone(r *device.Request) {
 		q.ctl.Completed(r)
 	}
 	q.Pump()
+}
+
+// onTimeout is the watchdog for one dispatch attempt. A stale token
+// means the attempt already completed (or the pooled request moved on
+// to a new lifecycle) — strictly a no-op.
+func (q *Queue) onTimeout(r *device.Request, token uint64) {
+	if q.pending[r] != token {
+		return
+	}
+	delete(q.pending, r)
+	q.timeouts++
+	q.obs.Timeout(q.devName, r.Cgroup)
+	r.TimedOut = true
+	if !q.dev.Abort(r) {
+		// Still in service: the slot cannot be reclaimed. The eventual
+		// completion routes through recover via the TimedOut mark
+		// (abort-and-disregard, as the kernel does after nvme_abort).
+		return
+	}
+	// Lost command: the device freed the slot and will never complete
+	// it, so the block layer completes the attempt itself.
+	r.Complete = q.eng.Now()
+	q.sched.Completed(r)
+	if q.ctl != nil {
+		q.ctl.Completed(r)
+	}
+	q.recover(r, true)
+	q.Pump()
+}
+
+// recover routes a failed attempt: bounded retry with exponential
+// backoff, or permanent failure up to the application. The caller has
+// already released scheduler/controller state for the attempt. deliver
+// is true on the watchdog/abort path, where the device never re-enters
+// finish and the block layer must fire the terminal callback itself.
+func (q *Queue) recover(r *device.Request, deliver bool) {
+	if r.Attempts < q.retry.MaxRetries {
+		q.scheduleRetry(r)
+		return
+	}
+	q.failures++
+	q.completed++
+	q.obs.Completed(q.devName, r)
+	if deliver && r.OnComplete != nil {
+		r.OnComplete(r)
+	}
+}
+
+// scheduleRetry resubmits a failed attempt after backoff. The terminal
+// callback is detached for the in-between window so neither the device
+// (for completed-with-error attempts) nor anything else notifies the
+// application mid-recovery.
+func (q *Queue) scheduleRetry(r *device.Request) {
+	q.retries++
+	q.obs.Retry(q.devName, r.Cgroup)
+	q.obs.RunEnd(r.Cgroup)
+	r.Attempts++
+	r.Failed, r.TimedOut = false, false
+	done := r.OnComplete
+	r.OnComplete = nil
+	q.eng.After(q.backoffFor(r.Attempts), func() {
+		r.OnComplete = done
+		q.toScheduler(r)
+	})
+}
+
+// backoffFor returns the delay before retry attempt n (1-based):
+// Backoff doubled per prior attempt, capped at BackoffMax.
+func (q *Queue) backoffFor(n int) sim.Duration {
+	d := q.retry.Backoff
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= q.retry.BackoffMax {
+			return q.retry.BackoffMax
+		}
+	}
+	if q.retry.BackoffMax > 0 && d > q.retry.BackoffMax {
+		d = q.retry.BackoffMax
+	}
+	return d
 }

@@ -6,6 +6,7 @@ import (
 	"isolbench/internal/blk"
 	"isolbench/internal/cgroup"
 	"isolbench/internal/device"
+	"isolbench/internal/fault"
 	"isolbench/internal/host"
 	"isolbench/internal/ioctl/iocost"
 	"isolbench/internal/ioctl/iolatency"
@@ -67,6 +68,18 @@ type Options struct {
 	Observe bool
 	// ObsConfig bounds the observer's ring buffers (zero = defaults).
 	ObsConfig obs.Config
+
+	// Fault, when Enabled, attaches a per-device fault.Injector (seeded
+	// from the cluster seed and device index, on a stream independent
+	// of the device's own jitter RNG) and defaults Retry to
+	// blk.DefaultRetryPolicy. The zero profile changes nothing — no
+	// injector is attached and no watchdog events are scheduled, so
+	// healthy runs stay byte-identical (TestFaultDisabledGolden pins
+	// this).
+	Fault fault.Profile
+	// Retry overrides the blk recovery policy. The zero value means
+	// "default when Fault is enabled, disabled otherwise".
+	Retry blk.RetryPolicy
 }
 
 func (o Options) withDefaults() Options {
@@ -105,6 +118,10 @@ type Cluster struct {
 
 	// Obs is the observability hub; nil unless Options.Observe.
 	Obs *obs.Observer
+
+	// Faults holds each device's injector when Options.Fault is
+	// enabled (index by device); nil otherwise.
+	Faults []*fault.Injector
 
 	// Knob-specific controller handles for introspection (index by
 	// device); nil slices when the knob does not use them.
@@ -224,9 +241,27 @@ func NewCluster(opts Options) (*Cluster, error) {
 				c.Obs.Sample("dev.gc_debt."+name, -1, float64(debtBytes))
 			}
 		}
+		if opts.Fault.Enabled() {
+			// The injector's seed stream is disjoint from the device
+			// seed (opts.Seed*1000003+i+1) so attaching faults never
+			// perturbs the device's own jitter draws.
+			in, err := fault.NewInjector(opts.Fault, opts.Seed*2654435761+uint64(i)+500009)
+			if err != nil {
+				return nil, fmt.Errorf("fault profile: %w", err)
+			}
+			dev.AttachFaults(in)
+			c.Faults = append(c.Faults, in)
+		}
 		c.Devices = append(c.Devices, dev)
 		q := blk.NewQueue(c.Eng, dev, sched, ctl)
 		q.SetObserver(c.Obs, DevName(i))
+		retry := opts.Retry
+		if retry == (blk.RetryPolicy{}) && opts.Fault.Enabled() {
+			retry = blk.DefaultRetryPolicy()
+		}
+		if retry != (blk.RetryPolicy{}) {
+			q.SetRetryPolicy(retry)
+		}
 		c.Queues = append(c.Queues, q)
 	}
 	return c, nil
@@ -288,6 +323,7 @@ type GroupStats struct {
 	Name      string
 	Weight    float64 // the weight used for fairness normalization
 	IOs       uint64
+	Errors    uint64 // requests failed up to the group's apps
 	Bytes     int64
 	BW        float64 // bytes per second over the window
 	P50       sim.Duration
@@ -308,6 +344,13 @@ type Result struct {
 	CtxPerIO    float64
 	CyclesPerIO float64
 	IOs         uint64
+
+	// Recovery-path counters, summed over the cluster's queues. These
+	// are cumulative since cluster construction (the blk layer has no
+	// warmup reset) — zero on healthy runs.
+	Errors   uint64
+	Retries  uint64
+	Timeouts uint64
 
 	// Obs carries the run's observer when observability was enabled
 	// (RunJobFile sets it); nil otherwise.
@@ -333,6 +376,7 @@ func (c *Cluster) Result() Result {
 		}
 		acc.bytes += st.ReadBytes + st.WriteBytes
 		acc.ios += st.IOs
+		acc.errs += st.Errors
 		acc.hist.Merge(a.Histogram())
 	}
 	for _, gid := range order {
@@ -341,6 +385,7 @@ func (c *Cluster) Result() Result {
 			Name:      acc.name,
 			Weight:    1,
 			IOs:       acc.ios,
+			Errors:    acc.errs,
 			Bytes:     acc.bytes,
 			BW:        float64(acc.bytes) / span.Seconds(),
 			P50:       sim.Duration(acc.hist.Percentile(50)),
@@ -350,6 +395,12 @@ func (c *Cluster) Result() Result {
 		})
 		res.AggregateBW += float64(acc.bytes) / span.Seconds()
 		res.IOs += acc.ios
+	}
+
+	for _, q := range c.Queues {
+		res.Errors += q.Failures()
+		res.Retries += q.Retries()
+		res.Timeouts += q.Timeouts()
 	}
 
 	res.CPUUtil = host.Utilization(c.busyBefore, c.CPU.BusySnapshot(), span)
@@ -365,6 +416,7 @@ type groupAcc struct {
 	name  string
 	bytes int64
 	ios   uint64
+	errs  uint64
 	hist  metrics.Histogram
 }
 

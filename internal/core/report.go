@@ -93,6 +93,31 @@ func WriteBurst(w io.Writer, r *BurstResult) {
 		r.Knob, r.Kind, status, GiB(r.SteadyBW))
 }
 
+// WriteResilience prints the fault-injection verdict table: one row per
+// (knob, fault profile) cell.
+func WriteResilience(w io.Writer, rs []*ResilienceResult) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "# resilience: isolation under injected device faults (weights 1:4, tenant1 protected)")
+	fmt.Fprintln(tw, "knob\tfault\tbase_p99\tfault_p99\tinflation\tjain_w\tbw_ratio\trecovery\terrs\tretries\ttimeouts")
+	for _, r := range rs {
+		bwRatio := 0.0
+		if r.BaseBW > 0 {
+			bwRatio = r.FaultBW / r.BaseBW
+		}
+		recovery := "n/a"
+		if r.HasWindows {
+			recovery = "never"
+			if r.Recovered {
+				recovery = r.Recovery.String()
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.2fx\t%.3f\t%.2f\t%s\t%d\t%d\t%d\n",
+			r.Knob, r.Fault, r.BaseP99, r.FaultP99, r.P99Inflation,
+			r.FaultJain, bwRatio, recovery, r.Errors, r.Retries, r.Timeouts)
+	}
+	tw.Flush()
+}
+
 // WriteObsSummary prints the observability layer's per-cgroup latency
 // decomposition: one row per pipeline stage (throttle wait, scheduler
 // queue, dispatch, device queue, device service) plus the end-to-end

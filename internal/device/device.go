@@ -3,6 +3,7 @@ package device
 import (
 	"fmt"
 
+	"isolbench/internal/fault"
 	"isolbench/internal/sim"
 )
 
@@ -18,6 +19,11 @@ type Stats struct {
 	ChannelBusy     sim.Duration // summed over channels
 	PipeBusy        sim.Duration
 	GCEvents        uint64
+
+	// Fault-injection accounting (all zero without an injector).
+	FaultErrors uint64 // completions flagged with a transient error
+	FaultDrops  uint64 // requests lost inside the device
+	FaultSpikes uint64 // isolated latency spikes applied
 }
 
 // Device is one simulated NVMe SSD. Submit requests with Submit after
@@ -49,6 +55,11 @@ type Device struct {
 	gcDebt  int64
 	gcOn    bool
 
+	// Fault injection (nil on the healthy path — no branch of the hot
+	// path touches the injector when it is absent).
+	flt  *fault.Injector
+	lost map[*Request]struct{} // dropped requests awaiting blk abort
+
 	stats       Stats
 	channelBusy sim.Duration
 }
@@ -66,6 +77,29 @@ func New(eng *sim.Engine, prof Profile, seed uint64) (*Device, error) {
 
 // Profile returns the device's performance model.
 func (d *Device) Profile() Profile { return d.prof }
+
+// AttachFaults installs a fault injector. Call before the run starts;
+// passing nil restores healthy behaviour.
+func (d *Device) AttachFaults(in *fault.Injector) {
+	d.flt = in
+	if in != nil && d.lost == nil {
+		d.lost = make(map[*Request]struct{})
+	}
+}
+
+// Abort reclaims a request the blk-layer watchdog timed out. It
+// returns true when the request was lost inside the device — the
+// queue-depth slot is freed and the request will never complete — and
+// false when the request is still in service (it will complete
+// eventually; the caller keeps ownership decisions to itself).
+func (d *Device) Abort(r *Request) bool {
+	if _, ok := d.lost[r]; !ok {
+		return false
+	}
+	delete(d.lost, r)
+	d.inflight--
+	return true
+}
 
 // CanAccept reports whether the device queue has room for one more
 // request (inflight < nr_requests).
@@ -98,6 +132,13 @@ func (d *Device) Submit(r *Request) {
 	}
 	d.inflight++
 	r.Dispatch = d.eng.Now()
+	if d.flt != nil && d.flt.DropRequest() {
+		// Lost command: it holds its queue-depth slot and never
+		// completes. Only the blk timeout watchdog (Abort) reclaims it.
+		d.lost[r] = struct{}{}
+		d.stats.FaultDrops++
+		return
+	}
 	if d.busy < d.availableChannels() {
 		d.startService(r)
 	} else {
@@ -107,8 +148,11 @@ func (d *Device) Submit(r *Request) {
 
 func (d *Device) availableChannels() int {
 	n := d.prof.Channels - d.seized
+	if d.flt != nil {
+		n -= d.flt.SeizedChannels(d.eng.Now())
+	}
 	if n < 1 {
-		n = 1 // GC never blocks the device entirely
+		n = 1 // GC/storms never block the device entirely
 	}
 	return n
 }
@@ -155,6 +199,15 @@ func (d *Device) accessTime(r *Request) sim.Duration {
 	if r.Op == Write && d.gcOn && d.prof.GCStallProb > 0 && d.rng.Float64() < d.prof.GCStallProb {
 		t += d.rng.Jitter(d.prof.GCStall, 0.5)
 	}
+	if d.flt != nil {
+		if f := d.flt.AccessFactor(d.eng.Now()); f != 1 {
+			t = sim.Duration(float64(t) * f)
+		}
+		if extra := d.flt.SpikeExtra(); extra > 0 {
+			t += extra
+			d.stats.FaultSpikes++
+		}
+	}
 	return t
 }
 
@@ -164,18 +217,27 @@ func (d *Device) accessTime(r *Request) sim.Duration {
 // write flows.
 func (d *Device) transferDemand(r *Request) float64 {
 	size := float64(r.Size)
+	var demand float64
 	switch {
 	case r.Op == Read && r.Seq:
-		return size * d.prof.ReadRate / d.prof.SeqReadRate
+		demand = size * d.prof.ReadRate / d.prof.SeqReadRate
 	case r.Op == Read:
-		return size * (1 + d.prof.RWInterference*d.pipe.writeShare())
+		demand = size * (1 + d.prof.RWInterference*d.pipe.writeShare())
 	default:
 		rate := d.prof.WriteRate
 		if r.Seq {
 			rate = d.prof.SeqWriteRate
 		}
-		return size * d.writeAmp() * d.prof.ReadRate / rate
+		demand = size * d.writeAmp() * d.prof.ReadRate / rate
 	}
+	if d.flt != nil {
+		// A degradation window scales deliverable throughput down, which
+		// in read-equivalent units means each byte demands more service.
+		if f := d.flt.ThroughputFactor(d.eng.Now()); f < 1 {
+			demand /= f
+		}
+	}
+	return demand
 }
 
 // writeAmp returns the current write-amplification factor.
@@ -206,7 +268,15 @@ func (d *Device) transferDone(r *Request) {
 func (d *Device) finish(r *Request) {
 	d.inflight--
 	r.Complete = d.eng.Now()
-	if r.Op == Write {
+	if d.flt != nil && d.flt.FailRequest() {
+		r.Failed = true
+	}
+	if r.Failed {
+		// A transient command error: no data moved, so no byte/IO
+		// accounting and no write-debt contribution. The blk layer
+		// decides whether to retry.
+		d.stats.FaultErrors++
+	} else if r.Op == Write {
 		d.stats.WritesCompleted++
 		d.stats.WriteBytes += r.Size
 		d.written += r.Size

@@ -1,0 +1,150 @@
+package device
+
+import (
+	"testing"
+
+	"isolbench/internal/fault"
+	"isolbench/internal/sim"
+)
+
+func attach(t *testing.T, d *Device, p fault.Profile, seed uint64) *fault.Injector {
+	t.Helper()
+	in, err := fault.NewInjector(p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.AttachFaults(in)
+	return in
+}
+
+// TestDeviceDropAndAbort: a dropped request never completes, holds its
+// queue-depth slot, and Abort reclaims exactly that slot. Abort on a
+// live request reports false and leaves it to complete.
+func TestDeviceDropAndAbort(t *testing.T) {
+	eng, d := newTestDevice(t, Flash980Profile())
+	attach(t, d, fault.Profile{DropProb: 1}, 9)
+
+	r := read4K(1)
+	done := false
+	r.OnComplete = func(*Request) { done = true }
+	d.Submit(r)
+	if d.Inflight() != 1 {
+		t.Fatalf("Inflight = %d, want 1 (dropped request holds its slot)", d.Inflight())
+	}
+	eng.RunUntil(sim.Time(sim.Second))
+	if done {
+		t.Fatal("dropped request completed")
+	}
+	if d.Stats().FaultDrops != 1 {
+		t.Fatalf("FaultDrops = %d, want 1", d.Stats().FaultDrops)
+	}
+	if !d.Abort(r) {
+		t.Fatal("Abort(dropped) = false, want true")
+	}
+	if d.Inflight() != 0 {
+		t.Fatalf("Inflight after abort = %d, want 0", d.Inflight())
+	}
+	if d.Abort(r) {
+		t.Fatal("second Abort on same request returned true")
+	}
+
+	// A live (in-service) request is not abortable.
+	d.AttachFaults(nil)
+	r2 := read4K(2)
+	r2.OnComplete = func(*Request) { done = true }
+	d.Submit(r2)
+	if d.Abort(r2) {
+		t.Fatal("Abort(live) = true, want false")
+	}
+	eng.RunUntil(sim.Time(2 * sim.Second))
+	if !done {
+		t.Fatal("live request never completed")
+	}
+}
+
+// TestDeviceTransientError: with ErrorProb=1 every completion is
+// flagged Failed, no bytes are accounted, and FaultErrors counts them.
+func TestDeviceTransientError(t *testing.T) {
+	eng, d := newTestDevice(t, Flash980Profile())
+	attach(t, d, fault.Profile{ErrorProb: 1}, 3)
+
+	var completions, failed int
+	r := read4K(1)
+	r.Submit = eng.Now()
+	r.OnComplete = func(r *Request) {
+		completions++
+		if r.Failed {
+			failed++
+		}
+	}
+	d.Submit(r)
+	eng.RunUntil(sim.Time(sim.Second))
+	if completions != 1 || failed != 1 {
+		t.Fatalf("completions=%d failed=%d, want 1/1", completions, failed)
+	}
+	s := d.Stats()
+	if s.FaultErrors != 1 {
+		t.Fatalf("FaultErrors = %d, want 1", s.FaultErrors)
+	}
+	if s.ReadsCompleted != 0 || s.ReadBytes != 0 {
+		t.Fatalf("failed read was accounted: reads=%d bytes=%d", s.ReadsCompleted, s.ReadBytes)
+	}
+}
+
+// TestDeviceStormSlowsThroughput: a permanent storm seizing most
+// channels must cut closed-loop random-read throughput well below the
+// healthy device.
+func TestDeviceStormSlowsThroughput(t *testing.T) {
+	prof := Flash980Profile()
+	eng, d := newTestDevice(t, prof)
+	healthy, _ := driveClosedLoop(eng, d, 256, read4K, sim.Time(sim.Second))
+
+	eng2, d2 := newTestDevice(t, prof)
+	attach(t, d2, fault.Profile{
+		Horizon:    30 * sim.Second,
+		StormEvery: sim.Millisecond, StormFor: 40 * sim.Second, StormChannels: prof.Channels - 1,
+	}, 7)
+	stormy, _ := driveClosedLoop(eng2, d2, 256, read4K, sim.Time(sim.Second))
+
+	if float64(stormy) > 0.25*float64(healthy) {
+		t.Fatalf("storm barely hurt: healthy=%d stormy=%d", healthy, stormy)
+	}
+	if stormy == 0 {
+		t.Fatal("storm blocked the device entirely")
+	}
+}
+
+// TestDeviceFaultDeterminism: the same fault seed gives bit-identical
+// completion counts and latency sums; the injector's stream must not
+// perturb the device's own jitter stream when disabled.
+func TestDeviceFaultDeterminism(t *testing.T) {
+	prof := Flash980Profile()
+	run := func(seed uint64, withFaults bool) (uint64, sim.Duration) {
+		eng := sim.NewEngine()
+		d, err := New(eng, prof, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withFaults {
+			in, err := fault.NewInjector(fault.BrownoutProfile(), seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.AttachFaults(in)
+		}
+		return driveClosedLoop(eng, d, 64, read4K, sim.Time(sim.Second))
+	}
+	c1, l1 := run(5, true)
+	c2, l2 := run(5, true)
+	if c1 != c2 || l1 != l2 {
+		t.Fatalf("same fault seed diverged: (%d,%v) vs (%d,%v)", c1, l1, c2, l2)
+	}
+	c3, _ := run(6, true)
+	base, _ := run(0, false)
+	if c3 == base {
+		t.Log("faulted run matched healthy run on completion count (possible but suspicious)")
+	}
+	if float64(c1) > 0.95*float64(base) {
+		t.Fatalf("brownout profile barely hurt: base=%d faulted=%d", base, c1)
+	}
+}

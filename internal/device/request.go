@@ -70,6 +70,14 @@ type Request struct {
 	// OnComplete is invoked exactly once when the request finishes.
 	OnComplete func(*Request)
 
+	// Fault/recovery state. Failed marks a completion that carried a
+	// transient device error; TimedOut marks an attempt the blk watchdog
+	// gave up on. Attempts counts resubmissions beyond the first (so 0
+	// for the common fault-free path).
+	Failed   bool
+	TimedOut bool
+	Attempts int
+
 	// pipe bookkeeping (device-internal).
 	finishS  float64
 	heapIdx  int

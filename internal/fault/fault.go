@@ -1,0 +1,294 @@
+// Package fault injects deterministic device-level misbehaviour into
+// the simulated NVMe testbed: GC storms (channel seizure), latency
+// brownouts (sustained access-time inflation), isolated latency
+// spikes, throughput-degradation windows, and transient per-request
+// command failures or losses. The paper evaluates the cgroup I/O knobs
+// on healthy SSDs; this package asks the follow-up question the knobs
+// exist for — which configuration still isolates tenants when the
+// device degrades?
+//
+// Everything is seed-driven: an Injector precomputes its fault-window
+// schedule from the profile and seed at construction, and per-request
+// draws come from the injector's own RNG stream, so a faulted run is
+// bit-reproducible and a fault-free run is untouched (the device never
+// consults a nil injector, and the injector never draws from the
+// device's jitter stream).
+package fault
+
+import (
+	"fmt"
+
+	"isolbench/internal/sim"
+)
+
+// Kind enumerates the windowed fault classes. Per-request faults
+// (spikes, errors, drops) are probabilistic rather than windowed and
+// have no Kind.
+type Kind int
+
+// Windowed fault kinds.
+const (
+	// KindBrownout inflates medium-access times by BrownoutFactor for
+	// the window's duration (firmware housekeeping, thermal
+	// throttling).
+	KindBrownout Kind = iota
+	// KindDegrade scales the shared-medium throughput down to
+	// DegradeFactor of nominal (internal migration traffic, pSLC cache
+	// exhaustion).
+	KindDegrade
+	// KindStorm seizes StormChannels flash channels, as a garbage
+	// collection burst does, independent of the device's own debt
+	// accounting.
+	KindStorm
+	// NumKinds counts the windowed fault kinds.
+	NumKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindBrownout:
+		return "brownout"
+	case KindDegrade:
+		return "degrade"
+	case KindStorm:
+		return "storm"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Window is one scheduled fault interval, active on [Start, End).
+type Window struct {
+	Start sim.Time
+	End   sim.Time
+}
+
+// Profile declares how a device misbehaves. The zero value injects
+// nothing (Enabled reports false). Windowed faults are parameterized
+// by a mean period (Every) and mean duration (For); the concrete
+// schedule is drawn once, with jitter, from the injector's seed.
+type Profile struct {
+	Name string
+
+	// Horizon bounds the precomputed window schedule (default 30 s of
+	// virtual time — past it no windowed fault fires).
+	Horizon sim.Duration
+
+	// Brownout windows multiply medium-access times by BrownoutFactor
+	// (> 1).
+	BrownoutEvery  sim.Duration
+	BrownoutFor    sim.Duration
+	BrownoutFactor float64
+
+	// SpikeProb is the per-request probability of an isolated latency
+	// spike, exponentially distributed with mean SpikeLat.
+	SpikeProb float64
+	SpikeLat  sim.Duration
+
+	// ErrorProb is the per-request probability that the command
+	// completes with a transient error (the blk layer retries it).
+	ErrorProb float64
+
+	// DropProb is the per-request probability the command is lost
+	// inside the device: it never completes, holds its queue-depth
+	// slot, and only the blk timeout watchdog can reclaim it.
+	DropProb float64
+
+	// Degrade windows scale deliverable throughput to DegradeFactor of
+	// nominal (0 < DegradeFactor < 1).
+	DegradeEvery  sim.Duration
+	DegradeFor    sim.Duration
+	DegradeFactor float64
+
+	// Storm windows seize StormChannels flash channels, mimicking a
+	// garbage-collection burst regardless of actual write debt.
+	StormEvery    sim.Duration
+	StormFor      sim.Duration
+	StormChannels int
+}
+
+// Enabled reports whether the profile injects any fault at all.
+func (p Profile) Enabled() bool {
+	return p.BrownoutEvery > 0 || p.DegradeEvery > 0 || p.StormEvery > 0 ||
+		p.SpikeProb > 0 || p.ErrorProb > 0 || p.DropProb > 0
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.Horizon <= 0 {
+		p.Horizon = 30 * sim.Second
+	}
+	return p
+}
+
+// Validate reports whether the profile is internally consistent.
+func (p Profile) Validate() error {
+	switch {
+	case p.BrownoutEvery > 0 && (p.BrownoutFor <= 0 || p.BrownoutFactor <= 1):
+		return errField("brownout window needs BrownoutFor > 0 and BrownoutFactor > 1")
+	case p.DegradeEvery > 0 && (p.DegradeFor <= 0 || p.DegradeFactor <= 0 || p.DegradeFactor >= 1):
+		return errField("degrade window needs DegradeFor > 0 and DegradeFactor in (0, 1)")
+	case p.StormEvery > 0 && (p.StormFor <= 0 || p.StormChannels <= 0):
+		return errField("storm window needs StormFor > 0 and StormChannels > 0")
+	case p.SpikeProb < 0 || p.SpikeProb > 1 || p.ErrorProb < 0 || p.ErrorProb > 1 || p.DropProb < 0 || p.DropProb > 1:
+		return errField("per-request probabilities must be in [0, 1]")
+	case p.SpikeProb > 0 && p.SpikeLat <= 0:
+		return errField("SpikeProb needs SpikeLat > 0")
+	}
+	return nil
+}
+
+type errField string
+
+func (e errField) Error() string { return "fault: invalid profile: " + string(e) }
+
+// Injector is one device's fault source. It is built once per device
+// from (profile, seed); the window schedule is fixed at construction
+// and runtime queries advance a cursor per kind, so lookups are O(1)
+// amortized for the device's monotonically increasing clock.
+type Injector struct {
+	prof Profile
+	rng  *sim.RNG
+	wins [NumKinds][]Window
+	cur  [NumKinds]int
+}
+
+// NewInjector builds an injector with a concrete, deterministic window
+// schedule drawn from seed. Two injectors with the same (profile,
+// seed) behave identically; different seeds shift every window and
+// every per-request draw.
+func NewInjector(p Profile, seed uint64) (*Injector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	in := &Injector{prof: p, rng: sim.NewRNG(seed)}
+	in.wins[KindBrownout] = in.schedule(p.BrownoutEvery, p.BrownoutFor)
+	in.wins[KindDegrade] = in.schedule(p.DegradeEvery, p.DegradeFor)
+	in.wins[KindStorm] = in.schedule(p.StormEvery, p.StormFor)
+	return in, nil
+}
+
+// schedule lays out non-overlapping windows up to the horizon: a
+// jittered gap of ~every between windows, each lasting ~dur.
+func (in *Injector) schedule(every, dur sim.Duration) []Window {
+	if every <= 0 || dur <= 0 {
+		return nil
+	}
+	var ws []Window
+	t := sim.Time(0)
+	for {
+		gap := in.rng.Jitter(every, 0.35)
+		start := t.Add(gap)
+		if start >= sim.Time(in.prof.Horizon) {
+			return ws
+		}
+		end := start.Add(in.rng.Jitter(dur, 0.25))
+		ws = append(ws, Window{Start: start, End: end})
+		t = end
+	}
+}
+
+// Profile returns the injector's fault profile (with defaults filled).
+func (in *Injector) Profile() Profile { return in.prof }
+
+// Windows returns a copy of the schedule for one fault kind.
+func (in *Injector) Windows(k Kind) []Window {
+	out := make([]Window, len(in.wins[k]))
+	copy(out, in.wins[k])
+	return out
+}
+
+// active reports whether kind k has a window covering t. Queries must
+// come with non-decreasing t (the simulation clock): the per-kind
+// cursor only moves forward.
+func (in *Injector) active(k Kind, t sim.Time) bool {
+	ws := in.wins[k]
+	i := in.cur[k]
+	for i < len(ws) && ws[i].End <= t {
+		i++
+	}
+	in.cur[k] = i
+	return i < len(ws) && ws[i].Start <= t
+}
+
+// AccessFactor returns the medium-access-time multiplier at t (1 when
+// no brownout window is active).
+func (in *Injector) AccessFactor(t sim.Time) float64 {
+	if in.prof.BrownoutEvery > 0 && in.active(KindBrownout, t) {
+		return in.prof.BrownoutFactor
+	}
+	return 1
+}
+
+// ThroughputFactor returns the deliverable-throughput multiplier at t
+// (1 nominal; DegradeFactor during a degradation window).
+func (in *Injector) ThroughputFactor(t sim.Time) float64 {
+	if in.prof.DegradeEvery > 0 && in.active(KindDegrade, t) {
+		return in.prof.DegradeFactor
+	}
+	return 1
+}
+
+// SeizedChannels returns how many flash channels a storm holds at t
+// (0 outside storm windows).
+func (in *Injector) SeizedChannels(t sim.Time) int {
+	if in.prof.StormEvery > 0 && in.active(KindStorm, t) {
+		return in.prof.StormChannels
+	}
+	return 0
+}
+
+// SpikeExtra draws one per-request latency spike: usually 0, with
+// probability SpikeProb an exponential extra delay of mean SpikeLat.
+func (in *Injector) SpikeExtra() sim.Duration {
+	if in.prof.SpikeProb <= 0 || in.rng.Float64() >= in.prof.SpikeProb {
+		return 0
+	}
+	return in.rng.ExpDuration(in.prof.SpikeLat)
+}
+
+// FailRequest draws whether this request completes with a transient
+// error.
+func (in *Injector) FailRequest() bool {
+	return in.prof.ErrorProb > 0 && in.rng.Float64() < in.prof.ErrorProb
+}
+
+// DropRequest draws whether this request is lost inside the device.
+func (in *Injector) DropRequest() bool {
+	return in.prof.DropProb > 0 && in.rng.Float64() < in.prof.DropProb
+}
+
+// LastWindowEnd returns the latest window end at or before t across
+// all kinds (how long the resilience runner must wait before measuring
+// recovery), and whether any window ended by then. It does not disturb
+// the runtime cursors.
+func (in *Injector) LastWindowEnd(t sim.Time) (sim.Time, bool) {
+	var last sim.Time
+	found := false
+	for k := Kind(0); k < NumKinds; k++ {
+		for _, w := range in.wins[k] {
+			if w.End > t {
+				break
+			}
+			if !found || w.End > last {
+				last, found = w.End, true
+			}
+		}
+	}
+	return last, found
+}
+
+// WindowOpenAt reports whether any fault window spans t.
+func (in *Injector) WindowOpenAt(t sim.Time) bool {
+	for k := Kind(0); k < NumKinds; k++ {
+		for _, w := range in.wins[k] {
+			if w.Start > t {
+				break
+			}
+			if w.End > t {
+				return true
+			}
+		}
+	}
+	return false
+}

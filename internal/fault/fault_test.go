@@ -1,0 +1,228 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"isolbench/internal/sim"
+)
+
+func stormProfile() Profile {
+	return Profile{
+		Name:       "storm",
+		StormEvery: 500 * sim.Millisecond, StormFor: 200 * sim.Millisecond, StormChannels: 48,
+	}
+}
+
+// TestScheduleDeterminism: same (profile, seed) must yield the same
+// window schedule and the same per-request draws — the property the
+// parallel executor relies on.
+func TestScheduleDeterminism(t *testing.T) {
+	p := Profile{
+		Name:          "mix",
+		BrownoutEvery: 700 * sim.Millisecond, BrownoutFor: 150 * sim.Millisecond, BrownoutFactor: 4,
+		DegradeEvery: 900 * sim.Millisecond, DegradeFor: 250 * sim.Millisecond, DegradeFactor: 0.3,
+		StormEvery: 600 * sim.Millisecond, StormFor: 180 * sim.Millisecond, StormChannels: 32,
+		SpikeProb: 0.01, SpikeLat: 2 * sim.Millisecond,
+		ErrorProb: 0.005, DropProb: 0.001,
+	}
+	a, err := NewInjector(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewInjector(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := Kind(0); k < NumKinds; k++ {
+		if !reflect.DeepEqual(a.Windows(k), b.Windows(k)) {
+			t.Fatalf("kind %v: schedules diverge for same seed", k)
+		}
+		if len(a.Windows(k)) == 0 {
+			t.Fatalf("kind %v: no windows scheduled inside horizon", k)
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		if a.SpikeExtra() != b.SpikeExtra() || a.FailRequest() != b.FailRequest() || a.DropRequest() != b.DropRequest() {
+			t.Fatalf("per-request draws diverge at draw %d", i)
+		}
+	}
+}
+
+// TestScheduleSeedSensitivity: a different seed must shift the windows.
+func TestScheduleSeedSensitivity(t *testing.T) {
+	p := stormProfile()
+	a, _ := NewInjector(p, 1)
+	b, _ := NewInjector(p, 2)
+	if reflect.DeepEqual(a.Windows(KindStorm), b.Windows(KindStorm)) {
+		t.Fatal("different seeds produced identical storm schedules")
+	}
+}
+
+// TestWindowBounds: windows are ordered, non-overlapping, start past 0,
+// and start inside the horizon.
+func TestWindowBounds(t *testing.T) {
+	p := stormProfile()
+	p.Horizon = 10 * sim.Second
+	in, err := NewInjector(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := in.Windows(KindStorm)
+	if len(ws) == 0 {
+		t.Fatal("no storm windows")
+	}
+	prevEnd := sim.Time(0)
+	for i, w := range ws {
+		if w.Start <= prevEnd && i > 0 {
+			t.Fatalf("window %d overlaps predecessor: %+v after end %v", i, w, prevEnd)
+		}
+		if w.Start <= 0 || w.End <= w.Start {
+			t.Fatalf("window %d malformed: %+v", i, w)
+		}
+		if w.Start >= sim.Time(p.Horizon) {
+			t.Fatalf("window %d starts past horizon: %+v", i, w)
+		}
+		prevEnd = w.End
+	}
+}
+
+// TestActiveCursor: active-window queries with a monotonically
+// increasing clock agree with a brute-force scan.
+func TestActiveCursor(t *testing.T) {
+	in, err := NewInjector(stormProfile(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := in.Windows(KindStorm)
+	brute := func(at sim.Time) int {
+		for _, w := range ws {
+			if w.Start <= at && at < w.End {
+				return in.Profile().StormChannels
+			}
+		}
+		return 0
+	}
+	for at := sim.Time(0); at < sim.Time(3*sim.Second); at = at.Add(sim.Millisecond) {
+		if got, want := in.SeizedChannels(at), brute(at); got != want {
+			t.Fatalf("SeizedChannels(%v) = %d, want %d", at, got, want)
+		}
+	}
+}
+
+// TestFactorsOutsideWindows: the neutral values hold when no fault is
+// configured or no window is open.
+func TestFactorsOutsideWindows(t *testing.T) {
+	in, err := NewInjector(Profile{ErrorProb: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := in.AccessFactor(sim.Time(sim.Second)); f != 1 {
+		t.Fatalf("AccessFactor = %v, want 1", f)
+	}
+	if f := in.ThroughputFactor(sim.Time(sim.Second)); f != 1 {
+		t.Fatalf("ThroughputFactor = %v, want 1", f)
+	}
+	if n := in.SeizedChannels(sim.Time(sim.Second)); n != 0 {
+		t.Fatalf("SeizedChannels = %d, want 0", n)
+	}
+	if d := in.SpikeExtra(); d != 0 {
+		t.Fatalf("SpikeExtra = %v, want 0 with SpikeProb=0", d)
+	}
+}
+
+// TestProbabilityExtremes: prob 1 always fires, prob 0 never does.
+func TestProbabilityExtremes(t *testing.T) {
+	always, err := NewInjector(Profile{ErrorProb: 1, DropProb: 1, SpikeProb: 1, SpikeLat: sim.Millisecond}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	never, err := NewInjector(Profile{BrownoutEvery: sim.Second, BrownoutFor: 100 * sim.Millisecond, BrownoutFactor: 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if !always.FailRequest() || !always.DropRequest() || always.SpikeExtra() <= 0 {
+			t.Fatal("prob-1 injector failed to fire")
+		}
+		if never.FailRequest() || never.DropRequest() || never.SpikeExtra() != 0 {
+			t.Fatal("prob-0 injector fired")
+		}
+	}
+}
+
+// TestValidate: malformed profiles are rejected; the zero profile and
+// well-formed ones pass.
+func TestValidate(t *testing.T) {
+	bad := []Profile{
+		{BrownoutEvery: sim.Second}, // no For/Factor
+		{BrownoutEvery: sim.Second, BrownoutFor: sim.Millisecond, BrownoutFactor: 0.5}, // factor <= 1
+		{DegradeEvery: sim.Second, DegradeFor: sim.Millisecond, DegradeFactor: 1.5},    // factor >= 1
+		{StormEvery: sim.Second, StormFor: sim.Millisecond},                            // no channels
+		{ErrorProb: 1.5}, // prob > 1
+		{DropProb: -0.1}, // prob < 0
+		{SpikeProb: 0.1}, // no SpikeLat
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("bad profile %d validated: %+v", i, p)
+		}
+		if _, err := NewInjector(p, 1); err == nil {
+			t.Fatalf("NewInjector accepted bad profile %d", i)
+		}
+	}
+	if err := (Profile{}).Validate(); err != nil {
+		t.Fatalf("zero profile rejected: %v", err)
+	}
+	if (Profile{}).Enabled() {
+		t.Fatal("zero profile reports Enabled")
+	}
+	for _, p := range BuiltinProfiles() {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("builtin %q rejected: %v", p.Name, err)
+		}
+		if !p.Enabled() {
+			t.Fatalf("builtin %q reports disabled", p.Name)
+		}
+	}
+}
+
+// TestProfileByName resolves builtins case-insensitively and rejects
+// unknown names.
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"gcstorm", "brownout", "flaky", "degraded"} {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatalf("ProfileByName(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Fatalf("ProfileByName(%q).Name = %q", name, p.Name)
+		}
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Fatal("unknown profile name accepted")
+	}
+}
+
+// TestLastWindowEnd and WindowOpenAt agree with the raw schedule.
+func TestLastWindowEnd(t *testing.T) {
+	in, err := NewInjector(stormProfile(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := in.Windows(KindStorm)
+	if _, ok := in.LastWindowEnd(ws[0].End - 1); ok {
+		t.Fatal("LastWindowEnd found a window before any ended")
+	}
+	end, ok := in.LastWindowEnd(ws[1].Start)
+	if !ok || end != ws[0].End {
+		t.Fatalf("LastWindowEnd = %v, %v; want %v, true", end, ok, ws[0].End)
+	}
+	mid := ws[0].Start.Add(ws[0].End.Sub(ws[0].Start) / 2)
+	if !in.WindowOpenAt(mid) {
+		t.Fatal("WindowOpenAt missed an open window")
+	}
+	if in.WindowOpenAt(ws[0].End) {
+		t.Fatal("WindowOpenAt reported open at End (half-open interval)")
+	}
+}

@@ -1,0 +1,70 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"isolbench/internal/sim"
+)
+
+// Built-in fault profiles for the resilience experiment. Cadences are
+// dense enough (~0.5 s period, ~0.2 s duration) that even a -quick run
+// crosses several fault windows.
+
+// GCStormProfile models a pathological garbage-collection regime:
+// storms seize three quarters of the channels roughly twice a second,
+// with write-stall-like brownouts riding on top.
+func GCStormProfile() Profile {
+	return Profile{
+		Name:       "gcstorm",
+		StormEvery: 500 * sim.Millisecond, StormFor: 200 * sim.Millisecond, StormChannels: 48,
+		BrownoutEvery: 900 * sim.Millisecond, BrownoutFor: 120 * sim.Millisecond, BrownoutFactor: 3,
+	}
+}
+
+// BrownoutProfile models firmware housekeeping / thermal throttling:
+// sustained access-latency inflation plus occasional isolated spikes.
+func BrownoutProfile() Profile {
+	return Profile{
+		Name:          "brownout",
+		BrownoutEvery: 600 * sim.Millisecond, BrownoutFor: 250 * sim.Millisecond, BrownoutFactor: 6,
+		SpikeProb: 0.002, SpikeLat: 5 * sim.Millisecond,
+	}
+}
+
+// FlakyProfile models a device that sporadically fails or loses
+// commands: every completion carries a small transient-error chance and
+// a smaller chance of being dropped outright (recovered only by the blk
+// timeout watchdog).
+func FlakyProfile() Profile {
+	return Profile{
+		Name:      "flaky",
+		ErrorProb: 0.005,
+		DropProb:  0.0005,
+		SpikeProb: 0.001, SpikeLat: 2 * sim.Millisecond,
+	}
+}
+
+// DegradedProfile models capacity loss (pSLC exhaustion, migration
+// traffic): throughput windows at 30% of nominal.
+func DegradedProfile() Profile {
+	return Profile{
+		Name:         "degraded",
+		DegradeEvery: 700 * sim.Millisecond, DegradeFor: 250 * sim.Millisecond, DegradeFactor: 0.3,
+	}
+}
+
+// BuiltinProfiles returns the named profiles in report order.
+func BuiltinProfiles() []Profile {
+	return []Profile{GCStormProfile(), BrownoutProfile(), FlakyProfile(), DegradedProfile()}
+}
+
+// ProfileByName resolves a built-in profile case-insensitively.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range BuiltinProfiles() {
+		if strings.EqualFold(p.Name, name) {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("fault: unknown profile %q (have gcstorm, brownout, flaky, degraded)", name)
+}

@@ -25,22 +25,31 @@ func JainIndex(xs []float64) float64 {
 // WeightedJainIndex computes Jain's index over weight-normalized
 // allocations x_i/w_i, the metric the paper uses for proportional
 // fairness (§II-B, D2): an allocation is perfectly fair when each
-// tenant's share is proportional to its weight. Non-positive weights
-// are treated as 1.
+// tenant's share is proportional to its weight.
+//
+// Weight contract (shared with ProportionalShares): a tenant whose
+// weight is missing (xs longer than weights) or non-positive is not
+// participating in weighted sharing, so it is excluded from the index
+// rather than silently given weight 1 — the old default-to-1 behaviour
+// made the two functions disagree about which tenants count. If no
+// tenant has a positive weight the index is 1 (nothing to be unfair
+// about), matching JainIndex on empty input.
 func WeightedJainIndex(xs, weights []float64) float64 {
-	norm := make([]float64, len(xs))
+	norm := make([]float64, 0, len(xs))
 	for i, x := range xs {
-		w := 1.0
-		if i < len(weights) && weights[i] > 0 {
-			w = weights[i]
+		if i >= len(weights) || weights[i] <= 0 {
+			continue
 		}
-		norm[i] = x / w
+		norm = append(norm, x/weights[i])
 	}
 	return JainIndex(norm)
 }
 
 // ProportionalShares returns the ideal fraction of the total each
-// tenant should receive under weighted sharing: w_i / Σw.
+// tenant should receive under weighted sharing: w_i / Σw. It follows
+// the same weight contract as WeightedJainIndex: non-positive weights
+// are excluded (share 0); if no weight is positive the total is split
+// evenly.
 func ProportionalShares(weights []float64) []float64 {
 	var total float64
 	for _, w := range weights {

@@ -88,10 +88,49 @@ func TestWeightedJainEqualSplitUnderWeights(t *testing.T) {
 }
 
 func TestWeightedJainBadWeights(t *testing.T) {
-	// Non-positive or missing weights are treated as 1.
-	j := WeightedJainIndex([]float64{5, 5, 5}, []float64{0, -1})
+	// Non-positive or missing weights exclude the tenant from the
+	// index — the same contract ProportionalShares applies. Here only
+	// the first tenant participates, so the index is trivially 1.
+	j := WeightedJainIndex([]float64{5, 5, 5}, []float64{2, 0, -1})
 	if !almostEq(j, 1, 1e-12) {
-		t.Fatalf("defaulted weights J = %v, want 1", j)
+		t.Fatalf("single participating tenant J = %v, want 1", j)
+	}
+	// Discriminating case: under the old default-to-1 behaviour the
+	// zero-weight tenant would join as {10, 50, 10} (J ≈ 0.66); under
+	// exclusion the index covers only tenants 0 and 2, both at x/w=10,
+	// so J = 1.
+	j = WeightedJainIndex([]float64{10, 50, 30}, []float64{1, 0, 3})
+	if !almostEq(j, 1, 1e-12) {
+		t.Fatalf("zero-weight tenant not excluded: J = %v, want 1", j)
+	}
+	// Mismatched lengths: tenants past the weight slice are excluded,
+	// not defaulted.
+	j = WeightedJainIndex([]float64{10, 30, 999}, []float64{1, 3})
+	if !almostEq(j, 1, 1e-12) {
+		t.Fatalf("missing-weight tenant not excluded: J = %v, want 1", j)
+	}
+	// No positive weight at all: nothing participates, index is 1.
+	if j := WeightedJainIndex([]float64{5, 5}, []float64{0, -1}); !almostEq(j, 1, 1e-12) {
+		t.Fatalf("all-excluded J = %v, want 1", j)
+	}
+}
+
+func TestWeightedJainAgreesWithProportionalShares(t *testing.T) {
+	// The two functions share one weight contract: an allocation
+	// matching ProportionalShares of the participating tenants must
+	// score J = 1 even when a non-positive weight is present.
+	w := []float64{2, 0, 6}
+	shares := ProportionalShares(w)
+	const total = 800.0
+	xs := make([]float64, len(shares))
+	for i, s := range shares {
+		xs[i] = s * total
+	}
+	// The zero-weight tenant gets share 0; give it traffic anyway to
+	// prove it cannot perturb the index.
+	xs[1] = 123
+	if j := WeightedJainIndex(xs, w); !almostEq(j, 1, 1e-12) {
+		t.Fatalf("proportional allocation J = %v, want 1", j)
 	}
 }
 

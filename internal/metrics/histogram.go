@@ -165,6 +165,12 @@ func (h *Histogram) CDF(maxPoints int) []CDFPoint {
 	if len(pts) <= maxPoints {
 		return pts
 	}
+	if maxPoints == 1 {
+		// The even-downsample step below divides by maxPoints-1; with a
+		// single point the only sensible choice is the distribution's
+		// tail (Prob = 1).
+		return []CDFPoint{pts[len(pts)-1]}
+	}
 	// Downsample evenly, always keeping the final point.
 	out := make([]CDFPoint, 0, maxPoints)
 	step := float64(len(pts)-1) / float64(maxPoints-1)

@@ -127,6 +127,42 @@ func TestHistogramCDF(t *testing.T) {
 	}
 }
 
+func TestHistogramCDFMaxPoints(t *testing.T) {
+	// Regression: maxPoints=1 used to divide by zero in the
+	// downsampler (step = (len-1)/(maxPoints-1)), index pts with
+	// int(NaN), and panic. The boundary cases around the downsample
+	// threshold must all return well-formed output.
+	var h Histogram
+	for i := int64(0); i < 1000; i++ {
+		h.Record(i * 100)
+	}
+	full := h.CDF(1 << 20) // no downsampling: every populated bucket
+	if len(full) < 3 {
+		t.Fatalf("need several CDF points for the boundary cases, got %d", len(full))
+	}
+	for _, maxPoints := range []int{1, 2, len(full), len(full) + 1} {
+		cdf := h.CDF(maxPoints)
+		if len(cdf) == 0 || len(cdf) > maxPoints {
+			t.Fatalf("CDF(%d) length %d", maxPoints, len(cdf))
+		}
+		last := cdf[len(cdf)-1]
+		if math.Abs(last.Prob-1.0) > 1e-9 {
+			t.Fatalf("CDF(%d) does not end at 1.0: %v", maxPoints, last.Prob)
+		}
+		if last != full[len(full)-1] {
+			t.Fatalf("CDF(%d) final point %+v, want tail %+v", maxPoints, last, full[len(full)-1])
+		}
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].Prob < cdf[i-1].Prob || cdf[i].Nanos < cdf[i-1].Nanos {
+				t.Fatalf("CDF(%d) not monotone at %d", maxPoints, i)
+			}
+		}
+	}
+	if got := h.CDF(0); got != nil {
+		t.Fatalf("CDF(0) = %v, want nil", got)
+	}
+}
+
 func TestHistogramMerge(t *testing.T) {
 	var a, b Histogram
 	for i := int64(0); i < 500; i++ {

@@ -12,14 +12,16 @@ import (
 // SpanJSON is the JSONL export schema for one span. Durations are in
 // nanoseconds of virtual time; stage keys match Stage.String().
 type SpanJSON struct {
-	ID     uint64           `json:"id"`
-	Cgroup int              `json:"cg"`
-	App    int              `json:"app"`
-	Op     string           `json:"op"`
-	Size   int64            `json:"size"`
-	Submit sim.Time         `json:"t"`
-	Stages map[string]int64 `json:"stages"`
-	Total  int64            `json:"total"`
+	ID      uint64           `json:"id"`
+	Cgroup  int              `json:"cg"`
+	App     int              `json:"app"`
+	Op      string           `json:"op"`
+	Size    int64            `json:"size"`
+	Submit  sim.Time         `json:"t"`
+	Stages  map[string]int64 `json:"stages"`
+	Total   int64            `json:"total"`
+	Retries int              `json:"retries,omitempty"`
+	Failed  bool             `json:"failed,omitempty"`
 }
 
 func spanJSON(sp Span) SpanJSON {
@@ -34,6 +36,7 @@ func spanJSON(sp Span) SpanJSON {
 	return SpanJSON{
 		ID: sp.ID, Cgroup: sp.Cgroup, App: sp.App, Op: op, Size: sp.Size,
 		Submit: sp.Submit, Stages: stages, Total: int64(sp.Total()),
+		Retries: sp.Retries, Failed: sp.Failed,
 	}
 }
 

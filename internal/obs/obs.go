@@ -102,12 +102,18 @@ type groupState struct {
 	e2e    metrics.Histogram
 }
 
-// IOStat mirrors the kernel's per-device io.stat counters.
+// IOStat mirrors the kernel's per-device io.stat counters, extended
+// with fault/recovery counters (zero on healthy runs, and omitted from
+// StatFile lines while zero so healthy output is unchanged).
 type IOStat struct {
 	RBytes int64
 	WBytes int64
 	RIOs   uint64
 	WIOs   uint64
+
+	Errors   uint64 // requests failed up to the application
+	Retries  uint64 // attempts resubmitted by the recovery path
+	Timeouts uint64 // attempts the watchdog gave up on
 }
 
 func (o *Observer) groupFor(id int) *groupState {
@@ -189,6 +195,15 @@ func (o *Observer) Completed(dev string, r *device.Request) {
 		g.psi.running--
 	}
 	st := o.statFor(g, dev)
+	if r.Failed || r.TimedOut {
+		// A permanently failed request moved no data: count it as an
+		// error, keep it out of the latency histograms (its "latency"
+		// is retry budget, not service time), but keep its span so the
+		// failure is visible in traces.
+		st.Errors++
+		o.pushSpan(SpanOf(r))
+		return
+	}
 	if r.Op == device.Write {
 		st.WBytes += r.Size
 		st.WIOs++
@@ -202,6 +217,37 @@ func (o *Observer) Completed(dev string, r *device.Request) {
 	}
 	g.e2e.Record(int64(r.Latency()))
 	o.pushSpan(sp)
+}
+
+// RunEnd closes one PSI running interval without a completion — the
+// recovery path uses it when an attempt failed and the request goes
+// back through the path (which will RunBegin again), keeping the
+// running counter balanced across retries.
+func (o *Observer) RunEnd(cg int) {
+	if o == nil {
+		return
+	}
+	g := o.groupFor(cg)
+	g.psi.fold(o.eng.Now())
+	if g.psi.running > 0 {
+		g.psi.running--
+	}
+}
+
+// Retry counts one recovery resubmission for the cgroup on the device.
+func (o *Observer) Retry(dev string, cg int) {
+	if o == nil {
+		return
+	}
+	o.statFor(o.groupFor(cg), dev).Retries++
+}
+
+// Timeout counts one watchdog expiry for the cgroup on the device.
+func (o *Observer) Timeout(dev string, cg int) {
+	if o == nil {
+		return
+	}
+	o.statFor(o.groupFor(cg), dev).Timeouts++
 }
 
 // SetGauge publishes a controller-owned per-cgroup value (debt, delay,
@@ -314,6 +360,17 @@ func (o *Observer) StatFile(cg int) (string, bool) {
 		}
 		fmt.Fprintf(&b, "%s rbytes=%d wbytes=%d rios=%d wios=%d dbytes=0 dios=0",
 			dev, s.RBytes, s.WBytes, s.RIOs, s.WIOs)
+		// Recovery counters appear only once nonzero, so healthy runs
+		// render the exact kernel io.stat shape.
+		if s.Errors > 0 {
+			fmt.Fprintf(&b, " errs=%d", s.Errors)
+		}
+		if s.Retries > 0 {
+			fmt.Fprintf(&b, " retries=%d", s.Retries)
+		}
+		if s.Timeouts > 0 {
+			fmt.Fprintf(&b, " timeouts=%d", s.Timeouts)
+		}
 		if m := g.gauges[dev]; len(m) > 0 {
 			keys := make([]string, 0, len(m))
 			for k := range m {
@@ -326,6 +383,22 @@ func (o *Observer) StatFile(cg int) (string, bool) {
 		}
 	}
 	return b.String(), true
+}
+
+// Stat returns a copy of the cgroup's io.stat counters for one device.
+func (o *Observer) Stat(cg int, dev string) (IOStat, bool) {
+	if o == nil {
+		return IOStat{}, false
+	}
+	g, ok := o.groups[cg]
+	if !ok {
+		return IOStat{}, false
+	}
+	s, ok := g.stat[dev]
+	if !ok {
+		return IOStat{}, false
+	}
+	return *s, true
 }
 
 // PressureFile renders the cgroup's io.pressure in the kernel's PSI

@@ -43,6 +43,12 @@ func (p *PSI) init(now sim.Time, win [3]sim.Duration) {
 	p.win = win
 }
 
+// Running reports how many of the cgroup's requests are currently
+// making progress past the controllers. Recovery tests use it to check
+// the RunBegin/RunEnd/Completed intervals stay balanced across
+// retries.
+func (p *PSI) Running() int { return p.running }
+
 // Stalled reports the instantaneous some/full state.
 func (p *PSI) Stalled() (some, full bool) {
 	some = p.throttled > 0

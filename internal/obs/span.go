@@ -52,15 +52,20 @@ func (s Stage) String() string {
 	}
 }
 
-// Span is one completed request's stage decomposition.
+// Span is one completed request's stage decomposition. For requests
+// that went through the recovery path, the stage durations describe the
+// final attempt; Retries counts the earlier ones and Failed marks a
+// request the recovery path gave up on.
 type Span struct {
-	ID     uint64
-	Cgroup int
-	App    int
-	Op     device.Op
-	Size   int64
-	Submit sim.Time
-	Stages [NumStages]sim.Duration
+	ID      uint64
+	Cgroup  int
+	App     int
+	Op      device.Op
+	Size    int64
+	Submit  sim.Time
+	Stages  [NumStages]sim.Duration
+	Retries int
+	Failed  bool
 }
 
 // Total returns the sum of the stage durations, which by construction
@@ -79,12 +84,14 @@ func (sp Span) Total() sim.Duration {
 // zero rather than producing negative durations.
 func SpanOf(r *device.Request) Span {
 	sp := Span{
-		ID:     r.ID,
-		Cgroup: r.Cgroup,
-		App:    r.AppID,
-		Op:     r.Op,
-		Size:   r.Size,
-		Submit: r.Submit,
+		ID:      r.ID,
+		Cgroup:  r.Cgroup,
+		App:     r.AppID,
+		Op:      r.Op,
+		Size:    r.Size,
+		Submit:  r.Submit,
+		Retries: r.Attempts,
+		Failed:  r.Failed || r.TimedOut,
 	}
 	// Clamp each boundary to be monotonically non-decreasing so a
 	// skipped stamp (e.g. noop path) yields a zero stage.

@@ -18,7 +18,9 @@
 package runpool
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -49,6 +51,11 @@ func Resolve(workers int) int {
 // the one with the lowest index — the same error a sequential run
 // would have surfaced (units already in flight may still run; their
 // results are discarded).
+//
+// A panicking unit does not crash the process: the panic is recovered
+// (in the worker goroutine, where it would otherwise be fatal and name
+// no unit), wrapped with the unit index and stack, and returned as that
+// unit's error under the same lowest-index-wins rule.
 func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
@@ -60,7 +67,7 @@ func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
 	}
 	if workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
+			v, err := guard(i, fn)
 			if err != nil {
 				return nil, err
 			}
@@ -86,7 +93,7 @@ func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
 				if i >= n || failed.Load() {
 					return
 				}
-				v, err := fn(i)
+				v, err := guard(i, fn)
 				if err != nil {
 					failed.Store(true)
 					mu.Lock()
@@ -105,4 +112,16 @@ func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
 		return nil, errVal
 	}
 	return out, nil
+}
+
+// guard runs one unit, converting a panic into an error that names the
+// unit index (experiment units derive their seeds from it, so the
+// index is what a user needs to reproduce the failure).
+func guard[T any](i int, fn func(int) (T, error)) (v T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("runpool: unit %d panicked: %v\n%s", i, p, debug.Stack())
+		}
+	}()
+	return fn(i)
 }

@@ -3,6 +3,7 @@ package runpool
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -96,5 +97,37 @@ func TestResolve(t *testing.T) {
 	}
 	if Resolve(7) != 7 {
 		t.Fatal("Resolve(positive) should be identity")
+	}
+}
+
+func TestMapRecoversPanics(t *testing.T) {
+	// Regression: a panicking unit used to crash the whole process
+	// from the worker goroutine with no indication of which unit (and
+	// therefore which derived seed) failed. Both execution paths must
+	// convert the panic into an error naming the unit index.
+	for _, workers := range []int{1, 8} {
+		_, err := Map(workers, 32, func(i int) (int, error) {
+			if i == 13 {
+				panic("exploded")
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic swallowed", workers)
+		}
+		if !strings.Contains(err.Error(), "unit 13") || !strings.Contains(err.Error(), "exploded") {
+			t.Fatalf("workers=%d: error does not name the unit: %v", workers, err)
+		}
+	}
+	// Multiple panicking units in parallel: lowest index wins, same as
+	// the error path.
+	_, err := Map(8, 64, func(i int) (int, error) {
+		if i >= 40 {
+			panic(i)
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("panic swallowed")
 	}
 }

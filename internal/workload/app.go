@@ -50,6 +50,7 @@ type App struct {
 	hist      metrics.Histogram
 	bytesDone *metrics.Counter
 	iosDone   uint64
+	errsDone  uint64
 	bytesRead int64
 	bytesWrit int64
 
@@ -290,6 +291,16 @@ func (a *App) scheduleReap() {
 func (a *App) reapBatch() {
 	now := a.eng.Now()
 	for _, r := range a.doneQ {
+		if r.Failed || r.TimedOut {
+			// The recovery path exhausted its retry budget: the I/O
+			// moved no data, so it counts as an error, not as latency
+			// or bandwidth.
+			a.errsDone++
+			a.cpu.AccountIO(a.over.CtxPerIO, a.over.CyclesPerIO)
+			a.outstanding--
+			a.pool = append(a.pool, r)
+			continue
+		}
 		a.hist.Record(int64(now.Sub(r.Submit)))
 		a.bytesDone.Add(now, float64(r.Size))
 		a.iosDone++
@@ -311,6 +322,7 @@ func (a *App) reapBatch() {
 type Stats struct {
 	Name       string
 	IOs        uint64
+	Errors     uint64
 	ReadBytes  int64
 	WriteBytes int64
 	MeanLatNs  float64
@@ -325,6 +337,7 @@ func (a *App) Stats() Stats {
 	return Stats{
 		Name:       a.spec.Name,
 		IOs:        a.iosDone,
+		Errors:     a.errsDone,
 		ReadBytes:  a.bytesRead,
 		WriteBytes: a.bytesWrit,
 		MeanLatNs:  a.hist.Mean(),
@@ -346,6 +359,7 @@ func (a *App) ResetMetrics() {
 	a.hist.Reset()
 	a.bytesDone = metrics.NewCounter(100 * sim.Millisecond)
 	a.iosDone = 0
+	a.errsDone = 0
 	a.bytesRead = 0
 	a.bytesWrit = 0
 }
