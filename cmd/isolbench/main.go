@@ -12,20 +12,37 @@
 // fig6 (fairness under mixed workloads), fig7 (priority/utilization
 // trade-offs), q10 (burst response), tab1 (Table I verdicts),
 // resilience (isolation verdicts under injected device faults).
+//
+// A run is a list of independently rendered units (one per panel or
+// table block). Completed units are journaled to a JSONL manifest
+// under results/ as they finish; Ctrl-C drains in-flight units, emits
+// the completed prefix as a partial report, and a later -resume of the
+// same run skips everything journaled, producing output byte-identical
+// to an uninterrupted run. -unit-timeout bounds each unit's wall-clock
+// time, and -paranoid verifies conservation-law invariants at the end
+// of every unit.
 package main
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
+	"time"
 
 	"isolbench"
 	"isolbench/internal/core"
 	"isolbench/internal/fault"
+	"isolbench/internal/harness"
 	"isolbench/internal/runpool"
 	"isolbench/internal/sim"
 	"isolbench/internal/trace"
@@ -41,6 +58,11 @@ var (
 	jobFlag     = flag.String("job", "", "run a fio-style job file instead of a canned experiment")
 	recordFlag  = flag.String("record", "", "with -job: write the run's device trace (JSONL) to this file")
 	replayFlag  = flag.String("replay", "", "replay a JSONL trace under -knob instead of a canned experiment")
+
+	unitTimeoutFlag = flag.Duration("unit-timeout", 0, "wall-clock budget per simulation unit; an exceeded unit is aborted with a diagnostic, its siblings keep running (0 = none)")
+	paranoidFlag    = flag.Bool("paranoid", false, "verify conservation-law invariants (submitted vs completed, byte accounting, histogram counts) at the end of every unit")
+	resumeFlag      = flag.String("resume", "", "resume from a run manifest: units it records are folded in from cache instead of rerunning")
+	manifestFlag    = flag.String("manifest", "", `run manifest path for checkpoint/resume (default results/manifest-<run>.jsonl, "none" disables journaling)`)
 
 	setFlags     knobFileFlags
 	statFlag     = flag.Bool("stat", false, "with -job: print each cgroup's io.stat after the run")
@@ -97,7 +119,11 @@ func main() {
 			f.Close()
 		}()
 	}
-	err := run()
+	// The first signal cancels the run context for a graceful drain; a
+	// second one hits the restored default handler and kills us.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err := run(ctx)
+	stop()
 	if *memProfFlag != "" {
 		f, merr := os.Create(*memProfFlag)
 		if merr == nil {
@@ -114,6 +140,9 @@ func main() {
 			pprof.StopCPUProfile()
 		}
 		fmt.Fprintln(os.Stderr, "isolbench:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130) // the shell's code for death by SIGINT
+		}
 		os.Exit(1)
 	}
 }
@@ -132,9 +161,20 @@ func knobs(withBaseline bool) ([]core.Knob, error) {
 	return core.ControlKnobs(), nil
 }
 
-func run() error {
+// control builds the RunControl for one unit: the run-wide cancel
+// context, the -paranoid toggle, and a fresh wall-clock deadline so
+// -unit-timeout bounds each unit separately, not the whole sweep.
+func control(ctx context.Context) core.RunControl {
+	ctl := core.RunControl{Ctx: ctx, Paranoid: *paranoidFlag}
+	if *unitTimeoutFlag > 0 {
+		ctl.Deadline = time.Now().Add(*unitTimeoutFlag)
+	}
+	return ctl
+}
+
+func run(ctx context.Context) error {
 	if *jobFlag != "" {
-		return runJob(*jobFlag)
+		return runJob(ctx, *jobFlag)
 	}
 	if *replayFlag != "" {
 		return runReplay(*replayFlag)
@@ -143,36 +183,109 @@ func run() error {
 	if *expFlag == "all" {
 		exps = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "q10", "tab1", "resilience"}
 	}
+	var units []harness.Unit
 	for _, e := range exps {
-		var err error
-		switch strings.TrimSpace(e) {
-		case "fig2":
-			err = runFig2()
-		case "fig3":
-			err = runFig3()
-		case "fig4":
-			err = runFig4()
-		case "fig5":
-			err = runFig5()
-		case "fig6":
-			err = runFig6()
-		case "fig7":
-			err = runFig7()
-		case "q10":
-			err = runQ10()
-		case "tab1":
-			err = runTab1()
-		case "resilience":
-			err = runResilience()
-		default:
-			err = fmt.Errorf("unknown experiment %q", e)
-		}
+		us, err := unitsFor(strings.TrimSpace(e))
 		if err != nil {
-			return fmt.Errorf("%s: %w", e, err)
+			return err
 		}
-		fmt.Println()
+		// Each experiment's report ends with a blank line; the last
+		// unit carries it so concatenated unit outputs reproduce the
+		// pre-harness byte stream exactly.
+		us[len(us)-1] = withTrailingBlank(us[len(us)-1])
+		units = append(units, us...)
 	}
-	return nil
+
+	runner := &harness.Runner{Workers: *workersFlag, Out: os.Stdout}
+	header := harness.Header{Exp: *expFlag, Knob: *knobFlag, Profile: *profFlag, Seed: *seedFlag, Quick: *quickFlag}
+	manifestPath := *manifestFlag
+	switch {
+	case *resumeFlag != "":
+		cache, j, err := harness.Resume(*resumeFlag, header)
+		if err != nil {
+			return err
+		}
+		runner.Cache, runner.Journal = cache, j
+		manifestPath = *resumeFlag
+	case manifestPath == "none":
+		manifestPath = ""
+	default:
+		if manifestPath == "" {
+			manifestPath = defaultManifestPath()
+		}
+		j, err := harness.Create(manifestPath, header)
+		if err != nil {
+			// Journaling is best-effort: an unwritable results/ dir
+			// loses resumability, it shouldn't stop the run.
+			fmt.Fprintf(os.Stderr, "isolbench: journaling disabled: %v\n", err)
+			manifestPath = ""
+		} else {
+			runner.Journal = j
+		}
+	}
+	if runner.Journal != nil {
+		defer runner.Journal.Close()
+	}
+
+	sum, err := runner.Run(ctx, units)
+	harness.WriteSummary(os.Stderr, sum)
+	if errors.Is(err, context.Canceled) && manifestPath != "" {
+		fmt.Fprintf(os.Stderr, "# interrupted; resume with: -resume %s\n", manifestPath)
+	}
+	return err
+}
+
+// defaultManifestPath derives a manifest name that distinguishes runs
+// whose cached outputs must not be mixed.
+func defaultManifestPath() string {
+	name := "manifest-" + strings.ReplaceAll(*expFlag, ",", "+")
+	if *knobFlag != "" {
+		name += "-" + *knobFlag
+	}
+	name += fmt.Sprintf("-seed%d", *seedFlag)
+	if *quickFlag {
+		name += "-quick"
+	}
+	return filepath.Join("results", name+".jsonl")
+}
+
+// withTrailingBlank appends the inter-experiment blank line to a
+// unit's output.
+func withTrailingBlank(u harness.Unit) harness.Unit {
+	run := u.Run
+	u.Run = func(ctx context.Context) (string, error) {
+		out, err := run(ctx)
+		if err != nil {
+			return "", err
+		}
+		return out + "\n", nil
+	}
+	return u
+}
+
+func unitsFor(exp string) ([]harness.Unit, error) {
+	switch exp {
+	case "fig2":
+		return fig2Units()
+	case "fig3":
+		return fig3Units()
+	case "fig4":
+		return fig4Units()
+	case "fig5":
+		return fig5Units()
+	case "fig6":
+		return fig6Units()
+	case "fig7":
+		return fig7Units()
+	case "q10":
+		return q10Units()
+	case "tab1":
+		return tab1Units()
+	case "resilience":
+		return resilienceUnits()
+	default:
+		return nil, fmt.Errorf("unknown experiment %q", exp)
+	}
 }
 
 func measure(full sim.Duration) sim.Duration {
@@ -182,10 +295,10 @@ func measure(full sim.Duration) sim.Duration {
 	return full
 }
 
-func runFig2() error {
+func fig2Units() ([]harness.Unit, error) {
 	ks, err := knobs(true)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	// Full runs use the paper's real 70 s schedule so the 500 ms
 	// control windows of io.latency resolve properly; quick runs
@@ -194,90 +307,108 @@ func runFig2() error {
 	if *quickFlag {
 		scale = 0.1
 	}
-	var cfgs []core.IllustrateConfig
+	var units []harness.Unit
 	for _, k := range ks {
 		variants := []bool{false}
 		if k == core.KnobBFQ || k == core.KnobIOCost {
 			variants = []bool{false, true} // uniform + weighted panels
 		}
 		for _, weighted := range variants {
-			cfgs = append(cfgs, core.IllustrateConfig{
-				Knob: k, Profile: *profFlag, Weighted: weighted, TimeScale: scale, Seed: *seedFlag,
-			})
+			k, weighted := k, weighted
+			key := "fig2/" + k.String()
+			if weighted {
+				key += "+weighted"
+			}
+			units = append(units, harness.Unit{Key: key, Run: func(ctx context.Context) (string, error) {
+				series, err := core.RunIllustrate(core.IllustrateConfig{
+					Knob: k, Profile: *profFlag, Weighted: weighted, TimeScale: scale,
+					Seed: *seedFlag, Control: control(ctx),
+				})
+				if err != nil {
+					return "", err
+				}
+				var buf bytes.Buffer
+				core.WriteTimelines(&buf, k, series)
+				return buf.String(), nil
+			}})
 		}
 	}
-	panels, err := core.RunIllustrateGrid(cfgs, *workersFlag)
-	if err != nil {
-		return err
-	}
-	for i, series := range panels {
-		core.WriteTimelines(os.Stdout, cfgs[i].Knob, series)
-	}
-	return nil
+	return units, nil
 }
 
-func runFig3() error {
+func fig3Units() ([]harness.Unit, error) {
 	ks, err := knobs(true)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	counts := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
 	if *quickFlag {
 		counts = []int{1, 8, 16, 64, 256}
 	}
-	// Knob panels are independent; fan them out, print in knob order.
-	// Each panel fans its app counts out in turn.
-	byKnob, err := runpool.Map(*workersFlag, len(ks), func(i int) ([]core.LatencyScalingPoint, error) {
-		return core.RunLatencyScaling(core.LatencyScalingConfig{
-			Knob: ks[i], Profile: *profFlag, AppCounts: counts,
-			Measure: measure(2 * sim.Second), Seed: *seedFlag, Workers: *workersFlag,
-		})
-	})
-	if err != nil {
-		return err
-	}
-	for ki, pts := range byKnob {
-		core.WriteLatencyScaling(os.Stdout, ks[ki], pts)
-		for i, n := range counts {
-			if n == 1 || n == 16 || n == 256 {
-				core.WriteCDF(os.Stdout, ks[ki], n, pts[i])
+	// Knob panels are independent units; each fans its app counts out
+	// across the worker pool in turn.
+	var units []harness.Unit
+	for _, k := range ks {
+		k := k
+		units = append(units, harness.Unit{Key: "fig3/" + k.String(), Run: func(ctx context.Context) (string, error) {
+			pts, err := core.RunLatencyScaling(core.LatencyScalingConfig{
+				Knob: k, Profile: *profFlag, AppCounts: counts,
+				Measure: measure(2 * sim.Second), Seed: *seedFlag, Workers: *workersFlag,
+				Control: control(ctx),
+			})
+			if err != nil {
+				return "", err
 			}
-		}
+			var buf bytes.Buffer
+			core.WriteLatencyScaling(&buf, k, pts)
+			for i, n := range counts {
+				if n == 1 || n == 16 || n == 256 {
+					core.WriteCDF(&buf, k, n, pts[i])
+				}
+			}
+			return buf.String(), nil
+		}})
 	}
-	return nil
+	return units, nil
 }
 
-func runFig4() error {
+func fig4Units() ([]harness.Unit, error) {
 	ks, err := knobs(true)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	counts := []int{1, 2, 3, 5, 9, 13, 17}
 	if *quickFlag {
 		counts = []int{1, 5, 17}
 	}
+	var units []harness.Unit
 	for _, devs := range []int{1, 7} {
 		devs := devs
-		byKnob, err := runpool.Map(*workersFlag, len(ks), func(i int) ([]core.BandwidthScalingPoint, error) {
-			return core.RunBandwidthScaling(core.BandwidthScalingConfig{
-				Knob: ks[i], Profile: *profFlag, AppCounts: counts, Devices: devs,
-				Measure: measure(1 * sim.Second), Seed: *seedFlag, Workers: *workersFlag,
-			})
-		})
-		if err != nil {
-			return err
-		}
-		for ki, pts := range byKnob {
-			core.WriteBandwidthScaling(os.Stdout, ks[ki], pts)
+		for _, k := range ks {
+			k := k
+			key := fmt.Sprintf("fig4/devs%d/%s", devs, k)
+			units = append(units, harness.Unit{Key: key, Run: func(ctx context.Context) (string, error) {
+				pts, err := core.RunBandwidthScaling(core.BandwidthScalingConfig{
+					Knob: k, Profile: *profFlag, AppCounts: counts, Devices: devs,
+					Measure: measure(1 * sim.Second), Seed: *seedFlag, Workers: *workersFlag,
+					Control: control(ctx),
+				})
+				if err != nil {
+					return "", err
+				}
+				var buf bytes.Buffer
+				core.WriteBandwidthScaling(&buf, k, pts)
+				return buf.String(), nil
+			}})
 		}
 	}
-	return nil
+	return units, nil
 }
 
-func runFig5() error {
+func fig5Units() ([]harness.Unit, error) {
 	ks, err := knobs(true)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	repeats := 5
 	groupCounts := []int{2, 4, 8, 16}
@@ -285,54 +416,72 @@ func runFig5() error {
 		repeats = 1
 		groupCounts = []int{2, 16}
 	}
+	// One unit per weighted block, not per knob: the fairness table's
+	// column widths span every knob's rows, so the block is the
+	// smallest independently renderable slice.
+	var units []harness.Unit
 	for _, weighted := range []bool{false, true} {
 		weighted := weighted
-		byKnob, err := runpool.Map(*workersFlag, len(ks), func(i int) ([]*core.FairnessResult, error) {
-			return core.FairnessScalability(ks[i], *profFlag, groupCounts, weighted, repeats, *seedFlag, *workersFlag)
-		})
-		if err != nil {
-			return err
+		key := "fig5/uniform"
+		if weighted {
+			key = "fig5/weighted"
 		}
-		var all []*core.FairnessResult
-		for _, rs := range byKnob {
-			all = append(all, rs...)
-		}
-		fmt.Printf("# Fig.5 fairness scalability (weighted=%v)\n", weighted)
-		core.WriteFairness(os.Stdout, all)
+		units = append(units, harness.Unit{Key: key, Run: func(ctx context.Context) (string, error) {
+			byKnob, err := runpool.MapCtx(ctx, *workersFlag, len(ks), func(i int) ([]*core.FairnessResult, error) {
+				return core.FairnessScalability(ks[i], *profFlag, groupCounts, weighted, repeats, *seedFlag, *workersFlag, control(ctx))
+			})
+			if err != nil {
+				return "", err
+			}
+			var all []*core.FairnessResult
+			for _, rs := range byKnob {
+				all = append(all, rs...)
+			}
+			var buf bytes.Buffer
+			fmt.Fprintf(&buf, "# Fig.5 fairness scalability (weighted=%v)\n", weighted)
+			core.WriteFairness(&buf, all)
+			return buf.String(), nil
+		}})
 	}
-	return nil
+	return units, nil
 }
 
-func runFig6() error {
+func fig6Units() ([]harness.Unit, error) {
 	ks, err := knobs(true)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	repeats := 5
 	if *quickFlag {
 		repeats = 1
 	}
+	// One unit per mix (the fairness table spans every knob's rows).
+	var units []harness.Unit
 	for _, mix := range []core.FairnessMix{core.MixSizes, core.MixPatterns, core.MixReadWrite} {
 		mix := mix
-		all, err := runpool.Map(*workersFlag, len(ks), func(i int) (*core.FairnessResult, error) {
-			return core.RunFairness(core.FairnessConfig{
-				Knob: ks[i], Profile: *profFlag, Groups: 2, Mix: mix, Repeats: repeats,
-				Seed: *seedFlag, Workers: *workersFlag,
+		units = append(units, harness.Unit{Key: fmt.Sprintf("fig6/%s", mix), Run: func(ctx context.Context) (string, error) {
+			all, err := runpool.MapCtx(ctx, *workersFlag, len(ks), func(i int) (*core.FairnessResult, error) {
+				return core.RunFairness(core.FairnessConfig{
+					Knob: ks[i], Profile: *profFlag, Groups: 2, Mix: mix, Repeats: repeats,
+					Seed: *seedFlag, Workers: *workersFlag, Control: control(ctx),
+				})
 			})
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("# Fig.6 fairness, mixed workloads (%s)\n", mix)
-		core.WriteFairness(os.Stdout, all)
+			if err != nil {
+				return "", err
+			}
+			var buf bytes.Buffer
+			fmt.Fprintf(&buf, "# Fig.6 fairness, mixed workloads (%s)\n", mix)
+			core.WriteFairness(&buf, all)
+			return buf.String(), nil
+		}})
 	}
-	return nil
+	return units, nil
 }
 
-func runFig7() error {
+func fig7Units() ([]harness.Unit, error) {
 	ks, err := knobs(false)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	steps := 12
 	variants := core.AllBEVariants()
@@ -340,9 +489,8 @@ func runFig7() error {
 		steps = 5
 		variants = []core.BEVariant{core.BE4KRand}
 	}
-	// Flatten the knob x kind x variant grid into independent panels,
-	// fan them out, and print in grid order.
-	var cfgs []core.TradeoffConfig
+	// One unit per knob x kind x variant panel, in grid order.
+	var units []harness.Unit
 	for _, k := range ks {
 		for _, kind := range []core.PriorityKind{core.PriorityBatch, core.PriorityLC} {
 			// The paper only sweeps BE variants for the throttling
@@ -352,47 +500,90 @@ func runFig7() error {
 				vs = []core.BEVariant{core.BE4KRand}
 			}
 			for _, v := range vs {
-				cfgs = append(cfgs, core.TradeoffConfig{
-					Knob: k, Profile: *profFlag, Kind: kind, Variant: v, Steps: steps,
-					Measure: measure(1500 * sim.Millisecond), Seed: *seedFlag, Workers: *workersFlag,
-				})
+				k, kind, v := k, kind, v
+				key := fmt.Sprintf("fig7/%s/%s/%s", k, kind, v)
+				units = append(units, harness.Unit{Key: key, Run: func(ctx context.Context) (string, error) {
+					cfg := core.TradeoffConfig{
+						Knob: k, Profile: *profFlag, Kind: kind, Variant: v, Steps: steps,
+						Measure: measure(1500 * sim.Millisecond), Seed: *seedFlag, Workers: *workersFlag,
+						Control: control(ctx),
+					}
+					pts, err := core.RunTradeoff(cfg)
+					if err != nil {
+						return "", err
+					}
+					var buf bytes.Buffer
+					core.WriteTradeoff(&buf, cfg, pts)
+					return buf.String(), nil
+				}})
 			}
 		}
 	}
-	panels, err := runpool.Map(*workersFlag, len(cfgs), func(i int) ([]core.TradeoffPoint, error) {
-		return core.RunTradeoff(cfgs[i])
-	})
-	if err != nil {
-		return err
-	}
-	for i, pts := range panels {
-		core.WriteTradeoff(os.Stdout, cfgs[i], pts)
-	}
-	return nil
+	return units, nil
 }
 
-func runQ10() error {
+func q10Units() ([]harness.Unit, error) {
 	ks, err := knobs(false)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	var cfgs []core.BurstConfig
+	var units []harness.Unit
 	for _, k := range ks {
 		for _, kind := range []core.PriorityKind{core.PriorityBatch, core.PriorityLC} {
-			cfgs = append(cfgs, core.BurstConfig{Knob: k, Profile: *profFlag, Kind: kind, Seed: *seedFlag})
+			k, kind := k, kind
+			key := fmt.Sprintf("q10/%s/%s", k, kind)
+			units = append(units, harness.Unit{Key: key, Run: func(ctx context.Context) (string, error) {
+				r, err := core.RunBurst(core.BurstConfig{
+					Knob: k, Profile: *profFlag, Kind: kind, Seed: *seedFlag, Control: control(ctx),
+				})
+				if err != nil {
+					return "", err
+				}
+				var buf bytes.Buffer
+				core.WriteBurst(&buf, r)
+				return buf.String(), nil
+			}})
 		}
 	}
-	results, err := core.RunBurstGrid(cfgs, *workersFlag)
-	if err != nil {
-		return err
-	}
-	for _, r := range results {
-		core.WriteBurst(os.Stdout, r)
-	}
-	return nil
+	return units, nil
 }
 
-func runJob(path string) error {
+func tab1Units() ([]harness.Unit, error) {
+	return []harness.Unit{{Key: "tab1", Run: func(ctx context.Context) (string, error) {
+		rows, err := core.RunTableI(core.TableIConfig{
+			Quick: *quickFlag, Seed: *seedFlag, Workers: *workersFlag, Control: control(ctx),
+		})
+		if err != nil {
+			return "", err
+		}
+		var buf bytes.Buffer
+		fmt.Fprintln(&buf, "# Table I: performance isolation desiderata for cgroups")
+		core.WriteTableI(&buf, rows, true)
+		return buf.String(), nil
+	}}}, nil
+}
+
+func resilienceUnits() ([]harness.Unit, error) {
+	ks, err := knobs(false)
+	if err != nil {
+		return nil, err
+	}
+	return []harness.Unit{{Key: "resilience", Run: func(ctx context.Context) (string, error) {
+		results, err := core.RunResilienceGrid(ks, fault.BuiltinProfiles(), core.ResilienceConfig{
+			Measure: measure(2 * sim.Second),
+			Seed:    *seedFlag,
+			Control: control(ctx),
+		}, *workersFlag)
+		if err != nil {
+			return "", err
+		}
+		var buf bytes.Buffer
+		core.WriteResilience(&buf, results)
+		return buf.String(), nil
+	}}}, nil
+}
+
+func runJob(ctx context.Context, path string) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -410,7 +601,7 @@ func runJob(path string) error {
 	observe := *statFlag || *pressureFlag || *traceEvFlag != "" || *spansFlag != ""
 	res, err := core.RunJobFile(core.JobRunConfig{
 		Knob: knob, Profile: *profFlag, Source: string(src), Seed: *seedFlag,
-		Recorder: rec, Observe: observe, KnobFiles: setFlags,
+		Recorder: rec, Observe: observe, KnobFiles: setFlags, Control: control(ctx),
 	})
 	if err != nil {
 		return err
@@ -496,31 +687,5 @@ func runReplay(path string) error {
 		sum.Requests, sum.MeanIOPS, knob)
 	fmt.Printf("P50=%.1fus P90=%.1fus P99=%.1fus max=%.1fus\n",
 		float64(st.P50Ns)/1e3, float64(st.P90Ns)/1e3, float64(st.P99Ns)/1e3, float64(st.MaxNs)/1e3)
-	return nil
-}
-
-func runResilience() error {
-	ks, err := knobs(false)
-	if err != nil {
-		return err
-	}
-	results, err := core.RunResilienceGrid(ks, fault.BuiltinProfiles(), core.ResilienceConfig{
-		Measure: measure(2 * sim.Second),
-		Seed:    *seedFlag,
-	}, *workersFlag)
-	if err != nil {
-		return err
-	}
-	core.WriteResilience(os.Stdout, results)
-	return nil
-}
-
-func runTab1() error {
-	rows, err := core.RunTableI(core.TableIConfig{Quick: *quickFlag, Seed: *seedFlag, Workers: *workersFlag})
-	if err != nil {
-		return err
-	}
-	fmt.Println("# Table I: performance isolation desiderata for cgroups")
-	core.WriteTableI(os.Stdout, rows, true)
 	return nil
 }

@@ -6,6 +6,8 @@
 package blk
 
 import (
+	"fmt"
+
 	"isolbench/internal/device"
 	"isolbench/internal/host"
 	"isolbench/internal/obs"
@@ -231,6 +233,47 @@ func (q *Queue) Timeouts() uint64 { return q.timeouts }
 // Failures reports how many requests exhausted their retry budget and
 // were failed up to the application.
 func (q *Queue) Failures() uint64 { return q.failures }
+
+// CheckConservation asserts the queue's request-accounting identities:
+// every submitted request is either terminally completed (success or
+// permanent failure) or still somewhere in the path (controller,
+// scheduler, dispatch lock, backoff wait, or device), and the armed
+// watchdog timers never outnumber the device's in-flight slots.
+// maxOutstanding bounds the in-path population (the sum of the queue
+// depths of the apps feeding this queue); pass a negative value to
+// skip that bound when the feeding population is unknown (e.g. replay
+// traffic).
+func (q *Queue) CheckConservation(maxOutstanding int) []string {
+	var v []string
+	name := q.devName
+	if name == "" {
+		name = q.sched.Name()
+	}
+	if q.completed > q.submitted {
+		v = append(v, fmt.Sprintf("queue %s: completed %d > submitted %d",
+			name, q.completed, q.submitted))
+	}
+	inPath := q.submitted - q.completed
+	if maxOutstanding >= 0 && inPath > uint64(maxOutstanding) {
+		v = append(v, fmt.Sprintf(
+			"queue %s: %d requests in path exceed the feeding apps' total QD %d",
+			name, inPath, maxOutstanding))
+	}
+	if q.failures > q.completed {
+		v = append(v, fmt.Sprintf("queue %s: failures %d > completed %d",
+			name, q.failures, q.completed))
+	}
+	if n := len(q.pending); n > q.dev.Inflight() {
+		v = append(v, fmt.Sprintf(
+			"queue %s: %d armed timeout watchdogs > %d requests in device",
+			name, n, q.dev.Inflight()))
+	}
+	if q.reserved < 0 {
+		v = append(v, fmt.Sprintf("queue %s: negative dispatch reservation %d",
+			name, q.reserved))
+	}
+	return v
+}
 
 // Submit enters a request into the path. CPU costs must already have
 // been paid by the caller (the workload layer models the submitting

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"isolbench/internal/cgroup"
@@ -23,6 +24,7 @@ type BurstConfig struct {
 	Window  sim.Duration // timeline resolution
 	Cores   int
 	Seed    uint64
+	Control RunControl // cancellation/watchdog/paranoid settings
 }
 
 func (c BurstConfig) withDefaults() BurstConfig {
@@ -89,7 +91,7 @@ func burstPriorityConfig(k Knob, prio, be, root *cgroup.Group) error {
 // steady value and stays there for 3 consecutive windows.
 func RunBurst(cfg BurstConfig) (*BurstResult, error) {
 	cfg = cfg.withDefaults()
-	cl, err := NewCluster(Options{Knob: cfg.Knob, Profile: device.ProfileByName(cfg.Profile), Cores: cfg.Cores, Seed: cfg.Seed})
+	cl, err := NewCluster(Options{Knob: cfg.Knob, Profile: device.ProfileByName(cfg.Profile), Cores: cfg.Cores, Seed: cfg.Seed, Control: cfg.Control})
 	if err != nil {
 		return nil, err
 	}
@@ -119,8 +121,9 @@ func RunBurst(cfg BurstConfig) (*BurstResult, error) {
 		}
 	}
 
-	cl.Start()
-	cl.Eng.RunUntil(sim.Time(cfg.Lead + cfg.Tail))
+	if err := cl.RunTo(sim.Time(cfg.Lead + cfg.Tail)); err != nil {
+		return nil, err
+	}
 
 	// Build the priority app's bandwidth timeline at the configured
 	// window from its 100 ms counter... the counter's own window is
@@ -172,7 +175,11 @@ func RunBurst(cfg BurstConfig) (*BurstResult, error) {
 // across a worker pool, returning results in config order — the Q10
 // grid of knobs x priority kinds.
 func RunBurstGrid(cfgs []BurstConfig, workers int) ([]*BurstResult, error) {
-	return runpool.Map(workers, len(cfgs), func(i int) (*BurstResult, error) {
+	var ctx context.Context
+	if len(cfgs) > 0 {
+		ctx = cfgs[0].Control.Ctx
+	}
+	return runpool.MapCtx(ctx, workers, len(cfgs), func(i int) (*BurstResult, error) {
 		return RunBurst(cfgs[i])
 	})
 }

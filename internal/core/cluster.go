@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"isolbench/internal/blk"
@@ -80,6 +81,11 @@ type Options struct {
 	// Retry overrides the blk recovery policy. The zero value means
 	// "default when Fault is enabled, disabled otherwise".
 	Retry blk.RetryPolicy
+
+	// Control wires run-resilience (cancellation, deadlines, watchdog,
+	// paranoid invariant checks) into the cluster's engine. The zero
+	// value arms nothing.
+	Control RunControl
 }
 
 func (o Options) withDefaults() Options {
@@ -100,6 +106,13 @@ func (o Options) withDefaults() Options {
 	}
 	if o.IOCostQoS == "" {
 		o.IOCostQoS = DefaultCostQoS
+	}
+	if o.Control.Paranoid {
+		// The cross-layer byte-conservation checks compare app and
+		// device counters against io.stat, which only exists with the
+		// observer attached. Safe to force: TestObsDeterminism pins
+		// that observation never perturbs the event stream.
+		o.Observe = true
 	}
 	return o
 }
@@ -132,12 +145,22 @@ type Cluster struct {
 	Groups []*cgroup.Group
 
 	appSeq     uint64
+	appDev     []int // device index per app, parallel to Apps
 	started    bool
 	busyBefore []sim.Duration
 	ctxBefore  float64
 	cycBefore  float64
 	iosBefore  uint64
 	measStart  sim.Time
+
+	// obsBase holds the io.stat byte total at measStart so the paranoid
+	// window check can compare app-window bytes against the io.stat
+	// delta; obsBaseSet marks that the snapshot exists.
+	obsBase    int64
+	obsBaseSet bool
+	// incidentNoted dedups the obs incident for a sticky engine error
+	// reported by several RunPhase/RunTo calls.
+	incidentNoted bool
 }
 
 // DevName returns the "major:minor" name of device i as used in cgroup
@@ -153,6 +176,9 @@ func NewCluster(opts Options) (*Cluster, error) {
 		Tree: cgroup.NewTree(),
 	}
 	c.CPU = host.NewCPU(c.Eng, opts.Cores)
+	if opts.Control.armed() {
+		c.Eng.SetWatchdog(opts.Control.watchdog())
+	}
 
 	if opts.Observe {
 		c.Obs = obs.NewWithConfig(c.Eng, opts.ObsConfig)
@@ -289,6 +315,7 @@ func (c *Cluster) AddApp(spec workload.Spec, dev int) (*workload.App, error) {
 		return nil, err
 	}
 	c.Apps = append(c.Apps, app)
+	c.appDev = append(c.appDev, dev)
 	return app, nil
 }
 
@@ -305,16 +332,78 @@ func (c *Cluster) Start() {
 
 // RunPhase runs warmup (discarded) then a measurement window.
 // It may be called repeatedly; each call opens a fresh window.
-func (c *Cluster) RunPhase(warmup, measure sim.Duration) {
+//
+// The error is non-nil only when the engine stopped early: the run
+// context was canceled (errors.Is(err, context.Canceled)), the
+// watchdog aborted the unit (errors.Is(err, sim.ErrWatchdog)), or —
+// in paranoid mode — an invariant was violated at window end.
+func (c *Cluster) RunPhase(warmup, measure sim.Duration) error {
 	c.Start()
 	c.Eng.RunUntil(c.Eng.Now().Add(warmup))
+	if err := c.runErr(); err != nil {
+		return err
+	}
 	for _, a := range c.Apps {
 		a.ResetMetrics()
 	}
 	c.busyBefore = c.CPU.BusySnapshot()
 	c.ctxBefore, c.cycBefore, c.iosBefore = c.CPU.Counters()
 	c.measStart = c.Eng.Now()
+	if c.Opts.Control.Paranoid {
+		c.snapshotParanoid()
+	}
 	c.Eng.RunUntil(c.Eng.Now().Add(measure))
+	if err := c.runErr(); err != nil {
+		return err
+	}
+	if c.Opts.Control.Paranoid {
+		return c.checkAndNote()
+	}
+	return nil
+}
+
+// RunTo starts the cluster (if necessary) and runs the engine to
+// absolute virtual time t — the open-loop variant of RunPhase used by
+// the burst and illustrate experiments. Error semantics match
+// RunPhase.
+func (c *Cluster) RunTo(t sim.Time) error {
+	c.Start()
+	c.Eng.RunUntil(t)
+	if err := c.runErr(); err != nil {
+		return err
+	}
+	if c.Opts.Control.Paranoid {
+		return c.checkAndNote()
+	}
+	return nil
+}
+
+// runErr surfaces the engine's sticky stop reason, recording it once
+// as an obs incident so aborts show up in exports and summaries.
+func (c *Cluster) runErr() error {
+	err := c.Eng.Err()
+	if err == nil {
+		return nil
+	}
+	if c.Obs != nil && !c.incidentNoted {
+		c.incidentNoted = true
+		kind := obs.IncidentCancel
+		if errors.Is(err, sim.ErrWatchdog) {
+			kind = obs.IncidentWatchdog
+		}
+		c.Obs.RecordIncident(kind, err.Error())
+	}
+	return err
+}
+
+// checkAndNote runs the paranoid invariant suite and records a
+// violation as an obs incident before returning it.
+func (c *Cluster) checkAndNote() error {
+	err := c.CheckInvariants()
+	if err != nil && c.Obs != nil {
+		c.Obs.RecordIncident(obs.IncidentInvariant, err.Error())
+	}
+	return err
 }
 
 // GroupStats aggregates one tenant group's apps over the measurement

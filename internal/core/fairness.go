@@ -51,7 +51,8 @@ type FairnessConfig struct {
 	Warmup       sim.Duration
 	Measure      sim.Duration
 	Seed         uint64
-	Workers      int // repeat fan-out (<=0 GOMAXPROCS, 1 sequential)
+	Workers      int        // repeat fan-out (<=0 GOMAXPROCS, 1 sequential)
+	Control      RunControl // cancellation/watchdog/paranoid settings
 }
 
 func (c FairnessConfig) withDefaults() FairnessConfig {
@@ -172,7 +173,7 @@ func RunFairness(cfg FairnessConfig) (*FairnessResult, error) {
 		bws   []float64
 		aggBW float64
 	}
-	reps, err := runpool.Map(cfg.Workers, cfg.Repeats, func(rep int) (repOut, error) {
+	reps, err := runpool.MapCtx(cfg.Control.Ctx, cfg.Workers, cfg.Repeats, func(rep int) (repOut, error) {
 		bws, aggBW, err := runFairnessRepeat(cfg, weights, rep)
 		return repOut{bws: bws, aggBW: aggBW}, err
 	})
@@ -195,6 +196,7 @@ func runFairnessRepeat(cfg FairnessConfig, weights []float64, rep int) ([]float6
 		Cores:        cfg.Cores,
 		Seed:         cfg.Seed + uint64(rep)*101,
 		Precondition: cfg.Mix == MixReadWrite,
+		Control:      cfg.Control,
 	}
 	cl, err := NewCluster(opts)
 	if err != nil {
@@ -238,7 +240,9 @@ func runFairnessRepeat(cfg FairnessConfig, weights []float64, rep int) ([]float6
 			return nil, 0, err
 		}
 	}
-	cl.RunPhase(cfg.Warmup, cfg.Measure)
+	if err := cl.RunPhase(cfg.Warmup, cfg.Measure); err != nil {
+		return nil, 0, err
+	}
 	r := cl.Result()
 	bws := make([]float64, len(r.Groups))
 	for i, g := range r.Groups {
@@ -250,14 +254,14 @@ func runFairnessRepeat(cfg FairnessConfig, weights []float64, rep int) ([]float6
 // FairnessScalability runs the Fig. 5 sweep: group counts x
 // {uniform, weighted} for one knob. Group counts fan out across
 // workers; each cell's repeats fan out in turn.
-func FairnessScalability(k Knob, profile string, groupCounts []int, weighted bool, repeats int, seed uint64, workers int) ([]*FairnessResult, error) {
+func FairnessScalability(k Knob, profile string, groupCounts []int, weighted bool, repeats int, seed uint64, workers int, ctl RunControl) ([]*FairnessResult, error) {
 	if len(groupCounts) == 0 {
 		groupCounts = []int{2, 4, 8, 16}
 	}
-	return runpool.Map(workers, len(groupCounts), func(i int) (*FairnessResult, error) {
+	return runpool.MapCtx(ctl.Ctx, workers, len(groupCounts), func(i int) (*FairnessResult, error) {
 		return RunFairness(FairnessConfig{
 			Knob: k, Profile: profile, Groups: groupCounts[i], Weighted: weighted,
-			Repeats: repeats, Seed: seed, Workers: workers,
+			Repeats: repeats, Seed: seed, Workers: workers, Control: ctl,
 		})
 	})
 }

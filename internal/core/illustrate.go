@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"isolbench/internal/cgroup"
 	"isolbench/internal/device"
 	"isolbench/internal/metrics"
@@ -20,6 +22,7 @@ type IllustrateConfig struct {
 	// B 10-70 s, C 20-50 s). 0.1 runs A 0-5 s, B 1-7 s, C 2-5 s.
 	TimeScale float64
 	Seed      uint64
+	Control   RunControl // cancellation/watchdog/paranoid settings
 }
 
 func (c IllustrateConfig) withDefaults() IllustrateConfig {
@@ -86,6 +89,7 @@ func RunIllustrate(cfg IllustrateConfig) ([]TimelineSeries, error) {
 		Knob:    cfg.Knob,
 		Profile: device.ProfileByName(cfg.Profile),
 		Seed:    cfg.Seed,
+		Control: cfg.Control,
 		// Fig. 2g/h annotate io.cost with a P95 100 us latency target.
 		IOCostQoS: "enable=1 rpct=95.00 rlat=100 wpct=95.00 wlat=400 min=50.00 max=125.00",
 	})
@@ -131,8 +135,9 @@ func RunIllustrate(cfg IllustrateConfig) ([]TimelineSeries, error) {
 		return nil, err
 	}
 
-	cl.Start()
-	cl.Eng.RunUntil(scale(70))
+	if err := cl.RunTo(scale(70)); err != nil {
+		return nil, err
+	}
 
 	out := make([]TimelineSeries, 0, 3)
 	for i, s := range schedule {
@@ -145,7 +150,11 @@ func RunIllustrate(cfg IllustrateConfig) ([]TimelineSeries, error) {
 // across a worker pool, returning each panel's timeline series in
 // config order.
 func RunIllustrateGrid(cfgs []IllustrateConfig, workers int) ([][]TimelineSeries, error) {
-	return runpool.Map(workers, len(cfgs), func(i int) ([]TimelineSeries, error) {
+	var ctx context.Context
+	if len(cfgs) > 0 {
+		ctx = cfgs[0].Control.Ctx
+	}
+	return runpool.MapCtx(ctx, workers, len(cfgs), func(i int) ([]TimelineSeries, error) {
 		return RunIllustrate(cfgs[i])
 	})
 }

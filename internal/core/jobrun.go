@@ -34,6 +34,8 @@ type JobRunConfig struct {
 	Observe bool
 	// ObsConfig bounds the observer's ring buffers (zero = defaults).
 	ObsConfig obs.Config
+	// Control wires cancellation/watchdog/paranoid settings into the run.
+	Control RunControl
 }
 
 // RunJobFile parses and executes a job file, returning the per-group
@@ -50,6 +52,7 @@ func RunJobFile(cfg JobRunConfig) (*Result, error) {
 		Seed:      cfg.Seed,
 		Observe:   cfg.Observe,
 		ObsConfig: cfg.ObsConfig,
+		Control:   cfg.Control,
 	})
 	if err != nil {
 		return nil, err
@@ -106,7 +109,9 @@ func RunJobFile(cfg JobRunConfig) (*Result, error) {
 		}
 		measure = horizon.Sub(0) + 500*sim.Millisecond
 	}
-	cl.RunPhase(cfg.Warmup, measure)
+	if err := cl.RunPhase(cfg.Warmup, measure); err != nil {
+		return nil, err
+	}
 	res := cl.Result()
 	res.Obs = cl.Obs
 	return &res, nil

@@ -63,7 +63,8 @@ type LatencyScalingConfig struct {
 	Measure   sim.Duration
 	Seed      uint64
 	CDFPoints int
-	Workers   int // app-count fan-out (<=0 GOMAXPROCS, 1 sequential)
+	Workers   int        // app-count fan-out (<=0 GOMAXPROCS, 1 sequential)
+	Control   RunControl // cancellation/watchdog/paranoid settings
 }
 
 func (c LatencyScalingConfig) withDefaults() LatencyScalingConfig {
@@ -89,10 +90,12 @@ func (c LatencyScalingConfig) withDefaults() LatencyScalingConfig {
 // fan out across cfg.Workers in count order.
 func RunLatencyScaling(cfg LatencyScalingConfig) ([]LatencyScalingPoint, error) {
 	cfg = cfg.withDefaults()
-	return runpool.Map(cfg.Workers, len(cfg.AppCounts), func(ci int) (LatencyScalingPoint, error) {
+	return runpool.MapCtx(cfg.Control.Ctx, cfg.Workers, len(cfg.AppCounts), func(ci int) (LatencyScalingPoint, error) {
 		var zero LatencyScalingPoint
 		n := cfg.AppCounts[ci]
-		cl, err := NewCluster(overheadOptions(cfg.Knob, cfg.Profile, 1, 1, cfg.Seed+uint64(n)))
+		opts := overheadOptions(cfg.Knob, cfg.Profile, 1, 1, cfg.Seed+uint64(n))
+		opts.Control = cfg.Control
+		cl, err := NewCluster(opts)
 		if err != nil {
 			return zero, err
 		}
@@ -110,7 +113,9 @@ func RunLatencyScaling(cfg LatencyScalingConfig) ([]LatencyScalingPoint, error) 
 				return zero, err
 			}
 		}
-		cl.RunPhase(cfg.Warmup, cfg.Measure)
+		if err := cl.RunPhase(cfg.Warmup, cfg.Measure); err != nil {
+			return zero, err
+		}
 		res := cl.Result()
 		h := cl.MergedHistogram()
 		return LatencyScalingPoint{
@@ -146,7 +151,8 @@ type BandwidthScalingConfig struct {
 	Warmup    sim.Duration
 	Measure   sim.Duration
 	Seed      uint64
-	Workers   int // app-count fan-out (<=0 GOMAXPROCS, 1 sequential)
+	Workers   int        // app-count fan-out (<=0 GOMAXPROCS, 1 sequential)
+	Control   RunControl // cancellation/watchdog/paranoid settings
 }
 
 func (c BandwidthScalingConfig) withDefaults() BandwidthScalingConfig {
@@ -174,10 +180,12 @@ func (c BandwidthScalingConfig) withDefaults() BandwidthScalingConfig {
 // out across cfg.Workers in count order.
 func RunBandwidthScaling(cfg BandwidthScalingConfig) ([]BandwidthScalingPoint, error) {
 	cfg = cfg.withDefaults()
-	return runpool.Map(cfg.Workers, len(cfg.AppCounts), func(ci int) (BandwidthScalingPoint, error) {
+	return runpool.MapCtx(cfg.Control.Ctx, cfg.Workers, len(cfg.AppCounts), func(ci int) (BandwidthScalingPoint, error) {
 		var zero BandwidthScalingPoint
 		n := cfg.AppCounts[ci]
-		cl, err := NewCluster(overheadOptions(cfg.Knob, cfg.Profile, cfg.Cores, cfg.Devices, cfg.Seed+uint64(n)))
+		opts := overheadOptions(cfg.Knob, cfg.Profile, cfg.Cores, cfg.Devices, cfg.Seed+uint64(n))
+		opts.Control = cfg.Control
+		cl, err := NewCluster(opts)
 		if err != nil {
 			return zero, err
 		}
@@ -195,7 +203,9 @@ func RunBandwidthScaling(cfg BandwidthScalingConfig) ([]BandwidthScalingPoint, e
 				return zero, err
 			}
 		}
-		cl.RunPhase(cfg.Warmup, cfg.Measure)
+		if err := cl.RunPhase(cfg.Warmup, cfg.Measure); err != nil {
+			return zero, err
+		}
 		res := cl.Result()
 		return BandwidthScalingPoint{
 			Apps:        n,

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// InvariantError reports every conservation law a paranoid check found
+// violated, one violation per line.
+type InvariantError struct {
+	Violations []string
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("paranoid: %d invariant violation(s):\n  %s",
+		len(e.Violations), strings.Join(e.Violations, "\n  "))
+}
+
+// snapshotParanoid records the io.stat byte total at the start of the
+// measurement window; CheckInvariants compares the window delta against
+// what the apps report.
+func (c *Cluster) snapshotParanoid() {
+	c.obsBase = c.obsBytesTotal()
+	c.obsBaseSet = true
+}
+
+// obsBytesTotal sums rbytes+wbytes over every (cgroup, device) io.stat
+// entry.
+func (c *Cluster) obsBytesTotal() int64 {
+	var total int64
+	for _, cg := range c.Obs.Cgroups() {
+		for i := range c.Devices {
+			if st, ok := c.Obs.Stat(cg, DevName(i)); ok {
+				total += st.RBytes + st.WBytes
+			}
+		}
+	}
+	return total
+}
+
+// CheckInvariants runs the full conservation suite across every layer
+// of the cluster — workload, blk, device, engine clock, and the
+// cross-layer byte flows — and returns an *InvariantError naming every
+// violated law, or nil when all hold. It is called automatically at the
+// end of RunPhase/RunTo in paranoid mode and is safe to call directly
+// from tests.
+func (c *Cluster) CheckInvariants() error {
+	var v []string
+
+	// Layer 1: each app's lifetime request accounting.
+	for _, a := range c.Apps {
+		v = append(v, a.CheckConservation()...)
+	}
+
+	// Layer 2: each queue's submitted = completed + in-path identity,
+	// bounded by the total queue depth of the apps feeding it. A queue
+	// with traffic but no registered apps (replay workloads) skips the
+	// population bound.
+	qdByDev := make([]int, len(c.Queues))
+	for ai, a := range c.Apps {
+		qdByDev[c.appDev[ai]] += a.Spec().QD
+	}
+	for i, q := range c.Queues {
+		bound := qdByDev[i]
+		if bound == 0 && q.Submitted() > 0 {
+			bound = -1
+		}
+		v = append(v, q.CheckConservation(bound)...)
+	}
+
+	// Layer 3: each device's internal bounds.
+	for _, d := range c.Devices {
+		v = append(v, d.CheckInvariants()...)
+	}
+
+	// Engine clock: monotonic and never behind the open window.
+	if now := c.Eng.Now(); now < c.measStart {
+		v = append(v, fmt.Sprintf("engine clock %v is before the measurement window start %v",
+			now, c.measStart))
+	}
+
+	// Cross-layer: device byte counters vs the io.stat view. The device
+	// may legitimately run ahead: an attempt that timed out while in
+	// service still completes inside the device (and counts bytes there)
+	// but reaches io.stat only if a retry succeeds — so the gap is
+	// bounded by the timeout count times the largest request.
+	maxSize := int64(0)
+	for _, a := range c.Apps {
+		if s := a.Spec().Size; s > maxSize {
+			maxSize = s
+		}
+	}
+	if c.Obs != nil && len(c.Apps) > 0 {
+		for i, d := range c.Devices {
+			st := d.Stats()
+			devBytes := st.ReadBytes + st.WriteBytes
+			var obsBytes int64
+			for _, cg := range c.Obs.Cgroups() {
+				if s, ok := c.Obs.Stat(cg, DevName(i)); ok {
+					obsBytes += s.RBytes + s.WBytes
+				}
+			}
+			slack := int64(c.Queues[i].Timeouts()) * maxSize
+			if obsBytes > devBytes {
+				v = append(v, fmt.Sprintf(
+					"device %s: io.stat reports %d bytes but the device moved only %d",
+					DevName(i), obsBytes, devBytes))
+			} else if devBytes-obsBytes > slack {
+				v = append(v, fmt.Sprintf(
+					"device %s: %d device bytes unaccounted in io.stat (%d vs %d, slack %d)",
+					DevName(i), devBytes-obsBytes, devBytes, obsBytes, slack))
+			}
+		}
+
+		// Window flow: what the apps banked this measurement window must
+		// match the io.stat delta up to the requests that straddle either
+		// window edge (completed at the device but not yet reaped, or the
+		// reverse at the start) — at most one queue depth per app, counted
+		// on both edges.
+		if c.obsBaseSet {
+			var appBytes, slack int64
+			for _, a := range c.Apps {
+				r, w := a.WindowBytes()
+				appBytes += r + w
+				slack += 2 * int64(a.Spec().QD) * a.Spec().Size
+			}
+			obsDelta := c.obsBytesTotal() - c.obsBase
+			diff := appBytes - obsDelta
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > slack {
+				v = append(v, fmt.Sprintf(
+					"window bytes diverge: apps banked %d, io.stat moved %d (|diff| %d > slack %d)",
+					appBytes, obsDelta, diff, slack))
+			}
+		}
+	}
+
+	if len(v) == 0 {
+		return nil
+	}
+	return &InvariantError{Violations: v}
+}

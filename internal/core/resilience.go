@@ -25,6 +25,7 @@ type ResilienceConfig struct {
 	Measure sim.Duration
 	Cores   int
 	Seed    uint64
+	Control RunControl // cancellation/watchdog/paranoid settings
 }
 
 func (c ResilienceConfig) withDefaults() ResilienceConfig {
@@ -94,10 +95,11 @@ func runResilienceCluster(cfg ResilienceConfig, fp fault.Profile) (*Cluster, Res
 		fp.Horizon = cfg.Warmup + cfg.Measure*3/4
 	}
 	cl, err := NewCluster(Options{
-		Knob:  cfg.Knob,
-		Cores: cfg.Cores,
-		Seed:  cfg.Seed,
-		Fault: fp,
+		Knob:    cfg.Knob,
+		Cores:   cfg.Cores,
+		Seed:    cfg.Seed,
+		Fault:   fp,
+		Control: cfg.Control,
 	})
 	if err != nil {
 		return nil, Result{}, err
@@ -123,7 +125,9 @@ func runResilienceCluster(cfg ResilienceConfig, fp fault.Profile) (*Cluster, Res
 	if err := applyFairnessWeights(cfg.Knob, groups, weights, 3.0e9); err != nil {
 		return nil, Result{}, err
 	}
-	cl.RunPhase(cfg.Warmup, cfg.Measure)
+	if err := cl.RunPhase(cfg.Warmup, cfg.Measure); err != nil {
+		return nil, Result{}, err
+	}
 	return cl, cl.Result(), nil
 }
 
@@ -216,7 +220,7 @@ func measureRecovery(cl *Cluster, baseBW float64) (sim.Duration, bool, bool) {
 // byte-identical fault schedule and the columns are comparable.
 func RunResilienceGrid(knobs []Knob, profiles []fault.Profile, cfg ResilienceConfig, workers int) ([]*ResilienceResult, error) {
 	n := len(knobs) * len(profiles)
-	return runpool.Map(workers, n, func(i int) (*ResilienceResult, error) {
+	return runpool.MapCtx(cfg.Control.Ctx, workers, n, func(i int) (*ResilienceResult, error) {
 		c := cfg
 		c.Knob = knobs[i/len(profiles)]
 		c.Fault = profiles[i%len(profiles)]

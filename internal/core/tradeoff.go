@@ -77,7 +77,8 @@ type TradeoffConfig struct {
 	Warmup  sim.Duration
 	Measure sim.Duration
 	Seed    uint64
-	Workers int // sweep-setting fan-out (<=0 GOMAXPROCS, 1 sequential)
+	Workers int        // sweep-setting fan-out (<=0 GOMAXPROCS, 1 sequential)
+	Control RunControl // cancellation/watchdog/paranoid settings
 }
 
 func (c TradeoffConfig) withDefaults() TradeoffConfig {
@@ -247,7 +248,7 @@ func prioSpec(kind PriorityKind, g *cgroup.Group) workload.Spec {
 func RunTradeoff(cfg TradeoffConfig) ([]TradeoffPoint, error) {
 	cfg = cfg.withDefaults()
 	settings := tradeoffSettings(cfg)
-	points, err := runpool.Map(cfg.Workers, len(settings), func(si int) (TradeoffPoint, error) {
+	points, err := runpool.MapCtx(cfg.Control.Ctx, cfg.Workers, len(settings), func(si int) (TradeoffPoint, error) {
 		return runTradeoffSetting(cfg, si, settings[si])
 	})
 	if err != nil {
@@ -266,6 +267,7 @@ func runTradeoffSetting(cfg TradeoffConfig, si int, set knobSetting) (TradeoffPo
 		Cores:        cfg.Cores,
 		Seed:         cfg.Seed + uint64(si)*977,
 		Precondition: cfg.Variant == BE4KWrite,
+		Control:      cfg.Control,
 	})
 	if err != nil {
 		return zero, err
@@ -292,7 +294,9 @@ func runTradeoffSetting(cfg TradeoffConfig, si int, set knobSetting) (TradeoffPo
 			return zero, err
 		}
 	}
-	cl.RunPhase(cfg.Warmup, cfg.Measure)
+	if err := cl.RunPhase(cfg.Warmup, cfg.Measure); err != nil {
+		return zero, err
+	}
 	res := cl.Result()
 	st := prioApp.Stats()
 	span := res.Span.Seconds()

@@ -48,7 +48,8 @@ type DesiderataRow struct {
 type TableIConfig struct {
 	Quick   bool
 	Seed    uint64
-	Workers int // knob-row and sub-experiment fan-out (<=0 GOMAXPROCS)
+	Workers int        // knob-row and sub-experiment fan-out (<=0 GOMAXPROCS)
+	Control RunControl // cancellation/watchdog/paranoid settings
 }
 
 // nativeWeights reports whether the knob exposes a direct proportional
@@ -94,12 +95,14 @@ func RunTableI(cfg TableIConfig) ([]DesiderataRow, error) {
 	// Baselines from the no-knob configuration.
 	basePts, err := RunLatencyScaling(LatencyScalingConfig{
 		Knob: KnobNone, AppCounts: []int{1, 16}, Measure: measure, Seed: cfg.Seed, Workers: cfg.Workers,
+		Control: cfg.Control,
 	})
 	if err != nil {
 		return nil, err
 	}
 	baseBW, err := RunBandwidthScaling(BandwidthScalingConfig{
 		Knob: KnobNone, AppCounts: []int{9}, Measure: measure, Seed: cfg.Seed, Workers: cfg.Workers,
+		Control: cfg.Control,
 	})
 	if err != nil {
 		return nil, err
@@ -108,7 +111,7 @@ func RunTableI(cfg TableIConfig) ([]DesiderataRow, error) {
 	// Each knob's row derives from its own set of runs, independent of
 	// every other row: fan the rows out, keeping presentation order.
 	knobs := ControlKnobs()
-	return runpool.Map(cfg.Workers, len(knobs), func(ki int) (DesiderataRow, error) {
+	return runpool.MapCtx(cfg.Control.Ctx, cfg.Workers, len(knobs), func(ki int) (DesiderataRow, error) {
 		return deriveRow(cfg, knobs[ki], measure, steps, repeats, basePts, baseBW)
 	})
 }
@@ -124,12 +127,14 @@ func deriveRow(cfg TableIConfig, k Knob, measure sim.Duration, steps, repeats in
 	// --- D1 overhead ---
 	lat, err := RunLatencyScaling(LatencyScalingConfig{
 		Knob: k, AppCounts: []int{1, 16}, Measure: measure, Seed: cfg.Seed, Workers: cfg.Workers,
+		Control: cfg.Control,
 	})
 	if err != nil {
 		return row, err
 	}
 	bw, err := RunBandwidthScaling(BandwidthScalingConfig{
 		Knob: k, AppCounts: []int{9}, Measure: measure, Seed: cfg.Seed, Workers: cfg.Workers,
+		Control: cfg.Control,
 	})
 	if err != nil {
 		return row, err
@@ -153,12 +158,12 @@ func deriveRow(cfg TableIConfig, k Knob, measure sim.Duration, steps, repeats in
 		name string
 		fc   FairnessConfig
 	}{
-		{"uniform", FairnessConfig{Knob: k, Groups: 4, Repeats: repeats, Measure: measure, Seed: cfg.Seed, Workers: cfg.Workers}},
-		{"weighted", FairnessConfig{Knob: k, Groups: 4, Weighted: true, Repeats: repeats, Measure: measure, Seed: cfg.Seed, Workers: cfg.Workers}},
-		{"sizes", FairnessConfig{Knob: k, Groups: 2, Mix: MixSizes, Repeats: repeats, Measure: measure, Seed: cfg.Seed, Workers: cfg.Workers}},
-		{"rw", FairnessConfig{Knob: k, Groups: 2, Mix: MixReadWrite, Repeats: repeats, Measure: measure, Seed: cfg.Seed, Workers: cfg.Workers}},
+		{"uniform", FairnessConfig{Knob: k, Groups: 4, Repeats: repeats, Measure: measure, Seed: cfg.Seed, Workers: cfg.Workers, Control: cfg.Control}},
+		{"weighted", FairnessConfig{Knob: k, Groups: 4, Weighted: true, Repeats: repeats, Measure: measure, Seed: cfg.Seed, Workers: cfg.Workers, Control: cfg.Control}},
+		{"sizes", FairnessConfig{Knob: k, Groups: 2, Mix: MixSizes, Repeats: repeats, Measure: measure, Seed: cfg.Seed, Workers: cfg.Workers, Control: cfg.Control}},
+		{"rw", FairnessConfig{Knob: k, Groups: 2, Mix: MixReadWrite, Repeats: repeats, Measure: measure, Seed: cfg.Seed, Workers: cfg.Workers, Control: cfg.Control}},
 	}
-	fairRes, err := runpool.Map(cfg.Workers, len(fairCells), func(i int) (*FairnessResult, error) {
+	fairRes, err := runpool.MapCtx(cfg.Control.Ctx, cfg.Workers, len(fairCells), func(i int) (*FairnessResult, error) {
 		return RunFairness(fairCells[i].fc)
 	})
 	if err != nil {
@@ -185,6 +190,7 @@ func deriveRow(cfg TableIConfig, k Knob, measure sim.Duration, steps, repeats in
 	pts, err := RunTradeoff(TradeoffConfig{
 		Knob: k, Kind: PriorityBatch, Variant: BE4KRand,
 		Steps: steps, Measure: measure, Seed: cfg.Seed, Workers: cfg.Workers,
+		Control: cfg.Control,
 	})
 	if err != nil {
 		return row, err
@@ -196,6 +202,7 @@ func deriveRow(cfg TableIConfig, k Knob, measure sim.Duration, steps, repeats in
 	ptsBig, err := RunTradeoff(TradeoffConfig{
 		Knob: k, Kind: PriorityBatch, Variant: BE256K,
 		Steps: steps, Measure: measure, Seed: cfg.Seed + 13, Workers: cfg.Workers,
+		Control: cfg.Control,
 	})
 	if err != nil {
 		return row, err
@@ -214,7 +221,7 @@ func deriveRow(cfg TableIConfig, k Knob, measure sim.Duration, steps, repeats in
 	}
 
 	// --- D4 bursts ---
-	br, err := RunBurst(BurstConfig{Knob: k, Kind: PriorityBatch, Seed: cfg.Seed})
+	br, err := RunBurst(BurstConfig{Knob: k, Kind: PriorityBatch, Seed: cfg.Seed, Control: cfg.Control})
 	if err != nil {
 		return row, err
 	}

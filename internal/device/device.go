@@ -124,6 +124,39 @@ func (d *Device) Stats() Stats {
 // the paper's sequential-fill + random-overwrite preconditioning.
 func (d *Device) Precondition() { d.written = d.prof.FreshBytes + 1 }
 
+// CheckInvariants asserts the device's internal bounds: queue depth,
+// channel occupancy, GC debt, and byte counters can only drift outside
+// these ranges through an accounting bug. It returns every violated
+// law, or nil when all hold.
+func (d *Device) CheckInvariants() []string {
+	var v []string
+	name := d.prof.Name
+	if d.inflight < 0 || d.inflight > d.prof.MaxQD {
+		v = append(v, fmt.Sprintf("device %s: inflight %d outside [0,%d]",
+			name, d.inflight, d.prof.MaxQD))
+	}
+	if d.busy < 0 || d.busy > d.prof.Channels {
+		v = append(v, fmt.Sprintf("device %s: %d busy channels outside [0,%d]",
+			name, d.busy, d.prof.Channels))
+	}
+	if d.gcDebt < 0 {
+		v = append(v, fmt.Sprintf("device %s: negative GC debt %d", name, d.gcDebt))
+	}
+	if d.stats.ReadBytes < 0 || d.stats.WriteBytes < 0 {
+		v = append(v, fmt.Sprintf("device %s: negative byte counters r=%d w=%d",
+			name, d.stats.ReadBytes, d.stats.WriteBytes))
+	}
+	// waiting, in-service, and lost requests are disjoint subsets of the
+	// inflight population (the remainder is requests riding out a
+	// die-collision delay), so the parts can never exceed the whole.
+	if held := d.waiting.len() + d.busy + len(d.lost); held > d.inflight {
+		v = append(v, fmt.Sprintf(
+			"device %s: waiting(%d)+busy(%d)+lost(%d) exceed inflight(%d)",
+			name, d.waiting.len(), d.busy, len(d.lost), d.inflight))
+	}
+	return v
+}
+
 // Submit enqueues a request. It panics if the device is full: the block
 // layer must gate on CanAccept.
 func (d *Device) Submit(r *Request) {

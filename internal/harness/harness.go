@@ -1,0 +1,121 @@
+// Package harness runs a list of named experiment units through a
+// worker pool with checkpoint/resume. Completed unit outputs are
+// journaled to a manifest as they finish, previously journaled units
+// are served from cache without rerunning, and watchdog-aborted units
+// are contained to a diagnostic line instead of failing the whole run.
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"isolbench/internal/runpool"
+	"isolbench/internal/sim"
+)
+
+// Unit is one independently runnable, independently renderable slice
+// of an experiment. Run returns the unit's full report text; the
+// harness concatenates unit outputs in list order, so a run produces
+// byte-identical output whether units ran fresh, came from a resumed
+// manifest, or executed across any -workers width.
+type Unit struct {
+	Key string // stable identity across runs, e.g. "fig3/io.cost"
+	Run func(ctx context.Context) (string, error)
+}
+
+// Runner executes units with fail-fast error handling: a unit error
+// other than a watchdog abort cancels the remaining units. Watchdog
+// aborts (sim.ErrWatchdog) are contained — the unit's output becomes a
+// one-line diagnostic and its siblings keep running.
+type Runner struct {
+	Workers int
+	Cache   map[string]string // outputs from a resumed manifest, by unit key
+	Journal *Journal          // nil = no checkpointing
+	Out     io.Writer
+}
+
+// Summary counts what happened to each unit of a run.
+type Summary struct {
+	Units   int // total units in the run
+	Ran     int // executed to completion this run
+	Cached  int // served from a resumed manifest
+	Aborted int // watchdog-aborted (not journaled; a resume reruns them)
+
+	Aborts []string // "key: reason" per aborted unit, in unit order
+}
+
+// WriteSummary prints a run's unit accounting, one header line plus
+// one line per watchdog abort.
+func WriteSummary(w io.Writer, s Summary) {
+	fmt.Fprintf(w, "# %d units: %d ran, %d cached, %d aborted\n", s.Units, s.Ran, s.Cached, s.Aborted)
+	for _, a := range s.Aborts {
+		fmt.Fprintf(w, "#   aborted %s\n", a)
+	}
+}
+
+// Run executes the units and writes their outputs to r.Out in list
+// order. Fresh successes are journaled as they finish, so on
+// cancellation (or any fail-fast error) everything completed so far is
+// resumable even though only the contiguous finished prefix is
+// emitted — a report with holes would mislead more than it informs.
+func (r *Runner) Run(ctx context.Context, units []Unit) (Summary, error) {
+	workers := r.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	sum := Summary{Units: len(units)}
+	outputs := make([]string, len(units))
+	finished := make([]bool, len(units))
+	kind := make([]byte, len(units)) // 'r' ran, 'c' cached, 'a' aborted
+	abortAt := make([]string, len(units))
+	_, err := runpool.MapCtx(ctx, workers, len(units), func(i int) (struct{}, error) {
+		u := units[i]
+		if out, ok := r.Cache[u.Key]; ok {
+			outputs[i], finished[i], kind[i] = out, true, 'c'
+			return struct{}{}, nil
+		}
+		out, uerr := u.Run(ctx)
+		if uerr != nil {
+			if errors.Is(uerr, sim.ErrWatchdog) {
+				outputs[i] = fmt.Sprintf("# unit %s aborted: %v\n", u.Key, uerr)
+				abortAt[i] = fmt.Sprintf("%s: %v", u.Key, uerr)
+				finished[i], kind[i] = true, 'a'
+				return struct{}{}, nil
+			}
+			return struct{}{}, fmt.Errorf("unit %s: %w", u.Key, uerr)
+		}
+		if r.Journal != nil {
+			if jerr := r.Journal.Record(u.Key, out); jerr != nil {
+				return struct{}{}, fmt.Errorf("unit %s: journal: %w", u.Key, jerr)
+			}
+		}
+		outputs[i], finished[i], kind[i] = out, true, 'r'
+		return struct{}{}, nil
+	})
+	for i, k := range kind {
+		switch k {
+		case 'r':
+			sum.Ran++
+		case 'c':
+			sum.Cached++
+		case 'a':
+			sum.Aborted++
+			sum.Aborts = append(sum.Aborts, abortAt[i])
+		}
+	}
+	n := len(units)
+	if err != nil {
+		n = 0
+		for n < len(units) && finished[n] {
+			n++
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, werr := io.WriteString(r.Out, outputs[i]); werr != nil {
+			return sum, werr
+		}
+	}
+	return sum, err
+}

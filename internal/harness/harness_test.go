@@ -1,0 +1,225 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"isolbench/internal/sim"
+)
+
+// fakeUnits builds n deterministic units; each output is several lines
+// so concatenation boundaries matter.
+func fakeUnits(n int, ran *atomic.Int32) []Unit {
+	units := make([]Unit, n)
+	for i := range units {
+		i := i
+		units[i] = Unit{Key: fmt.Sprintf("exp/unit%02d", i), Run: func(ctx context.Context) (string, error) {
+			if ran != nil {
+				ran.Add(1)
+			}
+			return fmt.Sprintf("# unit %d\nrow\t%d\n", i, i*i), nil
+		}}
+	}
+	return units
+}
+
+func testHeader() Header {
+	return Header{Exp: "exp", Profile: "flash980", Seed: 1, Quick: true}
+}
+
+// TestResumeByteIdentical is the golden resume test: interrupt a run
+// after unit k, resume from its manifest, and require the resumed
+// output to be byte-identical to an uninterrupted run — at pool widths
+// 1 and 8.
+func TestResumeByteIdentical(t *testing.T) {
+	const n, k = 12, 5
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			var clean strings.Builder
+			r := &Runner{Workers: workers, Out: &clean}
+			if _, err := r.Run(context.Background(), fakeUnits(n, nil)); err != nil {
+				t.Fatal(err)
+			}
+
+			// Interrupted run: cancel once unit k has completed.
+			path := filepath.Join(t.TempDir(), "m.jsonl")
+			j, err := Create(path, testHeader())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			units := fakeUnits(n, nil)
+			for i := range units {
+				i, run := i, units[i].Run
+				units[i].Run = func(ctx context.Context) (string, error) {
+					out, err := run(ctx)
+					if i == k {
+						cancel()
+					}
+					return out, err
+				}
+			}
+			var partial strings.Builder
+			ir := &Runner{Workers: workers, Journal: j, Out: &partial}
+			if _, err := ir.Run(ctx, units); !errors.Is(err, context.Canceled) {
+				t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+			}
+			j.Close()
+			// The partial report must be a prefix of the clean one.
+			if !strings.HasPrefix(clean.String(), partial.String()) {
+				t.Fatalf("partial report is not a prefix of the clean report:\n%q", partial.String())
+			}
+
+			// Resume and require byte identity.
+			cache, j2, err := Resume(path, testHeader())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j2.Close()
+			if len(cache) == 0 {
+				t.Fatal("nothing journaled before the interrupt")
+			}
+			var ran atomic.Int32
+			var resumed strings.Builder
+			rr := &Runner{Workers: workers, Cache: cache, Journal: j2, Out: &resumed}
+			sum, err := rr.Run(context.Background(), fakeUnits(n, &ran))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resumed.String() != clean.String() {
+				t.Fatalf("resumed output differs from the clean run:\nclean   %q\nresumed %q", clean.String(), resumed.String())
+			}
+			if sum.Cached != len(cache) || sum.Ran != n-len(cache) {
+				t.Fatalf("summary %+v inconsistent with a %d-entry cache", sum, len(cache))
+			}
+			if int(ran.Load()) != n-len(cache) {
+				t.Fatalf("%d units re-ran; cache of %d should have prevented them", ran.Load(), len(cache))
+			}
+		})
+	}
+}
+
+// TestAbortContained verifies a watchdog-aborted unit is replaced by a
+// one-line diagnostic naming it, its siblings still run, and the abort
+// is NOT journaled — a resume gets a fresh chance at the unit.
+func TestAbortContained(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.jsonl")
+	j, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := fakeUnits(4, nil)
+	units[2].Run = func(ctx context.Context) (string, error) {
+		return "", &sim.WatchdogError{Reason: "event budget exhausted (100 events)", Events: 100}
+	}
+	var out strings.Builder
+	r := &Runner{Workers: 2, Journal: j, Out: &out}
+	sum, err := r.Run(context.Background(), units)
+	if err != nil {
+		t.Fatalf("a contained abort must not fail the run: %v", err)
+	}
+	j.Close()
+	if sum.Aborted != 1 || sum.Ran != 3 {
+		t.Fatalf("summary %+v, want 3 ran / 1 aborted", sum)
+	}
+	if len(sum.Aborts) != 1 || !strings.Contains(sum.Aborts[0], "exp/unit02") {
+		t.Fatalf("abort list does not name the unit: %v", sum.Aborts)
+	}
+	if !strings.Contains(out.String(), "# unit exp/unit02 aborted:") {
+		t.Fatalf("output lacks the abort diagnostic:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "# unit 3\n") {
+		t.Fatal("sibling unit after the abort was not emitted")
+	}
+	cache, j2, err := Resume(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	if _, ok := cache["exp/unit02"]; ok {
+		t.Fatal("aborted unit was journaled; resume would never retry it")
+	}
+	if len(cache) != 3 {
+		t.Fatalf("journal has %d entries, want the 3 successes", len(cache))
+	}
+}
+
+// TestUnitErrorFailsFast verifies a non-watchdog unit error cancels the
+// run and names the unit.
+func TestUnitErrorFailsFast(t *testing.T) {
+	units := fakeUnits(4, nil)
+	boom := errors.New("boom")
+	units[1].Run = func(ctx context.Context) (string, error) { return "", boom }
+	r := &Runner{Workers: 1, Out: &strings.Builder{}}
+	_, err := r.Run(context.Background(), units)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if !strings.Contains(err.Error(), "exp/unit01") {
+		t.Fatalf("error does not name the unit: %v", err)
+	}
+}
+
+func TestResumeRejectsMismatchedHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.jsonl")
+	j, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	h := testHeader()
+	h.Seed = 99
+	if _, _, err := Resume(path, h); err == nil {
+		t.Fatal("resume accepted a manifest recorded with a different seed")
+	}
+}
+
+// TestResumeToleratesTornTail simulates a run killed mid-write: the
+// final half-written line is dropped (that unit reruns), but a corrupt
+// line anywhere else is an error.
+func TestResumeToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.jsonl")
+	j, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("exp/unit00", "ok\n"); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprint(f, `{"key":"exp/unit01","outp`) // torn mid-write
+	f.Close()
+	cache, j2, err := Resume(path, testHeader())
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated: %v", err)
+	}
+	j2.Close()
+	if len(cache) != 1 {
+		t.Fatalf("cache has %d entries, want 1 (torn entry dropped)", len(cache))
+	}
+
+	// Same corruption mid-file — a complete (newline-terminated) garbage
+	// line followed by a valid entry — is NOT tolerated.
+	f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(f)
+	fmt.Fprintln(f, `{"key":"exp/unit02","output":"later\n"}`)
+	f.Close()
+	if _, _, err := Resume(path, testHeader()); err == nil {
+		t.Fatal("mid-file corruption was silently skipped")
+	}
+}

@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ManifestVersion tags the manifest format; Resume refuses files
+// written by an incompatible binary.
+const ManifestVersion = "isolbench/v1"
+
+// Header identifies the run a manifest belongs to. Resume refuses a
+// manifest whose header does not match the current invocation, because
+// folding cached unit outputs into a run with different parameters
+// would silently mix incomparable results. Workers is deliberately
+// absent: output is identical at any pool width, so resuming at a
+// different -workers is safe.
+type Header struct {
+	Manifest string `json:"manifest"` // format tag, ManifestVersion
+	Exp      string `json:"exp"`
+	Knob     string `json:"knob,omitempty"`
+	Profile  string `json:"profile"`
+	Seed     uint64 `json:"seed"`
+	Quick    bool   `json:"quick,omitempty"`
+}
+
+// entry is one journaled unit: its stable key and its full rendered
+// report text.
+type entry struct {
+	Key    string `json:"key"`
+	Output string `json:"output"`
+}
+
+// Journal appends completed unit results to a manifest file, one JSON
+// line per unit, written whole per record so an interrupt between
+// units loses at most the unit in flight.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// Path returns the manifest file the journal appends to.
+func (j *Journal) Path() string { return j.path }
+
+// Record journals one completed unit.
+func (j *Journal) Record(key, output string) error {
+	line, err := json.Marshal(entry{Key: key, Output: output})
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err = j.f.Write(append(line, '\n'))
+	return err
+}
+
+// Close closes the underlying manifest file.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// Create starts a fresh manifest at path (truncating any previous
+// one), writes the header line, and returns a Journal for appending
+// unit records.
+func Create(path string, h Header) (*Journal, error) {
+	h.Manifest = ManifestVersion
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	line, err := json.Marshal(h)
+	if err == nil {
+		_, err = f.Write(append(line, '\n'))
+	}
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+// Resume loads a manifest written by Create, returning the completed
+// unit outputs by key (last record wins if a key repeats) and a
+// Journal appending to the same file. The manifest's header must match
+// h exactly. A torn final line — the mark of a run killed mid-write —
+// is dropped, so that unit simply reruns; corruption anywhere else is
+// an error.
+func Resume(path string, h Header) (map[string]string, *Journal, error) {
+	h.Manifest = ManifestVersion
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20) // unit outputs can be large
+	if !sc.Scan() {
+		return nil, nil, fmt.Errorf("manifest %s: empty (missing header)", path)
+	}
+	var got Header
+	if err := json.Unmarshal(sc.Bytes(), &got); err != nil {
+		return nil, nil, fmt.Errorf("manifest %s: bad header: %w", path, err)
+	}
+	if got != h {
+		return nil, nil, fmt.Errorf("manifest %s was recorded by a different run (%+v), current flags want %+v", path, got, h)
+	}
+	cache := make(map[string]string)
+	torn := error(nil)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			torn = err
+			continue
+		}
+		if torn != nil {
+			return nil, nil, fmt.Errorf("manifest %s: corrupt entry: %w", path, torn)
+		}
+		cache[e.Key] = e.Output
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("manifest %s: %w", path, err)
+	}
+	af, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cache, &Journal{f: af, path: path}, nil
+}

@@ -22,6 +22,7 @@ type SpanJSON struct {
 	Total   int64            `json:"total"`
 	Retries int              `json:"retries,omitempty"`
 	Failed  bool             `json:"failed,omitempty"`
+	Status  string           `json:"status,omitempty"`
 }
 
 func spanJSON(sp Span) SpanJSON {
@@ -33,11 +34,25 @@ func spanJSON(sp Span) SpanJSON {
 	for st := 0; st < int(NumStages); st++ {
 		stages[Stage(st).String()] = int64(sp.Stages[st])
 	}
+	status := ""
+	if sp.Failed {
+		status = "failed"
+	}
 	return SpanJSON{
 		ID: sp.ID, Cgroup: sp.Cgroup, App: sp.App, Op: op, Size: sp.Size,
 		Submit: sp.Submit, Stages: stages, Total: int64(sp.Total()),
-		Retries: sp.Retries, Failed: sp.Failed,
+		Retries: sp.Retries, Failed: sp.Failed, Status: status,
 	}
+}
+
+// IncidentJSON is the JSONL export schema for one run-level incident
+// (watchdog abort, cancellation, invariant violation). Incident lines
+// follow the span lines so trace consumers can attribute an aborted
+// unit's truncated stream.
+type IncidentJSON struct {
+	Incident string   `json:"incident"`
+	Detail   string   `json:"detail"`
+	At       sim.Time `json:"t"`
 }
 
 // WriteSpansJSONL writes the retained spans as JSON lines, one request
@@ -50,6 +65,11 @@ func (o *Observer) WriteSpansJSONL(w io.Writer) error {
 	enc := json.NewEncoder(bw)
 	for _, sp := range o.Spans() {
 		if err := enc.Encode(spanJSON(sp)); err != nil {
+			return err
+		}
+	}
+	for _, in := range o.incidents {
+		if err := enc.Encode(IncidentJSON{Incident: in.Kind, Detail: in.Detail, At: in.At}); err != nil {
 			return err
 		}
 	}

@@ -64,6 +64,25 @@ type Observer struct {
 	devs   map[string]struct{}   // device names seen
 	devsO  []string              // sorted device names
 	psiWin [3]sim.Duration       // PSI averaging windows
+
+	incidents []Incident // run-level aborts and invariant violations
+}
+
+// Incident kinds recorded by the resilience layer.
+const (
+	IncidentWatchdog  = "watchdog"  // engine watchdog aborted the unit
+	IncidentCancel    = "cancel"    // the run context was canceled
+	IncidentInvariant = "invariant" // paranoid conservation check failed
+)
+
+// Incident is a run-level fault of the harness itself — a watchdog
+// abort, a cancellation, or an invariant violation — stamped with the
+// virtual time it was observed. Incidents ride along in the JSONL span
+// export so aborted units stay diagnosable from their traces.
+type Incident struct {
+	Kind   string
+	Detail string
+	At     sim.Time
 }
 
 // psiWindows are the kernel's PSI averaging horizons.
@@ -264,6 +283,22 @@ func (o *Observer) SetGauge(dev string, cg int, key string, v float64) {
 	}
 	m[key] = v
 	o.statFor(g, dev) // register the device for formatting
+}
+
+// RecordIncident notes a run-level abort or invariant violation.
+func (o *Observer) RecordIncident(kind, detail string) {
+	if o == nil {
+		return
+	}
+	o.incidents = append(o.incidents, Incident{Kind: kind, Detail: detail, At: o.eng.Now()})
+}
+
+// Incidents returns the recorded run-level incidents in order.
+func (o *Observer) Incidents() []Incident {
+	if o == nil {
+		return nil
+	}
+	return o.incidents
 }
 
 // --- spans --------------------------------------------------------------

@@ -342,3 +342,47 @@ func BenchmarkObsOverhead(b *testing.B) {
 		}
 	})
 }
+
+// TestIncidentExport verifies run-level incidents (watchdog aborts,
+// cancellations, invariant violations) are recorded in order and
+// appended to the spans JSONL export, and that a nil observer swallows
+// them safely.
+func TestIncidentExport(t *testing.T) {
+	var nilObs *Observer
+	nilObs.RecordIncident(IncidentWatchdog, "ignored")
+	if nilObs.Incidents() != nil {
+		t.Fatal("nil observer returned incidents")
+	}
+
+	eng := sim.NewEngine()
+	o := New(eng)
+	eng.At(sim.Time(5), func() {
+		o.RecordIncident(IncidentWatchdog, "sim watchdog: event budget exhausted")
+	})
+	eng.Run()
+	o.RecordIncident(IncidentInvariant, "paranoid: 1 invariant violation(s)")
+
+	ins := o.Incidents()
+	if len(ins) != 2 || ins[0].Kind != IncidentWatchdog || ins[1].Kind != IncidentInvariant {
+		t.Fatalf("incidents = %+v", ins)
+	}
+	if ins[0].At != sim.Time(5) {
+		t.Fatalf("incident stamped at %v, want the engine clock 5", ins[0].At)
+	}
+
+	var buf bytes.Buffer
+	if err := o.WriteSpansJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("export has %d lines, want 2 incident lines", len(lines))
+	}
+	var ij IncidentJSON
+	if err := json.Unmarshal(lines[0], &ij); err != nil {
+		t.Fatal(err)
+	}
+	if ij.Incident != IncidentWatchdog || ij.At != sim.Time(5) {
+		t.Fatalf("incident JSON = %+v", ij)
+	}
+}

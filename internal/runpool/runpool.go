@@ -18,6 +18,7 @@
 package runpool
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -57,9 +58,23 @@ func Resolve(workers int) int {
 // no unit), wrapped with the unit index and stack, and returned as that
 // unit's error under the same lowest-index-wins rule.
 func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
+	return MapCtx(nil, workers, n, fn)
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done, no
+// further units are dispatched (units already in flight finish or
+// abort on their own ctx checks) and, absent an earlier unit error,
+// ctx.Err() is returned. A nil ctx means no cancellation — identical
+// to Map.
+//
+// Like Map's error path, cancellation is fail-fast at the dispatch
+// point: the pool never drains the remaining unit list just to skip
+// each one.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
+	done := func() bool { return ctx != nil && ctx.Err() != nil }
 	out := make([]T, n)
 	workers = Resolve(workers)
 	if workers > n {
@@ -67,6 +82,9 @@ func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
 	}
 	if workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
+			if done() {
+				return nil, ctx.Err()
+			}
 			v, err := guard(i, fn)
 			if err != nil {
 				return nil, err
@@ -90,7 +108,7 @@ func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1) - 1)
-				if i >= n || failed.Load() {
+				if i >= n || failed.Load() || done() {
 					return
 				}
 				v, err := guard(i, fn)
@@ -110,6 +128,9 @@ func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
 	wg.Wait()
 	if errVal != nil {
 		return nil, errVal
+	}
+	if done() {
+		return nil, ctx.Err()
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package runpool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -87,6 +88,81 @@ func TestMapDeterministicAcrossWidths(t *testing.T) {
 			if got[i] != want[i] {
 				t.Fatalf("workers=%d diverged at index %d", w, i)
 			}
+		}
+	}
+}
+
+func TestMapCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 8} {
+		var calls atomic.Int32
+		out, err := MapCtx(ctx, workers, 100, func(i int) (int, error) {
+			calls.Add(1)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if out != nil {
+			t.Fatalf("workers=%d: results returned from a cancelled run", workers)
+		}
+		if calls.Load() != 0 {
+			t.Fatalf("workers=%d: %d units dispatched after cancellation", workers, calls.Load())
+		}
+	}
+}
+
+func TestMapCtxCancelMidRun(t *testing.T) {
+	// Cancelling during the run stops dispatch: far fewer than n units
+	// execute, and the error is the context's.
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int32
+	_, err := MapCtx(ctx, 4, 100000, func(i int) (int, error) {
+		if calls.Add(1) == 10 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// In-flight units (at most one per worker) may still finish; the
+	// rest of the list must never be dispatched.
+	if c := calls.Load(); c > 10+4 {
+		t.Fatalf("%d units dispatched after cancellation at unit 10", c)
+	}
+}
+
+func TestMapCtxErrorStopsDispatch(t *testing.T) {
+	// Regression: the parallel path used to keep handing out every
+	// remaining unit after a failure. Each worker may complete the unit
+	// it holds plus dispatch at most one more before seeing the flag.
+	boom := errors.New("boom")
+	var calls atomic.Int32
+	_, err := Map(4, 100000, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 5 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c := calls.Load(); c > 64 {
+		t.Fatalf("%d units dispatched after the unit-5 failure", c)
+	}
+}
+
+func TestMapCtxNilCtxMatchesMap(t *testing.T) {
+	out, err := MapCtx(nil, 8, 50, func(i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i+1)
 		}
 	}
 }

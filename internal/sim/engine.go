@@ -24,6 +24,9 @@ type Engine struct {
 	seq    uint64
 	events []event // 4-ary min-heap, root at index 0
 	nRun   uint64
+
+	wd      *watchdogState // nil when no watchdog is armed
+	stopErr error          // first abort/cancel reason; sticky
 }
 
 // NewEngine returns an engine with its clock at zero.
@@ -123,9 +126,12 @@ func (e *Engine) After(d Duration, fn func()) {
 }
 
 // Step runs the single earliest pending event. It reports whether an
-// event was run.
+// event was run. A stopped engine (see Err) runs nothing.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if len(e.events) == 0 || e.stopErr != nil {
+		return false
+	}
+	if e.wd != nil && !e.admit() {
 		return false
 	}
 	ev := e.pop()
@@ -140,10 +146,10 @@ func (e *Engine) Step() bool {
 // with events still pending, so follow-up scheduling is relative to the
 // horizon.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.events) > 0 && e.events[0].at <= t {
+	for len(e.events) > 0 && e.stopErr == nil && e.events[0].at <= t {
 		e.Step()
 	}
-	if e.now < t {
+	if e.stopErr == nil && e.now < t {
 		e.now = t
 	}
 }

@@ -51,6 +51,7 @@ type App struct {
 	bytesDone *metrics.Counter
 	iosDone   uint64
 	errsDone  uint64
+	reaped    uint64 // lifetime reap count; never reset, unlike iosDone
 	bytesRead int64
 	bytesWrit int64
 
@@ -291,6 +292,7 @@ func (a *App) scheduleReap() {
 func (a *App) reapBatch() {
 	now := a.eng.Now()
 	for _, r := range a.doneQ {
+		a.reaped++
 		if r.Failed || r.TimedOut {
 			// The recovery path exhausted its retry budget: the I/O
 			// moved no data, so it counts as an error, not as latency
@@ -366,3 +368,43 @@ func (a *App) ResetMetrics() {
 
 // Outstanding returns the in-flight request count (tests).
 func (a *App) Outstanding() int { return a.outstanding }
+
+// CheckConservation asserts the app's lifetime request-accounting
+// identities at a quiescent-enough instant (any time is fine; requests
+// in flight are counted by outstanding). It returns every violated law,
+// one message per line fragment, or nil when all hold.
+//
+// The core identity is built + staged == reaped + outstanding:
+// trySubmit raises outstanding by the staged batch before buildRequest
+// assigns IDs, so nextID (built) lags outstanding by the staged count
+// while a submission's CPU cost is being paid.
+func (a *App) CheckConservation() []string {
+	var v []string
+	staged := uint64(0)
+	if a.submitting {
+		staged = uint64(a.pendingBatch)
+	}
+	if a.nextID+staged != a.reaped+uint64(a.outstanding) {
+		v = append(v, fmt.Sprintf(
+			"app %s: built(%d)+staged(%d) != reaped(%d)+outstanding(%d)",
+			a.spec.Name, a.nextID, staged, a.reaped, a.outstanding))
+	}
+	if a.outstanding < 0 || a.outstanding > a.spec.QD {
+		v = append(v, fmt.Sprintf("app %s: outstanding %d outside [0,%d]",
+			a.spec.Name, a.outstanding, a.spec.QD))
+	}
+	if got := uint64(a.hist.Count()); got != a.iosDone {
+		v = append(v, fmt.Sprintf(
+			"app %s: histogram count %d != window completions %d",
+			a.spec.Name, got, a.iosDone))
+	}
+	if a.bytesRead < 0 || a.bytesWrit < 0 {
+		v = append(v, fmt.Sprintf("app %s: negative byte counters r=%d w=%d",
+			a.spec.Name, a.bytesRead, a.bytesWrit))
+	}
+	return v
+}
+
+// WindowBytes returns the bytes completed in the current measurement
+// window, split by direction (paranoid cross-layer checks).
+func (a *App) WindowBytes() (read, write int64) { return a.bytesRead, a.bytesWrit }
