@@ -11,7 +11,9 @@
 // scaling), fig4 (bandwidth scalability), fig5 (fairness scalability),
 // fig6 (fairness under mixed workloads), fig7 (priority/utilization
 // trade-offs), q10 (burst response), tab1 (Table I verdicts),
-// resilience (isolation verdicts under injected device faults).
+// resilience (isolation verdicts under injected device faults),
+// attribution (wait-for-whom blame matrices explaining WHY isolation
+// failed, with SLO burn-rate incidents).
 //
 // A run is a list of independently rendered units (one per panel or
 // table block). Completed units are journaled to a JSONL manifest
@@ -43,13 +45,14 @@ import (
 	"isolbench/internal/core"
 	"isolbench/internal/fault"
 	"isolbench/internal/harness"
+	"isolbench/internal/obs"
 	"isolbench/internal/runpool"
 	"isolbench/internal/sim"
 	"isolbench/internal/trace"
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment id: fig2|fig3|fig4|fig5|fig6|fig7|q10|tab1|resilience|all")
+	expFlag     = flag.String("exp", "all", "experiment id: fig2|fig3|fig4|fig5|fig6|fig7|q10|tab1|resilience|attribution|all")
 	knobFlag    = flag.String("knob", "", "restrict to one knob (none|mq-deadline|bfq|io.max|io.latency|io.cost)")
 	quickFlag   = flag.Bool("quick", false, "short runs and coarse sweeps (fast, noisier)")
 	seedFlag    = flag.Uint64("seed", 1, "simulation seed")
@@ -63,6 +66,10 @@ var (
 	paranoidFlag    = flag.Bool("paranoid", false, "verify conservation-law invariants (submitted vs completed, byte accounting, histogram counts) at the end of every unit")
 	resumeFlag      = flag.String("resume", "", "resume from a run manifest: units it records are folded in from cache instead of rerunning")
 	manifestFlag    = flag.String("manifest", "", `run manifest path for checkpoint/resume (default results/manifest-<run>.jsonl, "none" disables journaling)`)
+
+	attrFlag   = flag.Bool("attr", false, "enable interference attribution: with -job prints the wait-for-whom blame matrix, with -exp resilience adds the blame_shift column")
+	sloFlag    = flag.String("slo", "", `burn-rate SLO monitor as "p99=500us[,budget=0.01][,burn=14][,fast=100ms][,slow=1s]" (implies observability)`)
+	obsCapFlag = flag.String("obs-cap", "", `observer ring capacities as "spans=N[,series=M]" (defaults 65536/8192; overflow evicts oldest and is counted)`)
 
 	setFlags     knobFileFlags
 	statFlag     = flag.Bool("stat", false, "with -job: print each cgroup's io.stat after the run")
@@ -181,7 +188,7 @@ func run(ctx context.Context) error {
 	}
 	exps := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
-		exps = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "q10", "tab1", "resilience"}
+		exps = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "q10", "tab1", "resilience", "attribution"}
 	}
 	var units []harness.Unit
 	for _, e := range exps {
@@ -283,6 +290,8 @@ func unitsFor(exp string) ([]harness.Unit, error) {
 		return tab1Units()
 	case "resilience":
 		return resilienceUnits()
+	case "attribution":
+		return attributionUnits()
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", exp)
 	}
@@ -573,6 +582,7 @@ func resilienceUnits() ([]harness.Unit, error) {
 			Measure: measure(2 * sim.Second),
 			Seed:    *seedFlag,
 			Control: control(ctx),
+			Attr:    *attrFlag,
 		}, *workersFlag)
 		if err != nil {
 			return "", err
@@ -581,6 +591,123 @@ func resilienceUnits() ([]harness.Unit, error) {
 		core.WriteResilience(&buf, results)
 		return buf.String(), nil
 	}}}, nil
+}
+
+func attributionUnits() ([]harness.Unit, error) {
+	ks, err := knobs(false)
+	if err != nil {
+		return nil, err
+	}
+	slo, err := parseSLO(*sloFlag)
+	if err != nil {
+		return nil, err
+	}
+	// The unit's observer lives inside each cell; drops are surfaced in
+	// the report body and echoed as a run-end note.
+	var note string
+	return []harness.Unit{{
+		Key: "attribution",
+		Run: func(ctx context.Context) (string, error) {
+			results, err := core.RunAttributionGrid(ks, core.AttributionConfig{
+				Measure: measure(2 * sim.Second),
+				Seed:    *seedFlag,
+				Control: control(ctx),
+				SLO:     slo,
+			}, *workersFlag)
+			if err != nil {
+				return "", err
+			}
+			var spans, series uint64
+			for _, r := range results {
+				spans += r.SpansDropped
+				series += r.SeriesDropped
+			}
+			if spans > 0 || series > 0 {
+				note = fmt.Sprintf("telemetry dropped: spans=%d series_points=%d", spans, series)
+			}
+			var buf bytes.Buffer
+			core.WriteAttribution(&buf, results)
+			return buf.String(), nil
+		},
+		Note: func() string { return note },
+	}}, nil
+}
+
+// parseSLO parses the -slo flag ("p99=500us,budget=0.01,burn=14,
+// fast=100ms,slow=1s"); empty input returns the zero config (off).
+func parseSLO(s string) (obs.SLOConfig, error) {
+	var cfg obs.SLOConfig
+	if s == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return cfg, fmt.Errorf("-slo: want key=value, got %q", part)
+		}
+		switch kv[0] {
+		case "p99":
+			d, err := time.ParseDuration(kv[1])
+			if err != nil {
+				return cfg, fmt.Errorf("-slo p99: %w", err)
+			}
+			cfg.P99 = sim.Duration(d.Nanoseconds())
+		case "budget":
+			if _, err := fmt.Sscanf(kv[1], "%g", &cfg.Budget); err != nil {
+				return cfg, fmt.Errorf("-slo budget: %w", err)
+			}
+		case "burn":
+			v := strings.TrimSuffix(kv[1], "x")
+			if _, err := fmt.Sscanf(v, "%g", &cfg.Burn); err != nil {
+				return cfg, fmt.Errorf("-slo burn: %w", err)
+			}
+		case "fast":
+			d, err := time.ParseDuration(kv[1])
+			if err != nil {
+				return cfg, fmt.Errorf("-slo fast: %w", err)
+			}
+			cfg.FastWindow = sim.Duration(d.Nanoseconds())
+		case "slow":
+			d, err := time.ParseDuration(kv[1])
+			if err != nil {
+				return cfg, fmt.Errorf("-slo slow: %w", err)
+			}
+			cfg.SlowWindow = sim.Duration(d.Nanoseconds())
+		default:
+			return cfg, fmt.Errorf("-slo: unknown key %q", kv[0])
+		}
+	}
+	if cfg.P99 <= 0 {
+		return cfg, fmt.Errorf("-slo: p99=<duration> is required")
+	}
+	return cfg, nil
+}
+
+// parseObsCap parses the -obs-cap flag ("spans=N,series=M").
+func parseObsCap(s string) (obs.Config, error) {
+	var cfg obs.Config
+	if s == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return cfg, fmt.Errorf("-obs-cap: want key=value, got %q", part)
+		}
+		var n int
+		if _, err := fmt.Sscanf(kv[1], "%d", &n); err != nil || n <= 0 {
+			return cfg, fmt.Errorf("-obs-cap %s: want a positive integer, got %q", kv[0], kv[1])
+		}
+		switch kv[0] {
+		case "spans":
+			cfg.SpanCap = n
+		case "series":
+			cfg.SeriesCap = n
+		default:
+			return cfg, fmt.Errorf("-obs-cap: unknown key %q", kv[0])
+		}
+	}
+	return cfg, nil
 }
 
 func runJob(ctx context.Context, path string) error {
@@ -598,10 +725,21 @@ func runJob(ctx context.Context, path string) error {
 	if *recordFlag != "" {
 		rec = trace.NewRecorder(0)
 	}
-	observe := *statFlag || *pressureFlag || *traceEvFlag != "" || *spansFlag != ""
+	slo, err := parseSLO(*sloFlag)
+	if err != nil {
+		return err
+	}
+	obsCap, err := parseObsCap(*obsCapFlag)
+	if err != nil {
+		return err
+	}
+	observe := *statFlag || *pressureFlag || *traceEvFlag != "" || *spansFlag != "" ||
+		*attrFlag || slo.P99 > 0
 	res, err := core.RunJobFile(core.JobRunConfig{
 		Knob: knob, Profile: *profFlag, Source: string(src), Seed: *seedFlag,
-		Recorder: rec, Observe: observe, KnobFiles: setFlags, Control: control(ctx),
+		Recorder: rec, Observe: observe, ObsConfig: obsCap,
+		Attr: *attrFlag, SLO: slo,
+		KnobFiles: setFlags, Control: control(ctx),
 	})
 	if err != nil {
 		return err
@@ -628,6 +766,10 @@ func runJob(ctx context.Context, path string) error {
 	fmt.Printf("aggregate\t%s\tcpu=%.1f%%\n", core.GiB(res.AggregateBW), res.CPUUtil*100)
 	if observe {
 		core.WriteObsSummary(os.Stdout, res.Obs)
+		core.WriteBlameMatrix(os.Stdout, res.Obs)
+		for _, in := range res.Obs.Incidents() {
+			fmt.Printf("# incident %s at %v: %s\n", in.Kind, in.At, in.Detail)
+		}
 		core.WriteObsFiles(os.Stdout, res.Obs, *statFlag, *pressureFlag)
 		if *traceEvFlag != "" {
 			if err := writeObsFile(*traceEvFlag, res.Obs.WriteChromeTrace); err != nil {

@@ -11,6 +11,7 @@ import (
 	"isolbench/internal/device"
 	"isolbench/internal/host"
 	"isolbench/internal/obs"
+	"isolbench/internal/obs/attr"
 	"isolbench/internal/sim"
 )
 
@@ -154,6 +155,12 @@ type Queue struct {
 	// labels this queue's device in io.stat and exports.
 	obs     *obs.Observer
 	devName string
+
+	// attr is the wait-for-whom tracker (nil = disabled fast path);
+	// schedLed is the scheduler dispatch-stream ledger shared with the
+	// scheduler for its own holds (BFQ idling, MQ-DL class blocking).
+	attr     *attr.Tracker
+	schedLed *attr.Ledger
 }
 
 // NewQueue wires a queue. ctl may be nil (no cgroup I/O controller).
@@ -181,6 +188,29 @@ func (q *Queue) SetObserver(o *obs.Observer, devName string) {
 // Observer returns the attached observability sink (nil when
 // disabled).
 func (q *Queue) Observer() *obs.Observer { return q.obs }
+
+// SetAttribution attaches the wait-for-whom tracker: scheduler-queue
+// residency is charged against the dispatch stream, dispatch-lock
+// waits against the lock's occupancy ledger, device waits inside the
+// device, and retry backoff to the request's own cgroup. Passing nil
+// detaches everything (the disabled fast path).
+func (q *Queue) SetAttribution(t *attr.Tracker) {
+	q.attr = t
+	if t == nil {
+		q.schedLed = nil
+		q.lock.SetLedger(nil)
+		q.dev.SetAttribution(nil)
+		return
+	}
+	q.schedLed = t.NewLedger(attr.LayerSched)
+	q.lock.SetLedger(t.NewLedger(attr.LayerDispatch))
+	q.dev.SetAttribution(t)
+}
+
+// SchedLedger returns the scheduler dispatch-stream ledger so the
+// bound scheduler can record its own holds (nil when attribution is
+// off).
+func (q *Queue) SchedLedger() *attr.Ledger { return q.schedLed }
 
 // DevName returns the observability device label.
 func (q *Queue) DevName() string { return q.devName }
@@ -280,6 +310,11 @@ func (q *Queue) CheckConservation(maxOutstanding int) []string {
 // core explicitly).
 func (q *Queue) Submit(r *device.Request) {
 	q.submitted++
+	if q.attr != nil && r.Blame == nil {
+		// Paths that don't pre-attach a blame record (replayed traces)
+		// still get per-request attribution from here down.
+		r.Blame = q.attr.NewReq()
+	}
 	if q.ctl != nil {
 		q.ctl.Submit(r)
 		return
@@ -315,6 +350,15 @@ func (q *Queue) Pump() {
 			return
 		}
 		r.SchedOut = q.eng.Now()
+		if q.attr != nil {
+			// Close the dispatch-stream interval since the previous grant
+			// under this request's cgroup, then charge the request's queue
+			// residency [Queued, SchedOut) against the stream: time behind
+			// other cgroups' grants (or a scheduler hold recorded by the
+			// scheduler itself) blames them; the rest falls back to self.
+			q.schedLed.Extend(r.SchedOut, r.Cgroup)
+			q.schedLed.ChargeSpan(r.Blame, r.Queued, r.SchedOut, r.Cgroup)
+		}
 		q.reserved++
 		if hold <= 0 {
 			q.reserved--
@@ -322,7 +366,13 @@ func (q *Queue) Pump() {
 			continue
 		}
 		q.lockQ = append(q.lockQ, r)
-		q.lock.Exec(hold, q.lockFn)
+		delay := q.lock.ExecOwned(hold, r.Cgroup, q.lockFn)
+		if q.attr != nil && r.Blame != nil && delay > 0 {
+			// The lock runs FIFO and records every holder's busy interval
+			// at Exec time, so the wait window is already fully covered.
+			now := q.eng.Now()
+			q.lock.Ledger().ChargeSpan(r.Blame, now, now.Add(delay), r.Cgroup)
+		}
 	}
 }
 
@@ -369,11 +419,22 @@ func (q *Queue) onDeviceDone(r *device.Request) {
 	}
 	q.completed++
 	q.obs.Completed(q.devName, r)
+	q.finishBlame(r)
 	q.sched.Completed(r)
 	if q.ctl != nil {
 		q.ctl.Completed(r)
 	}
 	q.Pump()
+}
+
+// finishBlame folds a terminally completed request's blame record into
+// the run's matrix. The observer must have consumed the span first.
+func (q *Queue) finishBlame(r *device.Request) {
+	if q.attr == nil || r.Blame == nil {
+		return
+	}
+	q.attr.Finish(r.Cgroup, r.Blame)
+	r.Blame = nil
 }
 
 // onTimeout is the watchdog for one dispatch attempt. A stale token
@@ -417,6 +478,7 @@ func (q *Queue) recover(r *device.Request, deliver bool) {
 	q.failures++
 	q.completed++
 	q.obs.Completed(q.devName, r)
+	q.finishBlame(r)
 	if deliver && r.OnComplete != nil {
 		r.OnComplete(r)
 	}
@@ -434,7 +496,13 @@ func (q *Queue) scheduleRetry(r *device.Request) {
 	r.Failed, r.TimedOut = false, false
 	done := r.OnComplete
 	r.OnComplete = nil
-	q.eng.After(q.backoffFor(r.Attempts), func() {
+	backoff := q.backoffFor(r.Attempts)
+	if q.attr != nil {
+		// Backoff is the request's own recovery pause, not contention:
+		// it charges to self at the retry layer.
+		q.attr.ChargeInterval(r.Blame, attr.LayerRetry, r.Cgroup, backoff)
+	}
+	q.eng.After(backoff, func() {
 		r.OnComplete = done
 		q.toScheduler(r)
 	})

@@ -17,6 +17,7 @@ import (
 	"isolbench/internal/iosched/noop"
 	"isolbench/internal/metrics"
 	"isolbench/internal/obs"
+	"isolbench/internal/obs/attr"
 	"isolbench/internal/sim"
 	"isolbench/internal/workload"
 )
@@ -70,6 +71,24 @@ type Options struct {
 	// ObsConfig bounds the observer's ring buffers (zero = defaults).
 	ObsConfig obs.Config
 
+	// Attr enables interference attribution: an attr.Tracker is wired
+	// into every queueing point (CPU cores, throttle holds, scheduler
+	// queues, dispatch locks, device channels, GC stalls, retry
+	// backoffs) so each request's wait decomposes into per-layer
+	// charges against the cgroup occupying the resource. Implies
+	// Observe. Like the observer, the tracker never schedules events
+	// or draws randomness, so the event stream is byte-identical with
+	// attribution on or off.
+	Attr bool
+	// AttrConfig bounds the tracker (zero = defaults: top-8 aggressors
+	// per victim, 4096-segment ledgers).
+	AttrConfig attr.Config
+
+	// SLO arms burn-rate monitoring on the observer when SLO.P99 > 0:
+	// completions are checked against the objective and multi-window
+	// burn-rate incidents are recorded. Implies Observe.
+	SLO obs.SLOConfig
+
 	// Fault, when Enabled, attaches a per-device fault.Injector (seeded
 	// from the cluster seed and device index, on a stream independent
 	// of the device's own jitter RNG) and defaults Retry to
@@ -114,6 +133,15 @@ func (o Options) withDefaults() Options {
 		// that observation never perturbs the event stream.
 		o.Observe = true
 	}
+	if o.Attr || o.SLO.P99 > 0 {
+		// Attribution reports and SLO incidents surface through the
+		// observer; forcing it is safe for the same reason as above.
+		o.Observe = true
+	}
+	if o.Control.Paranoid && o.Attr {
+		// Paranoid runs verify per-request blame conservation exactly.
+		o.AttrConfig.Strict = true
+	}
 	return o
 }
 
@@ -131,6 +159,9 @@ type Cluster struct {
 
 	// Obs is the observability hub; nil unless Options.Observe.
 	Obs *obs.Observer
+
+	// Attr is the wait-for-whom tracker; nil unless Options.Attr.
+	Attr *attr.Tracker
 
 	// Faults holds each device's injector when Options.Fault is
 	// enabled (index by device); nil otherwise.
@@ -189,6 +220,18 @@ func NewCluster(opts Options) (*Cluster, error) {
 			return ""
 		}
 		c.Tree.SetStatProvider(c.Obs)
+	}
+	if opts.Attr {
+		c.Attr = attr.NewTracker(c.Eng, opts.AttrConfig)
+		c.Obs.Attr = c.Attr
+		// Every CPU core gets an occupancy ledger so submission/reap
+		// queueing can be blamed on the cgroup holding the core.
+		for _, core := range c.CPU.Cores {
+			core.SetLedger(c.Attr.NewLedger(attr.LayerCPU))
+		}
+	}
+	if opts.SLO.P99 > 0 {
+		c.Obs.EnableSLO(opts.SLO)
 	}
 
 	slice, err := c.Tree.Root().Create("isolbench.slice")
@@ -281,6 +324,27 @@ func NewCluster(opts Options) (*Cluster, error) {
 		c.Devices = append(c.Devices, dev)
 		q := blk.NewQueue(c.Eng, dev, sched, ctl)
 		q.SetObserver(c.Obs, DevName(i))
+		if c.Attr != nil {
+			q.SetAttribution(c.Attr)
+			// Schedulers share the queue's dispatch-stream ledger so
+			// they can own intervals where nothing dispatches (BFQ
+			// idling, MQ-DL strict-priority recency blocks);
+			// controllers charge their throttle holds directly.
+			switch s := sched.(type) {
+			case *mqdeadline.Scheduler:
+				s.Led = q.SchedLedger()
+			case *bfq.Scheduler:
+				s.Led = q.SchedLedger()
+			}
+			switch t := ctl.(type) {
+			case *iomax.Controller:
+				t.Attr = c.Attr
+			case *iolatency.Controller:
+				t.Attr = c.Attr
+			case *iocost.Controller:
+				t.Attr = c.Attr
+			}
+		}
 		retry := opts.Retry
 		if retry == (blk.RetryPolicy{}) && opts.Fault.Enabled() {
 			retry = blk.DefaultRetryPolicy()
@@ -313,6 +377,9 @@ func (c *Cluster) AddApp(spec workload.Spec, dev int) (*workload.App, error) {
 		spec, c.Opts.Seed*7919+c.appSeq)
 	if err != nil {
 		return nil, err
+	}
+	if c.Attr != nil {
+		app.SetAttribution(c.Attr)
 	}
 	c.Apps = append(c.Apps, app)
 	c.appDev = append(c.appDev, dev)

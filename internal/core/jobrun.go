@@ -34,6 +34,11 @@ type JobRunConfig struct {
 	Observe bool
 	// ObsConfig bounds the observer's ring buffers (zero = defaults).
 	ObsConfig obs.Config
+	// Attr enables interference attribution (implies Observe); the
+	// blame matrix is reachable through Result.Obs.Attr.
+	Attr bool
+	// SLO arms burn-rate monitoring when SLO.P99 > 0 (implies Observe).
+	SLO obs.SLOConfig
 	// Control wires cancellation/watchdog/paranoid settings into the run.
 	Control RunControl
 }
@@ -52,6 +57,8 @@ func RunJobFile(cfg JobRunConfig) (*Result, error) {
 		Seed:      cfg.Seed,
 		Observe:   cfg.Observe,
 		ObsConfig: cfg.ObsConfig,
+		Attr:      cfg.Attr,
+		SLO:       cfg.SLO,
 		Control:   cfg.Control,
 	})
 	if err != nil {
@@ -111,6 +118,13 @@ func RunJobFile(cfg JobRunConfig) (*Result, error) {
 	}
 	if err := cl.RunPhase(cfg.Warmup, measure); err != nil {
 		return nil, err
+	}
+	if cl.Obs != nil {
+		var traceDrops uint64
+		if cfg.Recorder != nil {
+			traceDrops = cfg.Recorder.Dropped()
+		}
+		cl.Obs.NoteTelemetryDrops(traceDrops)
 	}
 	res := cl.Result()
 	res.Obs = cl.Obs

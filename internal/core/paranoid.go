@@ -73,6 +73,13 @@ func (c *Cluster) CheckInvariants() error {
 		v = append(v, d.CheckInvariants()...)
 	}
 
+	// Attribution: every finished request's per-layer charges must sum
+	// to its measured wait exactly (the tracker records violations in
+	// strict mode, which paranoid+attr forces on).
+	if c.Attr != nil {
+		v = append(v, c.Attr.Violations()...)
+	}
+
 	// Engine clock: monotonic and never behind the open window.
 	if now := c.Eng.Now(); now < c.measStart {
 		v = append(v, fmt.Sprintf("engine clock %v is before the measurement window start %v",

@@ -6,6 +6,7 @@ import (
 	"text/tabwriter"
 
 	"isolbench/internal/obs"
+	"isolbench/internal/obs/attr"
 	"isolbench/internal/sim"
 )
 
@@ -96,9 +97,20 @@ func WriteBurst(w io.Writer, r *BurstResult) {
 // WriteResilience prints the fault-injection verdict table: one row per
 // (knob, fault profile) cell.
 func WriteResilience(w io.Writer, rs []*ResilienceResult) {
+	withBlame := false
+	for _, r := range rs {
+		if r.HasBlame {
+			withBlame = true
+			break
+		}
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "# resilience: isolation under injected device faults (weights 1:4, tenant1 protected)")
-	fmt.Fprintln(tw, "knob\tfault\tbase_p99\tfault_p99\tinflation\tjain_w\tbw_ratio\trecovery\terrs\tretries\ttimeouts")
+	header := "knob\tfault\tbase_p99\tfault_p99\tinflation\tjain_w\tbw_ratio\trecovery\terrs\tretries\ttimeouts"
+	if withBlame {
+		header += "\tblame_shift"
+	}
+	fmt.Fprintln(tw, header)
 	for _, r := range rs {
 		bwRatio := 0.0
 		if r.BaseBW > 0 {
@@ -111,11 +123,114 @@ func WriteResilience(w io.Writer, rs []*ResilienceResult) {
 				recovery = r.Recovery.String()
 			}
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.2fx\t%.3f\t%.2f\t%s\t%d\t%d\t%d\n",
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.2fx\t%.3f\t%.2f\t%s\t%d\t%d\t%d",
 			r.Knob, r.Fault, r.BaseP99, r.FaultP99, r.P99Inflation,
 			r.FaultJain, bwRatio, recovery, r.Errors, r.Retries, r.Timeouts)
+		if withBlame {
+			shift := "-"
+			if r.HasBlame {
+				shift = r.BaseBlame + " -> " + r.FaultBlame
+			}
+			fmt.Fprintf(tw, "\t%s", shift)
+		}
+		fmt.Fprintln(tw)
 	}
 	tw.Flush()
+}
+
+// WriteAttribution prints each knob's interference-attribution report:
+// a tenant summary with each victim's dominant aggressor and layer, the
+// full blame matrix (ms of victim wait per aggressor per layer), SLO
+// burn-rate incidents, and telemetry drop counters.
+func WriteAttribution(w io.Writer, rs []*AttributionResult) {
+	for _, r := range rs {
+		fmt.Fprintf(w, "# attribution, knob=%s (tenants", r.Knob)
+		for _, t := range r.Tenants {
+			fmt.Fprintf(w, " %s:%g", t.Name, t.Weight)
+		}
+		fmt.Fprintln(w, "; lc protected)")
+
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "victim\tp99\tbw\ttotal_wait_ms\ttop_aggressor\ttop_layer")
+		aggrTot := make(map[int]map[int]sim.Duration)
+		for _, c := range r.Cells {
+			m, ok := aggrTot[c.Victim]
+			if !ok {
+				m = make(map[int]sim.Duration)
+				aggrTot[c.Victim] = m
+			}
+			m[c.Aggr] += c.D
+		}
+		layerTot := make(map[int]map[attr.Layer]sim.Duration)
+		for _, c := range r.Cells {
+			m, ok := layerTot[c.Victim]
+			if !ok {
+				m = make(map[attr.Layer]sim.Duration)
+				layerTot[c.Victim] = m
+			}
+			m[c.Layer] += c.D
+		}
+		for _, t := range r.Tenants {
+			total := r.Totals[t.ID]
+			topA, topL := "-", "-"
+			if total > 0 {
+				var bestA int
+				var bestAD sim.Duration = -1
+				// Deterministic scan: Cells is sorted victim->aggr, so
+				// iterate the sorted cells rather than the map.
+				seen := map[int]bool{}
+				for _, c := range r.Cells {
+					if c.Victim != t.ID || seen[c.Aggr] {
+						continue
+					}
+					seen[c.Aggr] = true
+					if d := aggrTot[t.ID][c.Aggr]; d > bestAD {
+						bestAD, bestA = d, c.Aggr
+					}
+				}
+				if bestAD >= 0 {
+					topA = fmt.Sprintf("%s %.0f%%", r.aggrName(t.ID, bestA),
+						100*float64(bestAD)/float64(total))
+				}
+				var bestL attr.Layer
+				var bestLD sim.Duration = -1
+				for l := attr.Layer(0); l < attr.NumLayers; l++ {
+					if d := layerTot[t.ID][l]; d > bestLD {
+						bestLD, bestL = d, l
+					}
+				}
+				if bestLD > 0 {
+					topL = fmt.Sprintf("%s %.0f%%", bestL,
+						100*float64(bestLD)/float64(total))
+				}
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%.2f\t%s\t%s\n",
+				t.Name, t.P99, MiB(t.BW), float64(total)/1e6, topA, topL)
+		}
+		tw.Flush()
+
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "victim\tlayer\taggressor\twait_ms\tshare")
+		for _, c := range r.Cells {
+			total := r.Totals[c.Victim]
+			share := 0.0
+			if total > 0 {
+				share = 100 * float64(c.D) / float64(total)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%.3f\t%.1f%%\n",
+				r.tenantName(c.Victim), c.Layer, r.aggrName(c.Victim, c.Aggr),
+				float64(c.D)/1e6, share)
+		}
+		tw.Flush()
+
+		for _, in := range r.Incidents {
+			fmt.Fprintf(w, "# incident %s at %v: %s\n", in.Kind, in.At, in.Detail)
+		}
+		if r.SpansDropped > 0 || r.SeriesDropped > 0 {
+			fmt.Fprintf(w, "# obs: dropped spans=%d series_points=%d\n",
+				r.SpansDropped, r.SeriesDropped)
+		}
+	}
 }
 
 // WriteObsSummary prints the observability layer's per-cgroup latency
@@ -139,6 +254,46 @@ func WriteObsSummary(w io.Writer, o *obs.Observer) {
 	if d := o.SpansDropped(); d > 0 {
 		fmt.Fprintf(w, "# obs: span ring overflowed, oldest %d spans evicted\n", d)
 	}
+	if d := o.SeriesDropped(); d > 0 {
+		fmt.Fprintf(w, "# obs: series rings overflowed, oldest %d points evicted\n", d)
+	}
+}
+
+// WriteBlameMatrix prints the observer's attached blame matrix (the
+// -job path of attribution): one row per (victim, layer, aggressor)
+// cell with the victim's share. No-op when attribution is off.
+func WriteBlameMatrix(w io.Writer, o *obs.Observer) {
+	if o == nil || o.Attr == nil {
+		return
+	}
+	name := func(id int) string {
+		if id == attr.Other {
+			return "other"
+		}
+		if o.CgroupName != nil {
+			if n := o.CgroupName(id); n != "" {
+				return n
+			}
+		}
+		return fmt.Sprintf("cg%d", id)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "# interference attribution: who each cgroup waited for, per layer")
+	fmt.Fprintln(tw, "victim\tlayer\taggressor\twait_ms\tshare")
+	for _, c := range o.Attr.Cells() {
+		total := o.Attr.VictimTotal(c.Victim)
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(c.D) / float64(total)
+		}
+		aggr := "self"
+		if c.Aggr != c.Victim {
+			aggr = name(c.Aggr)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.3f\t%.1f%%\n",
+			name(c.Victim), c.Layer, aggr, float64(c.D)/1e6, share)
+	}
+	tw.Flush()
 }
 
 // WriteObsFiles prints each cgroup's io.stat and io.pressure exactly as

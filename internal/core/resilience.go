@@ -26,6 +26,11 @@ type ResilienceConfig struct {
 	Cores   int
 	Seed    uint64
 	Control RunControl // cancellation/watchdog/paranoid settings
+
+	// Attr additionally runs both sides with interference attribution
+	// so the cell reports how the protected tenant's dominant blame
+	// layer shifts under the fault profile.
+	Attr bool
 }
 
 func (c ResilienceConfig) withDefaults() ResilienceConfig {
@@ -73,6 +78,12 @@ type ResilienceResult struct {
 	Errors   uint64
 	Retries  uint64
 	Timeouts uint64
+
+	// Blame shift (only when ResilienceConfig.Attr): the protected
+	// tenant's dominant wait layer and its share, healthy vs faulted.
+	HasBlame   bool
+	BaseBlame  string
+	FaultBlame string
 }
 
 // resilienceWeights is the 1:4 two-tenant split every cell uses,
@@ -100,6 +111,7 @@ func runResilienceCluster(cfg ResilienceConfig, fp fault.Profile) (*Cluster, Res
 		Seed:    cfg.Seed,
 		Fault:   fp,
 		Control: cfg.Control,
+		Attr:    cfg.Attr,
 	})
 	if err != nil {
 		return nil, Result{}, err
@@ -139,7 +151,7 @@ func RunResilience(cfg ResilienceConfig) (*ResilienceResult, error) {
 		return nil, fmt.Errorf("resilience: fault profile %q injects nothing", cfg.Fault.Name)
 	}
 
-	_, base, err := runResilienceCluster(cfg, fault.Profile{})
+	baseCl, base, err := runResilienceCluster(cfg, fault.Profile{})
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +178,25 @@ func RunResilience(cfg ResilienceConfig) (*ResilienceResult, error) {
 		res.P99Inflation = float64(res.FaultP99) / float64(res.BaseP99)
 	}
 	res.Recovery, res.Recovered, res.HasWindows = measureRecovery(flCl, base.AggregateBW)
+	if cfg.Attr {
+		res.HasBlame = true
+		res.BaseBlame = topBlameOf(baseCl)
+		res.FaultBlame = topBlameOf(flCl)
+	}
 	return res, nil
+}
+
+// topBlameOf renders the protected tenant's dominant wait layer, e.g.
+// "devqueue 72%", or "-" when it recorded no attributable wait.
+func topBlameOf(cl *Cluster) string {
+	if cl.Attr == nil || len(cl.Groups) <= protectedTenant {
+		return "-"
+	}
+	l, share, ok := cl.Attr.TopLayer(cl.Groups[protectedTenant].ID())
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%s %.0f%%", l, share*100)
 }
 
 func groupBWs(r Result) []float64 {

@@ -2,8 +2,10 @@ package device
 
 import (
 	"fmt"
+	"sort"
 
 	"isolbench/internal/fault"
+	"isolbench/internal/obs/attr"
 	"isolbench/internal/sim"
 )
 
@@ -62,6 +64,23 @@ type Device struct {
 
 	stats       Stats
 	channelBusy sim.Duration
+
+	// Attribution state (nil/zero when wait-for-whom accounting is off;
+	// nothing below is touched on the hot path in that case).
+	attrT     *attr.Tracker
+	attrLed   *attr.Ledger // service-grant stream, LayerDevQueue
+	gcWins    [8]gcWin     // recent GC windows, oldest evicted first
+	gcWinHead int
+	gcWinN    int
+	gcContrib map[int]int64 // per-cgroup cumulative GC debt contributed
+	gcIDs     []int         // sorted keys of gcContrib
+	gcWeights []attr.AggrWeight
+}
+
+// gcWin is one garbage-collection activity window; to == 0 marks the
+// window still open.
+type gcWin struct {
+	from, to sim.Time
 }
 
 // New constructs a device from the profile. The seed isolates this
@@ -77,6 +96,21 @@ func New(eng *sim.Engine, prof Profile, seed uint64) (*Device, error) {
 
 // Profile returns the device's performance model.
 func (d *Device) Profile() Profile { return d.prof }
+
+// SetAttribution enables wait-for-whom accounting: channel waits are
+// charged against the service-grant stream, with GC-overlapped wait
+// split among the cgroups whose write debt triggered the collection.
+// Passing nil disables it.
+func (d *Device) SetAttribution(t *attr.Tracker) {
+	d.attrT = t
+	if t == nil {
+		d.attrLed = nil
+		d.gcContrib = nil
+		return
+	}
+	d.attrLed = t.NewLedger(attr.LayerDevQueue)
+	d.gcContrib = make(map[int]int64)
+}
 
 // AttachFaults installs a fault injector. Call before the run starts;
 // passing nil restores healthy behaviour.
@@ -196,8 +230,15 @@ func (d *Device) availableChannels() int {
 // pipe capacity (the waiting request's die time is already accounted
 // by the request it waits behind).
 func (d *Device) startService(r *Request) {
+	now := d.eng.Now()
+	if d.attrT != nil {
+		if r.Blame != nil && now > r.Dispatch {
+			d.chargeDevWait(r, now)
+		}
+		d.attrLed.Extend(now, r.Cgroup)
+	}
 	d.busy++
-	r.Service = d.eng.Now()
+	r.Service = now
 	access := d.accessTime(r)
 	if d.prof.CollisionFactor > 0 && d.busy > 1 {
 		if d.rng.Float64() < float64(d.busy-1)/float64(d.prof.Channels) {
@@ -210,6 +251,92 @@ func (d *Device) startService(r *Request) {
 	}
 	d.channelBusy += access
 	d.eng.After(access, func() { d.pipe.add(r, d.transferDemand(r)) })
+}
+
+// chargeDevWait attributes the channel wait [r.Dispatch, now). The
+// parts of the wait overlapping a GC window are blamed on the cgroups
+// whose write debt triggered collection (split by cumulative
+// contribution); the rest is charged against the service-grant stream,
+// with idle gaps falling back to the request's own cgroup. The pieces
+// tile the interval exactly, preserving per-request conservation.
+func (d *Device) chargeDevWait(r *Request, now sim.Time) {
+	from, to := r.Dispatch, now
+	cur := from
+	for i := 0; i < d.gcWinN && cur < to; i++ {
+		w := d.gcWins[(d.gcWinHead-d.gcWinN+i+2*len(d.gcWins))%len(d.gcWins)]
+		wTo := w.to
+		if wTo == 0 || wTo > now {
+			wTo = now // window still open
+		}
+		if wTo <= cur || w.from >= to {
+			continue
+		}
+		if w.from > cur {
+			d.attrLed.ChargeSpan(r.Blame, cur, w.from, r.Cgroup)
+			cur = w.from
+		}
+		end := wTo
+		if end > to {
+			end = to
+		}
+		if end > cur {
+			d.chargeGC(r, end.Sub(cur))
+			cur = end
+		}
+	}
+	if cur < to {
+		d.attrLed.ChargeSpan(r.Blame, cur, to, r.Cgroup)
+	}
+}
+
+// chargeGC splits a GC-overlapped wait among the contributing cgroups
+// in proportion to the write debt each has accumulated.
+func (d *Device) chargeGC(r *Request, dur sim.Duration) {
+	ws := d.gcWeights[:0]
+	for _, id := range d.gcIDs {
+		if v := d.gcContrib[id]; v > 0 {
+			ws = append(ws, attr.AggrWeight{Aggr: id, W: float64(v)})
+		}
+	}
+	d.gcWeights = ws
+	d.attrT.ChargeSplit(r.Blame, attr.LayerGC, ws, r.Cgroup, dur)
+}
+
+// noteGCDebt records a cgroup's contribution to the collection debt.
+func (d *Device) noteGCDebt(cg int, delta int64) {
+	if d.attrT == nil || delta <= 0 {
+		return
+	}
+	if _, ok := d.gcContrib[cg]; !ok {
+		i := sort.SearchInts(d.gcIDs, cg)
+		d.gcIDs = append(d.gcIDs, 0)
+		copy(d.gcIDs[i+1:], d.gcIDs[i:])
+		d.gcIDs[i] = cg
+	}
+	d.gcContrib[cg] += delta
+}
+
+// gcWindowOpen/Close maintain the bounded ring of GC activity windows
+// that chargeDevWait overlaps waits against.
+func (d *Device) gcWindowOpen(now sim.Time) {
+	if d.attrT == nil {
+		return
+	}
+	d.gcWins[d.gcWinHead] = gcWin{from: now}
+	d.gcWinHead = (d.gcWinHead + 1) % len(d.gcWins)
+	if d.gcWinN < len(d.gcWins) {
+		d.gcWinN++
+	}
+}
+
+func (d *Device) gcWindowClose(now sim.Time) {
+	if d.attrT == nil {
+		return
+	}
+	i := (d.gcWinHead - 1 + len(d.gcWins)) % len(d.gcWins)
+	if d.gcWinN > 0 && d.gcWins[i].to == 0 {
+		d.gcWins[i].to = now
+	}
 }
 
 // accessTime returns the jittered medium-access latency for r.
@@ -313,7 +440,9 @@ func (d *Device) finish(r *Request) {
 		d.stats.WritesCompleted++
 		d.stats.WriteBytes += r.Size
 		d.written += r.Size
-		d.gcDebt += int64(float64(r.Size) * (d.writeAmp() - 1))
+		delta := int64(float64(r.Size) * (d.writeAmp() - 1))
+		d.gcDebt += delta
+		d.noteGCDebt(r.Cgroup, delta)
 		d.maybeStartGC()
 	} else {
 		d.stats.ReadsCompleted++
@@ -337,6 +466,7 @@ func (d *Device) maybeStartGC() {
 	d.gcOn = true
 	d.seized = d.prof.GCChannels
 	d.stats.GCEvents++
+	d.gcWindowOpen(d.eng.Now())
 	if d.OnGC != nil {
 		d.OnGC(true, d.gcDebt)
 	}
@@ -355,6 +485,7 @@ func (d *Device) gcTick() {
 			}
 			d.gcOn = false
 			d.seized = 0
+			d.gcWindowClose(d.eng.Now())
 			if d.OnGC != nil {
 				d.OnGC(false, d.gcDebt)
 			}

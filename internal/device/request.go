@@ -1,6 +1,9 @@
 package device
 
-import "isolbench/internal/sim"
+import (
+	"isolbench/internal/obs/attr"
+	"isolbench/internal/sim"
+)
 
 // PrioClass mirrors the Linux I/O priority classes that io.prio.class
 // assigns to a cgroup's requests. Schedulers that honor priorities
@@ -69,6 +72,12 @@ type Request struct {
 
 	// OnComplete is invoked exactly once when the request finishes.
 	OnComplete func(*Request)
+
+	// Blame is the request's wait-for-whom decomposition, allocated by
+	// the blk layer when attribution is on (nil otherwise). The record
+	// accumulates across retries and is folded into the run's blame
+	// matrix at terminal completion.
+	Blame *attr.ReqBlame
 
 	// Fault/recovery state. Failed marks a completion that carried a
 	// transient device error; TimedOut marks an attempt the blk watchdog

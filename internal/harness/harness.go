@@ -23,6 +23,12 @@ import (
 type Unit struct {
 	Key string // stable identity across runs, e.g. "fig3/io.cost"
 	Run func(ctx context.Context) (string, error)
+
+	// Note, when set, is called after a successful fresh run; a
+	// non-empty return is surfaced in the run-end summary (telemetry
+	// drop counters, truncation warnings). Cached units skip it — the
+	// note describes the execution, not the output.
+	Note func() string
 }
 
 // Runner executes units with fail-fast error handling: a unit error
@@ -44,6 +50,7 @@ type Summary struct {
 	Aborted int // watchdog-aborted (not journaled; a resume reruns them)
 
 	Aborts []string // "key: reason" per aborted unit, in unit order
+	Notes  []string // "key: note" per unit that reported one, in unit order
 }
 
 // WriteSummary prints a run's unit accounting, one header line plus
@@ -52,6 +59,9 @@ func WriteSummary(w io.Writer, s Summary) {
 	fmt.Fprintf(w, "# %d units: %d ran, %d cached, %d aborted\n", s.Units, s.Ran, s.Cached, s.Aborted)
 	for _, a := range s.Aborts {
 		fmt.Fprintf(w, "#   aborted %s\n", a)
+	}
+	for _, n := range s.Notes {
+		fmt.Fprintf(w, "#   note %s\n", n)
 	}
 }
 
@@ -70,6 +80,7 @@ func (r *Runner) Run(ctx context.Context, units []Unit) (Summary, error) {
 	finished := make([]bool, len(units))
 	kind := make([]byte, len(units)) // 'r' ran, 'c' cached, 'a' aborted
 	abortAt := make([]string, len(units))
+	notes := make([]string, len(units))
 	_, err := runpool.MapCtx(ctx, workers, len(units), func(i int) (struct{}, error) {
 		u := units[i]
 		if out, ok := r.Cache[u.Key]; ok {
@@ -92,6 +103,9 @@ func (r *Runner) Run(ctx context.Context, units []Unit) (Summary, error) {
 			}
 		}
 		outputs[i], finished[i], kind[i] = out, true, 'r'
+		if u.Note != nil {
+			notes[i] = u.Note()
+		}
 		return struct{}{}, nil
 	})
 	for i, k := range kind {
@@ -103,6 +117,9 @@ func (r *Runner) Run(ctx context.Context, units []Unit) (Summary, error) {
 		case 'a':
 			sum.Aborted++
 			sum.Aborts = append(sum.Aborts, abortAt[i])
+		}
+		if notes[i] != "" {
+			sum.Notes = append(sum.Notes, units[i].Key+": "+notes[i])
 		}
 	}
 	n := len(units)

@@ -9,6 +9,7 @@ package host
 import (
 	"fmt"
 
+	"isolbench/internal/obs/attr"
 	"isolbench/internal/sim"
 )
 
@@ -22,6 +23,7 @@ type Server struct {
 	avail sim.Time
 	busy  sim.Duration
 	tasks uint64
+	led   *attr.Ledger // occupancy ledger for wait-for-whom accounting (nil = off)
 }
 
 // NewServer returns an idle server.
@@ -29,10 +31,26 @@ func NewServer(eng *sim.Engine, name string) *Server {
 	return &Server{eng: eng, name: name}
 }
 
+// SetLedger attaches an occupancy ledger: every executed work item
+// records [start, done) under its owner cgroup so waiters can charge
+// their queueing delay to whoever held the server.
+func (s *Server) SetLedger(l *attr.Ledger) { s.led = l }
+
+// Ledger returns the attached occupancy ledger (nil when attribution
+// is off).
+func (s *Server) Ledger() *attr.Ledger { return s.led }
+
 // Exec queues work of the given cost and runs fn when it finishes.
 // It returns the queueing delay the work experienced (time spent
 // waiting behind earlier work).
 func (s *Server) Exec(cost sim.Duration, fn func()) sim.Duration {
+	return s.ExecOwned(cost, attr.Other, fn)
+}
+
+// ExecOwned is Exec with the owning cgroup recorded in the server's
+// occupancy ledger (when one is attached), so the busy interval this
+// work occupies can be blamed on owner by later waiters.
+func (s *Server) ExecOwned(cost sim.Duration, owner int, fn func()) sim.Duration {
 	if cost < 0 {
 		cost = 0
 	}
@@ -45,6 +63,9 @@ func (s *Server) Exec(cost sim.Duration, fn func()) sim.Duration {
 	s.avail = done
 	s.busy += cost
 	s.tasks++
+	if s.led != nil && cost > 0 {
+		s.led.Record(start, done, owner, s.led.DefLayer())
+	}
 	if fn != nil {
 		s.eng.At(done, fn)
 	}

@@ -20,11 +20,14 @@
 package iocost
 
 import (
+	"sort"
+
 	"isolbench/internal/blk"
 	"isolbench/internal/cgroup"
 	"isolbench/internal/device"
 	"isolbench/internal/metrics"
 	"isolbench/internal/obs"
+	"isolbench/internal/obs/attr"
 	"isolbench/internal/sim"
 )
 
@@ -95,6 +98,15 @@ type Controller struct {
 	// each period as "iocost.hweight_inuse", and vtime debt is
 	// published on io.stat as cost.debt_ns.
 	Obs *obs.Observer
+
+	// Attr is the wait-for-whom tracker (nil = off). io.cost is
+	// work-conserving: a group waits on its vtime debt because other
+	// active groups are consuming the device's virtual capacity, so the
+	// hold splits across them in proportion to their hweights (self
+	// when the group runs alone).
+	Attr    *attr.Tracker
+	attrIDs []int
+	attrWs  []attr.AggrWeight
 
 	coefs    coefs
 	hasModel bool
@@ -257,8 +269,26 @@ func (c *Controller) Submit(r *device.Request) {
 		return
 	}
 	s.waiting.Push(r)
+	c.Attr.HoldBegin(r.Blame)
 	c.Obs.ThrottleBegin(r.Cgroup)
 	c.armRelease(s)
+}
+
+// attrWeights returns the other active groups' hweights in sorted id
+// order, the deterministic split basis for a vtime-debt hold.
+func (c *Controller) attrWeights(self int) []attr.AggrWeight {
+	c.attrIDs = c.attrIDs[:0]
+	for id, s := range c.groups {
+		if id != self && s.active {
+			c.attrIDs = append(c.attrIDs, id)
+		}
+	}
+	sort.Ints(c.attrIDs)
+	c.attrWs = c.attrWs[:0]
+	for _, id := range c.attrIDs {
+		c.attrWs = append(c.attrWs, attr.AggrWeight{Aggr: id, W: c.groups[id].hweight})
+	}
+	return c.attrWs
 }
 
 func (c *Controller) charge(s *gstate, r *device.Request) {
@@ -295,6 +325,10 @@ func (c *Controller) release(s *gstate) {
 	for s.waiting.Len() > 0 && s.vtime <= c.vnow+margin {
 		r := s.waiting.Pop()
 		c.charge(s, r)
+		if c.Attr != nil {
+			c.Attr.ChargeHoldSplit(r.Blame, attr.LayerThrottle,
+				c.attrWeights(r.Cgroup), r.Cgroup)
+		}
 		c.Obs.ThrottleEnd(r.Cgroup)
 		c.next(r)
 	}

@@ -14,6 +14,7 @@ import (
 	"isolbench/internal/device"
 	"isolbench/internal/metrics"
 	"isolbench/internal/obs"
+	"isolbench/internal/obs/attr"
 	"isolbench/internal/sim"
 )
 
@@ -34,8 +35,15 @@ type Controller struct {
 	// lat.depth / lat.use_delay.
 	Obs *obs.Observer
 
-	groups map[int]*state
-	armed  bool
+	// Attr is the wait-for-whom tracker (nil = off). A queue-depth hold
+	// on a group whose QD was tightened is charged to the protected
+	// group whose violated target drove the tightening; a hold at full
+	// depth is the group's own backlog and charges to self.
+	Attr *attr.Tracker
+
+	groups  map[int]*state
+	armed   bool
+	blameCg int // protected group behind the current tightening (-1 none)
 }
 
 type state struct {
@@ -56,7 +64,7 @@ func New(eng *sim.Engine, tree *cgroup.Tree, dev string, maxQD int) *Controller 
 	}
 	return &Controller{
 		eng: eng, tree: tree, dev: dev, maxQD: maxQD,
-		groups: make(map[int]*state),
+		groups: make(map[int]*state), blameCg: -1,
 	}
 }
 
@@ -94,6 +102,7 @@ func (c *Controller) Submit(r *device.Request) {
 		return
 	}
 	s.waiting.Push(r)
+	c.Attr.HoldBegin(r.Blame)
 	c.Obs.ThrottleBegin(r.Cgroup)
 }
 
@@ -112,6 +121,13 @@ func (c *Controller) releaseWaiting(s *state) {
 	for s.waiting.Len() > 0 && s.inflight < s.qdLimit {
 		s.inflight++
 		r := s.waiting.Pop()
+		if c.Attr != nil {
+			aggr := r.Cgroup
+			if s.qdLimit < c.maxQD && c.blameCg >= 0 && c.blameCg != r.Cgroup {
+				aggr = c.blameCg
+			}
+			c.Attr.ChargeHold(r.Blame, attr.LayerThrottle, aggr)
+		}
 		c.Obs.ThrottleEnd(r.Cgroup)
 		c.next(r)
 	}
@@ -129,8 +145,11 @@ func (c *Controller) armWindow() {
 // windowTick evaluates every protected group's window percentile and
 // throttles or recovers lower-priority groups.
 func (c *Controller) windowTick() {
-	// Find the most demanding violated target this window.
+	// Find the most demanding violated target this window (ties broken
+	// by lowest cgroup id so attribution stays deterministic under map
+	// iteration).
 	var violatedTarget sim.Duration
+	violatedID := -1
 	violated := false
 	for id, s := range c.groups {
 		t := c.target(id)
@@ -138,11 +157,17 @@ func (c *Controller) windowTick() {
 			continue
 		}
 		if sim.Duration(s.hist.Percentile(90)) > t {
-			if !violated || t < violatedTarget {
+			if !violated || t < violatedTarget || (t == violatedTarget && id < violatedID) {
 				violatedTarget = t
+				violatedID = id
 			}
 			violated = true
 		}
+	}
+	if violated {
+		c.blameCg = violatedID
+	} else {
+		c.blameCg = -1
 	}
 
 	for id, s := range c.groups {

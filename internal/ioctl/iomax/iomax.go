@@ -16,6 +16,7 @@ import (
 	"isolbench/internal/cgroup"
 	"isolbench/internal/device"
 	"isolbench/internal/obs"
+	"isolbench/internal/obs/attr"
 	"isolbench/internal/sim"
 )
 
@@ -35,6 +36,12 @@ type Controller struct {
 	// "iomax.tokens.*" series, and the throttle-queue depth is
 	// published on io.stat as max.nr_queued.
 	Obs *obs.Observer
+
+	// Attr is the wait-for-whom tracker (nil = off). io.max limits are
+	// static per-group budgets, so a token wait is self-inflicted: the
+	// whole hold charges to the waiting cgroup itself at the throttle
+	// layer.
+	Attr *attr.Tracker
 
 	groups map[int]*bucket
 }
@@ -153,6 +160,7 @@ func (c *Controller) Submit(r *device.Request) {
 		return
 	}
 	b.waiting.Push(r)
+	c.Attr.HoldBegin(r.Blame)
 	c.Obs.ThrottleBegin(r.Cgroup)
 	c.sampleBucket(r.Cgroup, b, lim)
 	c.armTimer(r.Cgroup, b, lim)
@@ -220,6 +228,7 @@ func (c *Controller) release(id int, b *bucket) {
 	for b.waiting.Len() > 0 && affordable(b, lim) {
 		r := b.waiting.Pop()
 		charge(b, lim, r)
+		c.Attr.ChargeHold(r.Blame, attr.LayerThrottle, r.Cgroup)
 		c.Obs.ThrottleEnd(r.Cgroup)
 		c.next(r)
 	}

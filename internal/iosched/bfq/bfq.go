@@ -12,6 +12,7 @@ import (
 	"isolbench/internal/blk"
 	"isolbench/internal/device"
 	"isolbench/internal/obs"
+	"isolbench/internal/obs/attr"
 	"isolbench/internal/sim"
 )
 
@@ -81,6 +82,12 @@ type Scheduler struct {
 	// and slice_idle waits as "bfq.idle".
 	Obs *obs.Observer
 
+	// Led is the dispatch-stream occupancy ledger shared with the blk
+	// layer (nil = attribution off). Slice-idle holds are recorded
+	// under the idling queue's cgroup at the sched-idle layer, so other
+	// groups' queue residency during the hold blames the idler.
+	Led *attr.Ledger
+
 	queues    map[int]*queue
 	order     []*queue // stable iteration order
 	inService *queue
@@ -93,9 +100,11 @@ type Scheduler struct {
 	// personal clock.
 	globalV float64
 
-	idling  bool
-	idleGen uint64
-	kick    func()
+	idling    bool
+	idleGen   uint64
+	idleStart sim.Time // attribution: when the current idle hold began
+	idleQ     int      // attribution: cgroup the device idles for
+	kick      func()
 }
 
 // New returns a BFQ scheduler.
@@ -143,12 +152,19 @@ func (s *Scheduler) Insert(r *device.Request) {
 	if q == s.inService && s.idling {
 		// The in-service queue got new work before the idle slice
 		// expired: resume it.
+		s.noteIdleEnd()
 		s.idling = false
 		s.idleGen++
 		if s.kick != nil {
 			s.kick()
 		}
 	}
+}
+
+// noteIdleEnd records the just-finished slice-idle hold in the
+// dispatch-stream ledger (no-op when attribution is off).
+func (s *Scheduler) noteIdleEnd() {
+	s.Led.Record(s.idleStart, s.eng.Now(), s.idleQ, attr.LayerSchedIdle)
 }
 
 // effectiveWeight applies the low_latency boost window when enabled.
@@ -194,11 +210,14 @@ func (s *Scheduler) startIdle(q *queue) {
 	s.idling = true
 	s.idleGen++
 	gen := s.idleGen
+	s.idleStart = s.eng.Now()
+	s.idleQ = q.id
 	s.Obs.Sample("bfq.idle", q.id, 1)
 	s.eng.After(s.cfg.SliceIdle, func() {
 		if gen != s.idleGen || !s.idling {
 			return
 		}
+		s.noteIdleEnd()
 		s.idling = false
 		if s.inService == q && q.pending() == 0 {
 			s.expire(q)

@@ -12,6 +12,7 @@ import (
 	"isolbench/internal/blk"
 	"isolbench/internal/device"
 	"isolbench/internal/obs"
+	"isolbench/internal/obs/attr"
 	"isolbench/internal/sim"
 )
 
@@ -55,6 +56,13 @@ type Scheduler struct {
 	// starts as "mqdl.batch" (rank*2+dir).
 	Obs *obs.Observer
 
+	// Led is the dispatch-stream occupancy ledger shared with the blk
+	// layer (nil = attribution off). Strict-priority blocks caused only
+	// by a higher class's recent activity — its FIFOs are empty, so no
+	// dispatch would otherwise own the interval — are recorded under
+	// that class's last inserter.
+	Led *attr.Ledger
+
 	// fifo[classRank][dir]: deadline-ordered (== insertion-ordered)
 	// request lists.
 	fifo [3][2]fifoList
@@ -66,6 +74,7 @@ type Scheduler struct {
 	kick         func()
 	timerArmed   bool
 	lastInsert   [3]sim.Time
+	lastInsertCg [3]int
 	everSeen     [3]bool
 	windowKickAt sim.Time
 }
@@ -129,6 +138,7 @@ func (s *Scheduler) Insert(r *device.Request) {
 	rank := r.Class.Rank()
 	s.fifo[rank][dirOf(r)].push(r)
 	s.lastInsert[rank] = s.eng.Now()
+	s.lastInsertCg[rank] = r.Cgroup
 	s.everSeen[rank] = true
 	s.armAgingTimer()
 }
@@ -145,6 +155,9 @@ func (s *Scheduler) higherClassActive(rank int) bool {
 			return true
 		}
 		if s.everSeen[q] && now.Sub(s.lastInsert[q]) < s.cfg.ActiveWindow {
+			// Attribution: nothing of class q will dispatch (its FIFOs
+			// are empty), so own the blocked interval explicitly.
+			s.Led.Extend(now, s.lastInsertCg[q])
 			s.armWindowKick(s.lastInsert[q].Add(s.cfg.ActiveWindow))
 			return true
 		}

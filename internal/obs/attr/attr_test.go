@@ -1,0 +1,221 @@
+package attr
+
+import (
+	"testing"
+
+	"isolbench/internal/sim"
+)
+
+func sumCharges(b *ReqBlame) sim.Duration {
+	var s sim.Duration
+	for _, c := range b.Charges() {
+		s += c.D
+	}
+	return s
+}
+
+// A nil tracker and nil ledger must no-op every method — this is the
+// attribution-off fast path.
+func TestNilSafe(t *testing.T) {
+	var tr *Tracker
+	var l *Ledger
+	if tr.NewReq() != nil {
+		t.Fatal("nil tracker returned a blame record")
+	}
+	tr.HoldBegin(nil)
+	tr.ChargeHold(nil, LayerThrottle, 1)
+	tr.ChargeInterval(nil, LayerRetry, 1, sim.Millisecond)
+	tr.Finish(1, nil)
+	l.Extend(10, 1)
+	l.ChargeSpan(nil, 0, 10, 1)
+	if tr.Cells() != nil || tr.Victims() != nil || tr.Violations() != nil {
+		t.Fatal("nil tracker leaked state")
+	}
+	if _, _, ok := tr.TopCell(1); ok {
+		t.Fatal("nil tracker has a top cell")
+	}
+}
+
+// ChargeSpan must tile the wait interval exactly: covered parts to the
+// segment owners, gaps to self, summing to the interval length.
+func TestLedgerChargeSpanExact(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := NewTracker(eng, Config{})
+	l := NewLedger(LayerSched, 16)
+	l.Record(10, 20, 7, LayerSched)
+	l.Record(25, 30, 8, LayerSchedIdle)
+
+	b := tr.NewReq()
+	l.ChargeSpan(b, 5, 40, 3)
+	if b.Waited() != 35 {
+		t.Fatalf("waited = %d, want 35", b.Waited())
+	}
+	if got := sumCharges(b); got != b.Waited() {
+		t.Fatalf("charge sum %d != waited %d", got, b.Waited())
+	}
+	want := map[Charge]bool{
+		{Layer: LayerSched, Aggr: 7, D: 10}:    true, // [10,20)
+		{Layer: LayerSchedIdle, Aggr: 8, D: 5}: true, // [25,30)
+		{Layer: LayerSched, Aggr: 3, D: 20}:    true, // gaps [5,10)+[20,25)+[30,40)
+	}
+	for _, c := range b.Charges() {
+		if !want[c] {
+			t.Fatalf("unexpected charge %+v", c)
+		}
+		delete(want, c)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing charges: %v", want)
+	}
+}
+
+// A wait that starts before retained history must charge the evicted
+// part to self, never to a neighbour.
+func TestLedgerEvictionChargesSelf(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := NewTracker(eng, Config{})
+	l := NewLedger(LayerDevQueue, 2)
+	l.Record(0, 10, 1, LayerDevQueue)
+	l.Record(10, 20, 2, LayerDevQueue)
+	l.Record(20, 30, 1, LayerDevQueue) // merges with nothing; evicts [0,10)
+	if l.Evicted() != 1 {
+		t.Fatalf("evicted = %d, want 1", l.Evicted())
+	}
+	b := tr.NewReq()
+	l.ChargeSpan(b, 0, 30, 9)
+	if sumCharges(b) != 30 || b.Waited() != 30 {
+		t.Fatalf("conservation broke: sum=%d waited=%d", sumCharges(b), b.Waited())
+	}
+	for _, c := range b.Charges() {
+		if c.Aggr == 9 && c.D != 10 {
+			t.Fatalf("self gap charge = %d, want 10 (the evicted prefix)", c.D)
+		}
+	}
+}
+
+// Contiguous same-owner segments must merge so bursts don't blow the
+// ring.
+func TestLedgerMerge(t *testing.T) {
+	l := NewLedger(LayerCPU, 4)
+	for i := sim.Time(0); i < 100; i += 10 {
+		l.Record(i, i+10, 5, LayerCPU)
+	}
+	if l.n != 1 {
+		t.Fatalf("segments = %d, want 1 merged", l.n)
+	}
+	if l.Evicted() != 0 {
+		t.Fatalf("evicted = %d, want 0", l.Evicted())
+	}
+}
+
+// ChargeSplit must hand out exactly d with a deterministic remainder.
+func TestChargeSplitExact(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := NewTracker(eng, Config{Strict: true})
+	b := tr.NewReq()
+	ws := []AggrWeight{{Aggr: 1, W: 1}, {Aggr: 2, W: 1}, {Aggr: 3, W: 1}}
+	tr.ChargeSplit(b, LayerGC, ws, 0, 100)
+	if sumCharges(b) != 100 || b.Waited() != 100 {
+		t.Fatalf("split lost time: sum=%d waited=%d", sumCharges(b), b.Waited())
+	}
+	tr.Finish(0, b)
+	if v := tr.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+
+	// Weightless split falls back wholly to self.
+	b = tr.NewReq()
+	tr.ChargeSplit(b, LayerGC, nil, 4, 50)
+	cs := b.Charges()
+	if len(cs) != 1 || cs[0].Aggr != 4 || cs[0].D != 50 {
+		t.Fatalf("weightless split = %+v, want all to self", cs)
+	}
+	tr.Finish(4, b)
+}
+
+// The matrix must bound distinct aggressors per victim at TopK, folding
+// the rest into Other, and Cells must come out sorted.
+func TestTopKFoldsIntoOther(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := NewTracker(eng, Config{TopK: 2})
+	for aggr := 1; aggr <= 5; aggr++ {
+		b := tr.NewReq()
+		tr.ChargeInterval(b, LayerSched, aggr, sim.Duration(aggr))
+		tr.Finish(0, b)
+	}
+	cells := tr.Cells()
+	var other, named sim.Duration
+	for _, c := range cells {
+		if c.Victim != 0 || c.Layer != LayerSched {
+			t.Fatalf("unexpected cell %+v", c)
+		}
+		if c.Aggr == Other {
+			other += c.D
+		} else {
+			named += c.D
+		}
+	}
+	if named != 1+2 || other != 3+4+5 {
+		t.Fatalf("named=%d other=%d, want 3 and 12", named, other)
+	}
+	if tr.VictimTotal(0) != 15 {
+		t.Fatalf("victim total = %d, want 15", tr.VictimTotal(0))
+	}
+	for i := 1; i < len(cells); i++ {
+		a, b := cells[i-1], cells[i]
+		if a.Victim > b.Victim || (a.Victim == b.Victim && a.Aggr > b.Aggr) {
+			t.Fatalf("cells not sorted: %+v before %+v", a, b)
+		}
+	}
+}
+
+// Strict mode must flag a record whose charges don't sum to its wait.
+func TestStrictConservationViolation(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := NewTracker(eng, Config{Strict: true})
+	b := tr.NewReq()
+	tr.ChargeInterval(b, LayerCPU, 1, 10)
+	b.waited += 5 // corrupt on purpose
+	tr.Finish(0, b)
+	if len(tr.Violations()) != 1 {
+		t.Fatalf("violations = %v, want exactly one", tr.Violations())
+	}
+}
+
+// TopCell and TopLayer must agree with the matrix.
+func TestTopQueries(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := NewTracker(eng, Config{})
+	b := tr.NewReq()
+	tr.ChargeInterval(b, LayerSchedIdle, 2, 70)
+	tr.ChargeInterval(b, LayerGC, 3, 20)
+	tr.ChargeInterval(b, LayerCPU, 1, 10)
+	tr.Finish(1, b)
+	c, share, ok := tr.TopCell(1)
+	if !ok || c.Aggr != 2 || c.Layer != LayerSchedIdle || c.D != 70 {
+		t.Fatalf("top cell = %+v ok=%v", c, ok)
+	}
+	if share < 0.69 || share > 0.71 {
+		t.Fatalf("top share = %f, want 0.70", share)
+	}
+	l, lshare, ok := tr.TopLayer(1)
+	if !ok || l != LayerSchedIdle || lshare < 0.69 || lshare > 0.71 {
+		t.Fatalf("top layer = %v share %f ok=%v", l, lshare, ok)
+	}
+}
+
+// Pooled records must come back clean.
+func TestPoolReuse(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := NewTracker(eng, Config{})
+	b := tr.NewReq()
+	tr.ChargeInterval(b, LayerRetry, 1, 99)
+	tr.Finish(1, b)
+	b2 := tr.NewReq()
+	if b2 != b {
+		t.Skip("pool did not reuse (allowed), skip reuse checks")
+	}
+	if b2.Waited() != 0 || len(b2.Charges()) != 0 {
+		t.Fatalf("pooled record dirty: waited=%d charges=%v", b2.Waited(), b2.Charges())
+	}
+}

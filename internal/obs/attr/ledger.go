@@ -1,0 +1,157 @@
+package attr
+
+import (
+	"sort"
+
+	"isolbench/internal/sim"
+)
+
+// seg is one occupancy interval: [from, to) was consumed by owner at
+// layer.
+type seg struct {
+	from, to sim.Time
+	owner    int32
+	layer    Layer
+}
+
+// Ledger records which cgroup occupied a serial resource (a CPU core,
+// the dispatch lock, a scheduler's dispatch stream, the device's
+// service-grant stream) over time, as a bounded ring of contiguous
+// segments. Waits are attributed by overlapping the wait interval
+// against the retained segments; time not covered by any segment —
+// the resource was idle, or history was evicted — charges to the
+// waiting request's own cgroup, so attribution never over-blames a
+// neighbour. A nil *Ledger no-ops every method.
+type Ledger struct {
+	def     Layer // layer for segments recorded via Extend and for gaps
+	segs    []seg
+	head, n int
+	cap     int
+	lastEnd sim.Time
+	evicted uint64
+}
+
+// NewLedger returns a ledger whose Extend/gap charges use the given
+// default layer, retaining up to capacity segments (default 4096).
+func NewLedger(def Layer, capacity int) *Ledger {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Ledger{def: def, cap: capacity}
+}
+
+// DefLayer returns the ledger's default layer (used for Extend
+// segments and uncovered gaps).
+func (l *Ledger) DefLayer() Layer {
+	if l == nil {
+		return LayerCPU
+	}
+	return l.def
+}
+
+// LastEnd returns the end of the newest recorded segment.
+func (l *Ledger) LastEnd() sim.Time {
+	if l == nil {
+		return 0
+	}
+	return l.lastEnd
+}
+
+// Evicted returns how many segments were dropped to the ring bound.
+func (l *Ledger) Evicted() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.evicted
+}
+
+// Extend records that owner consumed the resource from the end of the
+// newest segment up to time to (the dispatch-stream idiom: each grant
+// closes the interval since the previous one).
+func (l *Ledger) Extend(to sim.Time, owner int) {
+	if l == nil {
+		return
+	}
+	l.Record(l.lastEnd, to, owner, l.def)
+}
+
+// Record appends the occupancy interval [from, to) for owner at layer.
+// The interval is clamped below the newest segment's end so segments
+// stay disjoint and time-ordered; contiguous same-owner same-layer
+// segments merge in place.
+func (l *Ledger) Record(from, to sim.Time, owner int, layer Layer) {
+	if l == nil {
+		return
+	}
+	if from < l.lastEnd {
+		from = l.lastEnd
+	}
+	if to <= from {
+		return
+	}
+	l.lastEnd = to
+	if l.n > 0 {
+		last := &l.segs[(l.head+l.n-1)%len(l.segs)]
+		if last.to == from && last.owner == int32(owner) && last.layer == layer {
+			last.to = to
+			return
+		}
+	}
+	s := seg{from: from, to: to, owner: int32(owner), layer: layer}
+	if l.n < l.cap {
+		if len(l.segs) < l.cap {
+			l.segs = append(l.segs, s)
+		} else {
+			l.segs[(l.head+l.n)%l.cap] = s
+		}
+		l.n++
+		return
+	}
+	l.segs[l.head] = s
+	l.head = (l.head + 1) % l.cap
+	l.evicted++
+}
+
+// at returns the i-th retained segment, oldest first.
+func (l *Ledger) at(i int) seg {
+	return l.segs[(l.head+i)%len(l.segs)]
+}
+
+// ChargeSpan decomposes the wait interval [from, to) against the
+// ledger: sub-intervals covered by a segment charge to that segment's
+// owner at its layer, uncovered sub-intervals charge to self at the
+// ledger's default layer. Exactly (to - from) is charged, so the
+// per-request conservation invariant holds by construction.
+func (l *Ledger) ChargeSpan(b *ReqBlame, from, to sim.Time, self int) {
+	if l == nil || b == nil || to <= from {
+		return
+	}
+	b.waited += to.Sub(from)
+	cur := from
+	i := sort.Search(l.n, func(k int) bool { return l.at(k).to > cur })
+	for ; i < l.n && cur < to; i++ {
+		s := l.at(i)
+		if s.from > cur {
+			gapEnd := s.from
+			if gapEnd > to {
+				gapEnd = to
+			}
+			b.add(l.def, self, gapEnd.Sub(cur))
+			cur = gapEnd
+			if cur >= to {
+				break
+			}
+		}
+		end := s.to
+		if end > to {
+			end = to
+		}
+		if end > cur {
+			b.add(s.layer, int(s.owner), end.Sub(cur))
+			cur = end
+		}
+	}
+	if cur < to {
+		b.add(l.def, self, to.Sub(cur))
+	}
+}

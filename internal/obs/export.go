@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"isolbench/internal/device"
+	"isolbench/internal/obs/attr"
 	"isolbench/internal/sim"
 )
 
@@ -23,6 +24,27 @@ type SpanJSON struct {
 	Retries int              `json:"retries,omitempty"`
 	Failed  bool             `json:"failed,omitempty"`
 	Status  string           `json:"status,omitempty"`
+	Blame   []ChargeJSON     `json:"blame,omitempty"`
+}
+
+// ChargeJSON is one wait-for-whom charge on a span: ns of the span's
+// wait at layer, attributable to cgroup aggr (-1 = the folded "other"
+// bucket).
+type ChargeJSON struct {
+	Layer string `json:"layer"`
+	Aggr  int    `json:"aggr"`
+	Ns    int64  `json:"ns"`
+}
+
+func chargesJSON(cs []attr.Charge) []ChargeJSON {
+	if len(cs) == 0 {
+		return nil
+	}
+	out := make([]ChargeJSON, len(cs))
+	for i, c := range cs {
+		out[i] = ChargeJSON{Layer: c.Layer.String(), Aggr: c.Aggr, Ns: int64(c.D)}
+	}
+	return out
 }
 
 func spanJSON(sp Span) SpanJSON {
@@ -42,7 +64,23 @@ func spanJSON(sp Span) SpanJSON {
 		ID: sp.ID, Cgroup: sp.Cgroup, App: sp.App, Op: op, Size: sp.Size,
 		Submit: sp.Submit, Stages: stages, Total: int64(sp.Total()),
 		Retries: sp.Retries, Failed: sp.Failed, Status: status,
+		Blame: chargesJSON(sp.Blame),
 	}
+}
+
+// BlameCellJSON is one cell of the aggregated blame matrix: total ns
+// victim waited at layer because aggr occupied the resource.
+type BlameCellJSON struct {
+	Victim int    `json:"victim"`
+	Layer  string `json:"layer"`
+	Aggr   int    `json:"aggr"`
+	Ns     int64  `json:"ns"`
+}
+
+// blameRowJSON wraps a matrix cell so blame lines are distinguishable
+// from span lines in the same stream.
+type blameRowJSON struct {
+	Blame BlameCellJSON `json:"blame_cell"`
 }
 
 // IncidentJSON is the JSONL export schema for one run-level incident
@@ -66,6 +104,16 @@ func (o *Observer) WriteSpansJSONL(w io.Writer) error {
 	for _, sp := range o.Spans() {
 		if err := enc.Encode(spanJSON(sp)); err != nil {
 			return err
+		}
+	}
+	if o.Attr != nil {
+		for _, c := range o.Attr.Cells() {
+			row := blameRowJSON{Blame: BlameCellJSON{
+				Victim: c.Victim, Layer: c.Layer.String(), Aggr: c.Aggr, Ns: int64(c.D),
+			}}
+			if err := enc.Encode(row); err != nil {
+				return err
+			}
 		}
 	}
 	for _, in := range o.incidents {

@@ -26,6 +26,7 @@ import (
 
 	"isolbench/internal/device"
 	"isolbench/internal/metrics"
+	"isolbench/internal/obs/attr"
 	"isolbench/internal/sim"
 )
 
@@ -53,6 +54,11 @@ type Observer struct {
 	// cgroup package).
 	CgroupName func(id int) string
 
+	// Attr, when set, is the wait-for-whom tracker whose blame matrix
+	// rides along in the JSONL export and names the dominant layer in
+	// SLO incidents. The observer never writes to it.
+	Attr *attr.Tracker
+
 	spans       []Span // ring
 	spanHead    int    // index of the oldest span
 	spanCount   int
@@ -66,6 +72,8 @@ type Observer struct {
 	psiWin [3]sim.Duration       // PSI averaging windows
 
 	incidents []Incident // run-level aborts and invariant violations
+
+	slo *sloMonitor // burn-rate SLO monitor (nil = off)
 }
 
 // Incident kinds recorded by the resilience layer.
@@ -73,6 +81,8 @@ const (
 	IncidentWatchdog  = "watchdog"  // engine watchdog aborted the unit
 	IncidentCancel    = "cancel"    // the run context was canceled
 	IncidentInvariant = "invariant" // paranoid conservation check failed
+	IncidentSLO       = "slo-burn"  // multi-window burn-rate alert fired
+	IncidentTelemetry = "telemetry" // span/series/trace rings dropped data
 )
 
 // Incident is a run-level fault of the harness itself — a watchdog
@@ -236,6 +246,9 @@ func (o *Observer) Completed(dev string, r *device.Request) {
 	}
 	g.e2e.Record(int64(r.Latency()))
 	o.pushSpan(sp)
+	if o.slo != nil {
+		o.observeSLO(r.Cgroup, r.Latency())
+	}
 }
 
 // RunEnd closes one PSI running interval without a completion — the
@@ -337,6 +350,34 @@ func (o *Observer) SpansDropped() uint64 {
 		return 0
 	}
 	return o.spanDropped
+}
+
+// SeriesDropped reports the total points evicted across every series.
+func (o *Observer) SeriesDropped() uint64 {
+	if o == nil {
+		return 0
+	}
+	var n uint64
+	for _, s := range o.series {
+		n += s.dropped
+	}
+	return n
+}
+
+// NoteTelemetryDrops records a telemetry incident when any ring
+// dropped data during the run, so truncated exports are flagged in
+// the same stream they truncate. traceDropped covers an external
+// recorder (the trace package); pass 0 when none is attached.
+func (o *Observer) NoteTelemetryDrops(traceDropped uint64) {
+	if o == nil {
+		return
+	}
+	spans, series := o.spanDropped, o.SeriesDropped()
+	if spans == 0 && series == 0 && traceDropped == 0 {
+		return
+	}
+	o.RecordIncident(IncidentTelemetry,
+		fmt.Sprintf("dropped spans=%d series_points=%d trace_events=%d", spans, series, traceDropped))
 }
 
 // Cgroups returns the ids of every cgroup that produced traffic,

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"isolbench/internal/device"
+	"isolbench/internal/obs/attr"
+	"isolbench/internal/sim"
+)
+
+// completeAt schedules one synthetic completion for cgroup cg at time
+// t with the given end-to-end latency.
+func completeAt(eng *sim.Engine, o *Observer, cg int, t sim.Time, lat sim.Duration) {
+	eng.At(t, func() {
+		sub := t.Add(-lat)
+		r := &device.Request{
+			ID: 1, Op: device.Read, Size: 4096, Cgroup: cg,
+			Submit: sub, Queued: sub, SchedOut: sub, Dispatch: sub,
+			Service: sub, Complete: t,
+		}
+		o.Completed("nvme0", r)
+	})
+}
+
+func countIncidents(o *Observer, kind string) int {
+	n := 0
+	for _, in := range o.Incidents() {
+		if in.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// TestSLOBurnFiresOncePerEpisode drives the monitor through a
+// violation burst, a recovery, and a second burst: each sustained
+// episode yields exactly one incident (hysteresis), and the burn
+// rates are visible through SLOBurn while firing.
+func TestSLOBurnFiresOncePerEpisode(t *testing.T) {
+	eng := sim.NewEngine()
+	o := New(eng)
+	o.EnableSLO(SLOConfig{
+		P99:        100 * sim.Microsecond,
+		FastWindow: sim.Millisecond,
+		SlowWindow: 10 * sim.Millisecond,
+	})
+
+	// First episode: every completion blows the objective.
+	for i := 0; i < 30; i++ {
+		at := sim.Time(0).Add(sim.Duration(i+1) * 100 * sim.Microsecond)
+		completeAt(eng, o, 1, at, 500*sim.Microsecond)
+	}
+	eng.RunUntil(sim.Time(0).Add(4 * sim.Millisecond))
+	if got := countIncidents(o, IncidentSLO); got != 1 {
+		t.Fatalf("first burst fired %d incidents, want 1 (hysteresis)", got)
+	}
+	if _, _, firing := o.SLOBurn(1); !firing {
+		t.Fatal("monitor not firing after sustained violation")
+	}
+
+	// Recovery: a long run of good completions drains both windows
+	// below Burn/2 and re-arms the alert.
+	for i := 0; i < 400; i++ {
+		at := sim.Time(0).Add(5*sim.Millisecond + sim.Duration(i)*50*sim.Microsecond)
+		completeAt(eng, o, 1, at, 20*sim.Microsecond)
+	}
+	eng.RunUntil(sim.Time(0).Add(40 * sim.Millisecond))
+	if _, _, firing := o.SLOBurn(1); firing {
+		fast, slow, _ := o.SLOBurn(1)
+		t.Fatalf("monitor still firing after recovery (burn fast=%.2f slow=%.2f)", fast, slow)
+	}
+
+	// Second episode: fires again, exactly once more.
+	for i := 0; i < 30; i++ {
+		at := sim.Time(0).Add(41*sim.Millisecond + sim.Duration(i+1)*100*sim.Microsecond)
+		completeAt(eng, o, 1, at, 500*sim.Microsecond)
+	}
+	eng.RunUntil(sim.Time(0).Add(50 * sim.Millisecond))
+	if got := countIncidents(o, IncidentSLO); got != 2 {
+		t.Fatalf("after second burst got %d incidents, want 2", got)
+	}
+}
+
+// TestSLOIncidentNamesBlameLayer checks that with an attribution
+// tracker attached, the incident detail names the dominant wait layer.
+func TestSLOIncidentNamesBlameLayer(t *testing.T) {
+	eng := sim.NewEngine()
+	o := New(eng)
+	o.EnableSLO(SLOConfig{P99: 100 * sim.Microsecond})
+
+	tr := attr.NewTracker(eng, attr.Config{})
+	b := tr.NewReq()
+	tr.ChargeInterval(b, attr.LayerSched, 7, 300*sim.Microsecond)
+	tr.Finish(1, b)
+	o.Attr = tr
+
+	for i := 0; i < 50; i++ {
+		at := sim.Time(0).Add(sim.Duration(i+1) * sim.Millisecond)
+		completeAt(eng, o, 1, at, 500*sim.Microsecond)
+	}
+	eng.RunUntil(sim.Time(0).Add(60 * sim.Millisecond))
+	if n := countIncidents(o, IncidentSLO); n == 0 {
+		t.Fatal("no slo-burn incident fired")
+	}
+	for _, in := range o.Incidents() {
+		if in.Kind == IncidentSLO {
+			if !strings.Contains(in.Detail, "blame=sched 100%") {
+				t.Fatalf("incident does not name blame layer: %q", in.Detail)
+			}
+		}
+	}
+}
+
+// TestRingOverflowCountsDrops pins the bounded-memory contract: tiny
+// ring capacities overflow, drops are counted, and NoteTelemetryDrops
+// folds all three counters into one telemetry incident.
+func TestRingOverflowCountsDrops(t *testing.T) {
+	eng := sim.NewEngine()
+	o := NewWithConfig(eng, Config{SpanCap: 8, SeriesCap: 4})
+
+	for i := 0; i < 20; i++ {
+		at := sim.Time(0).Add(sim.Duration(i+1) * sim.Microsecond)
+		completeAt(eng, o, 1, at, sim.Microsecond)
+	}
+	eng.RunUntil(sim.Time(0).Add(sim.Millisecond))
+	if got := o.SpansDropped(); got != 12 {
+		t.Fatalf("SpansDropped = %d, want 12 (20 pushed, cap 8)", got)
+	}
+	if got := len(o.Spans()); got != 8 {
+		t.Fatalf("ring holds %d spans, want 8", got)
+	}
+
+	for i := 0; i < 10; i++ {
+		o.Sample("vrate", 1, float64(i))
+	}
+	if got := o.SeriesDropped(); got != 6 {
+		t.Fatalf("SeriesDropped = %d, want 6 (10 sampled, cap 4)", got)
+	}
+
+	o.NoteTelemetryDrops(5)
+	if n := countIncidents(o, IncidentTelemetry); n != 1 {
+		t.Fatalf("got %d telemetry incidents, want 1", n)
+	}
+	want := "dropped spans=12 series_points=6 trace_events=5"
+	if d := o.Incidents()[0].Detail; d != want {
+		t.Fatalf("telemetry incident detail = %q, want %q", d, want)
+	}
+
+	// A clean observer records nothing.
+	clean := New(eng)
+	clean.NoteTelemetryDrops(0)
+	if n := len(clean.Incidents()); n != 0 {
+		t.Fatalf("clean observer recorded %d incidents", n)
+	}
+}
+
+// TestJSONLCarriesBlame checks that per-request charges ride on span
+// rows and the run's blame matrix is exported as blame_cell rows.
+func TestJSONLCarriesBlame(t *testing.T) {
+	eng := sim.NewEngine()
+	o := New(eng)
+	tr := attr.NewTracker(eng, attr.Config{})
+	o.Attr = tr
+
+	b := tr.NewReq()
+	tr.ChargeInterval(b, attr.LayerThrottle, 3, 250*sim.Microsecond)
+	sub := sim.Time(0)
+	done := sub.Add(400 * sim.Microsecond)
+	r := &device.Request{
+		ID: 9, Op: device.Write, Size: 4096, Cgroup: 1,
+		Submit: sub, Queued: sub, SchedOut: sub, Dispatch: sub,
+		Service: sub, Complete: done,
+		Blame: b,
+	}
+	o.Completed("nvme0", r)
+	tr.Finish(1, b)
+
+	var buf bytes.Buffer
+	if err := o.WriteSpansJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"blame":[`, `"layer":"throttle"`, `"blame_cell"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSONL export missing %s:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, fmt.Sprintf(`"ns":%d`, 250*sim.Microsecond)) {
+		t.Fatalf("charge duration missing from export:\n%s", out)
+	}
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"isolbench/internal/device"
+	"isolbench/internal/obs/attr"
 	"isolbench/internal/sim"
 )
 
@@ -66,6 +67,11 @@ type Span struct {
 	Stages  [NumStages]sim.Duration
 	Retries int
 	Failed  bool
+
+	// Blame is the request's wait-for-whom breakdown (nil when
+	// attribution is off): each charge names the layer the request
+	// waited at and the cgroup occupying the resource.
+	Blame []attr.Charge
 }
 
 // Total returns the sum of the stage durations, which by construction
@@ -92,6 +98,9 @@ func SpanOf(r *device.Request) Span {
 		Submit:  r.Submit,
 		Retries: r.Attempts,
 		Failed:  r.Failed || r.TimedOut,
+	}
+	if r.Blame != nil {
+		sp.Blame = r.Blame.Snapshot()
 	}
 	// Clamp each boundary to be monotonically non-decreasing so a
 	// skipped stamp (e.g. noop path) yields a zero stage.

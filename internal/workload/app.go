@@ -7,6 +7,7 @@ import (
 	"isolbench/internal/device"
 	"isolbench/internal/host"
 	"isolbench/internal/metrics"
+	"isolbench/internal/obs/attr"
 	"isolbench/internal/sim"
 )
 
@@ -40,6 +41,13 @@ type App struct {
 	onCompleteFn func(*device.Request)
 	pendingBatch int
 	pendingAt    sim.Time
+
+	// Attribution (nil tracker = disabled fast path). pendingWait is
+	// the staged batch's submission-path CPU queueing delay, charged
+	// per request against the core's occupancy ledger at build time.
+	attrT       *attr.Tracker
+	cgID        int
+	pendingWait sim.Duration
 
 	tokens     float64
 	lastRefill sim.Time
@@ -82,6 +90,7 @@ func NewApp(eng *sim.Engine, cpu *host.CPU, costs host.Costs, q *blk.Queue, spec
 	a.submitFn = a.submitBatch
 	a.reapFn = a.reapBatch
 	a.onCompleteFn = a.onComplete
+	a.cgID = spec.Group.ID()
 	for i := 0; i < spec.QD; i++ {
 		a.pool = append(a.pool, &device.Request{})
 	}
@@ -90,6 +99,11 @@ func NewApp(eng *sim.Engine, cpu *host.CPU, costs host.Costs, q *blk.Queue, spec
 
 // Spec returns the app's configuration.
 func (a *App) Spec() Spec { return a.spec }
+
+// SetAttribution enables wait-for-whom accounting: each built request
+// gets a blame record, and submission/reap CPU queueing is charged
+// against the core's occupancy ledger. Passing nil disables it.
+func (a *App) SetAttribution(t *attr.Tracker) { a.attrT = t }
 
 // Start arms the app's first submission at its start time.
 func (a *App) Start() {
@@ -203,7 +217,7 @@ func (a *App) trySubmit() {
 	a.submitting = true
 	a.pendingBatch = n
 	a.pendingAt = submitAt
-	a.core.Exec(cost, a.submitFn)
+	a.pendingWait = a.core.ExecOwned(cost, a.cgID, a.submitFn)
 }
 
 // submitBatch delivers the batch staged by trySubmit once its CPU cost
@@ -265,6 +279,15 @@ func (a *App) buildRequest(submitAt sim.Time) *device.Request {
 	r.Weight = a.spec.Group.Knobs().BFQWeight
 	r.Submit = submitAt
 	r.OnComplete = a.onCompleteFn
+	if a.attrT != nil {
+		b := a.attrT.NewReq()
+		if a.pendingWait > 0 {
+			// The whole staged batch waited [submitAt, submitAt+wait)
+			// for the core; the ledger says who held it.
+			a.core.Ledger().ChargeSpan(b, submitAt, submitAt.Add(a.pendingWait), a.cgID)
+		}
+		r.Blame = b
+	}
 	return r
 }
 
@@ -283,7 +306,16 @@ func (a *App) onComplete(r *device.Request) {
 func (a *App) scheduleReap() {
 	n := len(a.doneQ)
 	cost := a.costs.ReapCost(n) + sim.Duration(n)*a.over.CompleteCPU
-	a.core.Exec(cost, a.reapFn)
+	wait := a.core.ExecOwned(cost, a.cgID, a.reapFn)
+	if a.attrT != nil && wait > 0 {
+		// Reap-path CPU queueing happens after the requests' spans were
+		// harvested, so it goes straight into the blame matrix as its
+		// own record rather than onto any single request.
+		b := a.attrT.NewReq()
+		now := a.eng.Now()
+		a.core.Ledger().ChargeSpan(b, now, now.Add(wait), a.cgID)
+		a.attrT.Finish(a.cgID, b)
+	}
 }
 
 // reapBatch drains the completion queue once the reap cost has been

@@ -1,24 +1,31 @@
 #!/usr/bin/env bash
-# bench.sh — run the engine and executor benchmarks and emit
-# BENCH_engine.json with ns/op and allocs/op per benchmark.
+# bench.sh — run the engine and executor benchmarks and append one
+# run-labeled entry to BENCH_engine.json. History accumulates instead
+# of being overwritten, so regressions are visible across runs; a
+# pre-history file in the old single-run format is preserved as the
+# pinned "baseline" entry.
 #
 # Usage: scripts/bench.sh [output.json]
-# Extra control via env: BENCHTIME (default 1s), COUNT (default 1).
+# Extra control via env: BENCHTIME (default 1s), COUNT (default 1),
+# LABEL (default <git-short-rev>-<utc-timestamp>).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_engine.json}"
 benchtime="${BENCHTIME:-1s}"
 count="${COUNT:-1}"
+label="${LABEL:-$(git rev-parse --short HEAD 2>/dev/null || echo local)-$(date -u +%Y%m%dT%H%M%SZ)}"
 
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+run="$(mktemp)"
+next="$(mktemp)"
+trap 'rm -f "$raw" "$run" "$next"' EXIT
 
 go test -run '^$' -bench 'EngineHotLoop|TradeoffParallel' -benchmem \
     -benchtime "$benchtime" -count "$count" \
     ./internal/sim/ ./internal/core/ | tee "$raw"
 
-awk '
+awk -v label="$label" '
 BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1
@@ -31,15 +38,35 @@ BEGIN { n = 0 }
     if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
 }
 END {
-    printf "{\n  \"benchmarks\": [\n"
+    printf "    {\n      \"label\": \"%s\",\n      \"benchmarks\": [\n", label
     for (i = 0; i < n; i++) {
         name = order[i]
-        printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns[name]
+        printf "        {\"name\": \"%s\", \"ns_per_op\": %s", name, ns[name]
         if (bytes[name] != "")  printf ", \"bytes_per_op\": %s", bytes[name]
         if (allocs[name] != "") printf ", \"allocs_per_op\": %s", allocs[name]
         printf "}%s\n", (i < n-1 ? "," : "")
     }
-    printf "  ]\n}\n"
-}' "$raw" > "$out"
+    printf "      ]\n    }\n"
+}' "$raw" > "$run"
 
-echo "wrote $out"
+if [ ! -s "$out" ]; then
+    { printf '{\n  "runs": [\n'; cat "$run"; printf '  ]\n}\n'; } > "$next"
+elif grep -q '"runs"' "$out"; then
+    # Append to existing history: drop the closing "  ]" / "}",
+    # comma-terminate the previous run, add the new one.
+    sed '$d' "$out" | sed '$d' | sed '$ s/}$/},/' > "$next"
+    cat "$run" >> "$next"
+    printf '  ]\n}\n' >> "$next"
+else
+    # Old single-run format: keep it as the pinned "baseline" entry.
+    {
+        printf '{\n  "runs": [\n    {\n      "label": "baseline",\n'
+        sed '1d;$d' "$out" | sed 's/^/    /'
+        printf '    },\n'
+    } > "$next"
+    cat "$run" >> "$next"
+    printf '  ]\n}\n' >> "$next"
+fi
+mv "$next" "$out"
+
+echo "appended run \"$label\" to $out"

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# bench_gate.sh — regression gate for the event-engine hot loop. Fails
+# if a fresh BenchmarkEngineHotLoop/heap4 run is more than MAX_REGRESS
+# percent (default 25) slower than the baseline recorded in
+# BENCH_engine.json (the oldest entry — the pinned baseline). The gate
+# takes the best of COUNT runs to damp scheduler noise on shared CI
+# runners.
+#
+# Usage: scripts/bench_gate.sh [baseline.json]
+# Env: MAX_REGRESS (default 25), BENCHTIME (default 1s), COUNT (default 5).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+baseline_file="${1:-BENCH_engine.json}"
+max="${MAX_REGRESS:-25}"
+
+base="$(grep -o '"name": "BenchmarkEngineHotLoop/heap4", "ns_per_op": [0-9.]*' \
+    "$baseline_file" | head -1 | awk '{print $NF}')"
+if [ -z "$base" ]; then
+    echo "no BenchmarkEngineHotLoop/heap4 baseline in $baseline_file" >&2
+    exit 1
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench 'EngineHotLoop/heap4' \
+    -benchtime "${BENCHTIME:-1s}" -count "${COUNT:-5}" \
+    ./internal/sim/ | tee "$raw"
+
+best="$(awk '/^BenchmarkEngineHotLoop\/heap4/ { if (best == "" || $3+0 < best+0) best = $3 } END { print best }' "$raw")"
+if [ -z "$best" ]; then
+    echo "benchmark produced no samples" >&2
+    exit 1
+fi
+
+awk -v base="$base" -v best="$best" -v max="$max" 'BEGIN {
+    lim = base * (1 + max / 100)
+    printf "heap4: baseline %.2f ns/op, best-of-run %.2f ns/op, limit %.2f ns/op (+%d%%)\n",
+        base, best, lim, max
+    if (best > lim) {
+        printf "FAIL: engine hot loop regressed beyond %d%%\n", max
+        exit 1
+    }
+    print "OK"
+}'
