@@ -77,7 +77,11 @@ func probe(prof device.Profile, op device.Op, seq bool, size int64, qd int, dur 
 
 func main() {
 	flag.Parse()
-	prof := device.ProfileByName(*profileFlag)
+	prof, err := device.ProfileByName(*profileFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	dur := sim.Duration(*runtimeFlag * float64(sim.Second))
 
 	type probeSpec struct {

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"isolbench/internal/core"
+	"isolbench/internal/harness"
+	"isolbench/internal/sim"
+)
+
+// setGoldenFlags pins the flag globals to the configuration the
+// testdata goldens were generated with (-quick -seed 1) and restores
+// them afterwards. Flags are package globals, so these tests must not
+// run in parallel.
+func setGoldenFlags(t *testing.T) {
+	t.Helper()
+	quick, seed, knob, prof := *quickFlag, *seedFlag, *knobFlag, *profFlag
+	paranoid, slo, cap := *paranoidFlag, *sloFlag, *obsCapFlag
+	*quickFlag, *seedFlag, *knobFlag, *profFlag = true, 1, "", "flash980"
+	*paranoidFlag, *sloFlag, *obsCapFlag = false, "", ""
+	t.Cleanup(func() {
+		*quickFlag, *seedFlag, *knobFlag, *profFlag = quick, seed, knob, prof
+		*paranoidFlag, *sloFlag, *obsCapFlag = paranoid, slo, cap
+	})
+}
+
+// runExp renders one experiment the way run() does: units from
+// unitsFor, the trailing blank on the last unit, harness output
+// concatenated in unit order.
+func runExp(t *testing.T, exp string) string {
+	t.Helper()
+	units, err := unitsFor(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units[len(units)-1] = withTrailingBlank(units[len(units)-1])
+	var buf bytes.Buffer
+	r := &harness.Runner{Workers: *workersFlag, Out: &buf}
+	if _, err := r.Run(context.Background(), units); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestQuickGoldens pins three representative experiments to their
+// checked-in quick-mode outputs, so any change that perturbs simulation
+// results — however indirectly — fails loudly instead of drifting the
+// paper's tables.
+func TestQuickGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-mode sweeps are multi-second runs")
+	}
+	setGoldenFlags(t)
+	for _, tc := range []struct{ exp, golden string }{
+		{"fig2", "golden_fig2_quick.txt"},
+		{"fig3", "golden_fig3_quick.txt"},
+		{"attribution", "golden_attribution_quick.txt"},
+	} {
+		tc := tc
+		t.Run(tc.exp, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := runExp(t, tc.exp)
+			if got != string(want) {
+				t.Errorf("%s output drifted from testdata/%s\n(regenerate with: isolbench -exp %s -quick -seed 1 > testdata/%s)",
+					tc.exp, tc.golden, tc.exp, tc.golden)
+			}
+		})
+	}
+}
+
+// fleetResumeUnits builds a small fleetscale sweep (three knobs with
+// churn) shaped like fleetscaleUnits' output but fast enough for a
+// test.
+func fleetResumeUnits(ran *atomic.Int32) []harness.Unit {
+	knobs := []core.Knob{core.KnobNone, core.KnobIOMax, core.KnobIOCost}
+	units := make([]harness.Unit, len(knobs))
+	for i, k := range knobs {
+		k := k
+		units[i] = harness.Unit{Key: "fleetscale/" + k.String() + "+churn", Run: func(ctx context.Context) (string, error) {
+			if ran != nil {
+				ran.Add(1)
+			}
+			cfg := core.FleetScaleConfig{
+				Knob: k, Tenants: []int{5, 12}, Devices: 2, Cores: 4,
+				Churn: true, ChurnRate: 200,
+				Warmup: 20 * sim.Millisecond, Measure: 80 * sim.Millisecond,
+				Seed: 7, Workers: 1, Control: core.RunControl{Ctx: ctx},
+			}
+			pts, err := core.RunFleetScale(cfg)
+			if err != nil {
+				return "", err
+			}
+			var buf bytes.Buffer
+			core.WriteFleetScale(&buf, cfg, pts)
+			return buf.String(), nil
+		}}
+	}
+	return units
+}
+
+// stripWallCol removes the trailing wall_ms column from fleetscale data
+// rows: it is the one wall-clock (nondeterministic) column, and a
+// resumed run mixes cached rows with freshly timed ones.
+func stripWallCol(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, ln := range lines {
+		if ln == "" || strings.HasPrefix(ln, "#") {
+			continue
+		}
+		ln = strings.TrimRight(ln, " \t")
+		if j := strings.LastIndexAny(ln, " \t"); j >= 0 {
+			lines[i] = strings.TrimRight(ln[:j], " \t")
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestFleetScaleResumeDeterministic interrupts a churning fleetscale
+// sweep after its first unit, resumes from the manifest, and requires
+// the resumed report to match an uninterrupted run modulo wall_ms —
+// the churn path must be replayable from a checkpoint like every other
+// experiment.
+func TestFleetScaleResumeDeterministic(t *testing.T) {
+	header := harness.Header{Exp: "fleetscale", Profile: "flash980", Seed: 7, Quick: true}
+
+	var clean bytes.Buffer
+	r := &harness.Runner{Workers: 2, Out: &clean}
+	if _, err := r.Run(context.Background(), fleetResumeUnits(nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel once the first unit has completed.
+	path := filepath.Join(t.TempDir(), "m.jsonl")
+	j, err := harness.Create(path, header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	units := fleetResumeUnits(nil)
+	first := units[0].Run
+	units[0].Run = func(ctx context.Context) (string, error) {
+		out, err := first(ctx)
+		cancel()
+		return out, err
+	}
+	var partial bytes.Buffer
+	ir := &harness.Runner{Workers: 2, Journal: j, Out: &partial}
+	if _, err := ir.Run(ctx, units); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+	j.Close()
+
+	// Resume: cached units must not re-run, and the stitched report
+	// must match the clean one byte-for-byte once wall_ms is stripped.
+	cache, j2, err := harness.Resume(path, header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(cache) == 0 {
+		t.Fatal("nothing journaled before the interrupt")
+	}
+	var ran atomic.Int32
+	var resumed bytes.Buffer
+	rr := &harness.Runner{Workers: 2, Cache: cache, Journal: j2, Out: &resumed}
+	if _, err := rr.Run(context.Background(), fleetResumeUnits(&ran)); err != nil {
+		t.Fatal(err)
+	}
+	if int(ran.Load()) != len(fleetResumeUnits(nil))-len(cache) {
+		t.Fatalf("%d units re-ran with a %d-entry cache", ran.Load(), len(cache))
+	}
+	if got, want := stripWallCol(resumed.String()), stripWallCol(clean.String()); got != want {
+		t.Fatalf("resumed fleetscale report diverged from the clean run:\nclean:\n%s\nresumed:\n%s", want, got)
+	}
+}

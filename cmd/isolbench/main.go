@@ -43,6 +43,7 @@ import (
 
 	"isolbench"
 	"isolbench/internal/core"
+	"isolbench/internal/device"
 	"isolbench/internal/fault"
 	"isolbench/internal/harness"
 	"isolbench/internal/obs"
@@ -52,7 +53,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment id: fig2|fig3|fig4|fig5|fig6|fig7|q10|tab1|resilience|attribution|all")
+	expFlag     = flag.String("exp", "all", "experiment id: fig2|fig3|fig4|fig5|fig6|fig7|q10|tab1|resilience|attribution|fleetscale|all (fleetscale is opt-in: it is not part of all)")
 	knobFlag    = flag.String("knob", "", "restrict to one knob (none|mq-deadline|bfq|io.max|io.latency|io.cost)")
 	quickFlag   = flag.Bool("quick", false, "short runs and coarse sweeps (fast, noisier)")
 	seedFlag    = flag.Uint64("seed", 1, "simulation seed")
@@ -69,7 +70,7 @@ var (
 
 	attrFlag   = flag.Bool("attr", false, "enable interference attribution: with -job prints the wait-for-whom blame matrix, with -exp resilience adds the blame_shift column")
 	sloFlag    = flag.String("slo", "", `burn-rate SLO monitor as "p99=500us[,budget=0.01][,burn=14][,fast=100ms][,slow=1s]" (implies observability)`)
-	obsCapFlag = flag.String("obs-cap", "", `observer ring capacities as "spans=N[,series=M]" (defaults 65536/8192; overflow evicts oldest and is counted)`)
+	obsCapFlag = flag.String("obs-cap", "", `observer ring capacities as "spans=N[,series=M][,cgroups=K]" (defaults 65536/8192/unbounded; ring overflow evicts oldest, cgroups past K fold into one aggregate bucket)`)
 
 	setFlags     knobFileFlags
 	statFlag     = flag.Bool("stat", false, "with -job: print each cgroup's io.stat after the run")
@@ -180,6 +181,11 @@ func control(ctx context.Context) core.RunControl {
 }
 
 func run(ctx context.Context) error {
+	// Fail fast on a bad -profile instead of erroring per unit deep in
+	// a sweep.
+	if _, err := device.ProfileByName(*profFlag); err != nil {
+		return err
+	}
 	if *jobFlag != "" {
 		return runJob(ctx, *jobFlag)
 	}
@@ -292,6 +298,8 @@ func unitsFor(exp string) ([]harness.Unit, error) {
 		return resilienceUnits()
 	case "attribution":
 		return attributionUnits()
+	case "fleetscale":
+		return fleetscaleUnits()
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", exp)
 	}
@@ -437,7 +445,10 @@ func fig5Units() ([]harness.Unit, error) {
 		}
 		units = append(units, harness.Unit{Key: key, Run: func(ctx context.Context) (string, error) {
 			byKnob, err := runpool.MapCtx(ctx, *workersFlag, len(ks), func(i int) ([]*core.FairnessResult, error) {
-				return core.FairnessScalability(ks[i], *profFlag, groupCounts, weighted, repeats, *seedFlag, *workersFlag, control(ctx))
+				return core.FairnessScalability(core.FairnessSweepConfig{
+					Knob: ks[i], Profile: *profFlag, GroupCounts: groupCounts, Weighted: weighted,
+					Repeats: repeats, Seed: *seedFlag, Workers: *workersFlag, Control: control(ctx),
+				})
 			})
 			if err != nil {
 				return "", err
@@ -633,6 +644,49 @@ func attributionUnits() ([]harness.Unit, error) {
 	}}, nil
 }
 
+func fleetscaleUnits() ([]harness.Unit, error) {
+	ks, err := knobs(true)
+	if err != nil {
+		return nil, err
+	}
+	counts := []int{10, 32, 100, 316, 1000, 3162, 10000}
+	if *quickFlag {
+		counts = []int{10, 100, 1000}
+	}
+	obsCap, err := parseObsCap(*obsCapFlag)
+	if err != nil {
+		return nil, err
+	}
+	// One unit per knob x {steady, churn} panel; tenant counts fan out
+	// across the worker pool inside each unit. WallMS is the only
+	// nondeterministic column.
+	var units []harness.Unit
+	for _, k := range ks {
+		for _, churn := range []bool{false, true} {
+			k, churn := k, churn
+			key := "fleetscale/" + k.String()
+			if churn {
+				key += "+churn"
+			}
+			units = append(units, harness.Unit{Key: key, Run: func(ctx context.Context) (string, error) {
+				cfg := core.FleetScaleConfig{
+					Knob: k, Profile: *profFlag, Tenants: counts, Churn: churn,
+					Measure: measure(1 * sim.Second), MaxCgroups: obsCap.MaxCgroups,
+					Seed: *seedFlag, Workers: *workersFlag, Control: control(ctx),
+				}
+				pts, err := core.RunFleetScale(cfg)
+				if err != nil {
+					return "", err
+				}
+				var buf bytes.Buffer
+				core.WriteFleetScale(&buf, cfg, pts)
+				return buf.String(), nil
+			}})
+		}
+	}
+	return units, nil
+}
+
 // parseSLO parses the -slo flag ("p99=500us,budget=0.01,burn=14,
 // fast=100ms,slow=1s"); empty input returns the zero config (off).
 func parseSLO(s string) (obs.SLOConfig, error) {
@@ -703,6 +757,8 @@ func parseObsCap(s string) (obs.Config, error) {
 			cfg.SpanCap = n
 		case "series":
 			cfg.SeriesCap = n
+		case "cgroups":
+			cfg.MaxCgroups = n
 		default:
 			return cfg, fmt.Errorf("-obs-cap: unknown key %q", kv[0])
 		}

@@ -118,6 +118,17 @@ type Controller interface {
 	Overheads() Overheads
 }
 
+// GroupDetacher is implemented by schedulers and controllers that keep
+// per-cgroup state (BFQ queues, io.cost vtime clocks, io.max buckets,
+// io.latency depth limits) and can drop it when a cgroup is removed
+// mid-run. Implementations must treat a detach for a cgroup that still
+// has queued or in-flight requests as a no-op — the caller drains the
+// cgroup's traffic first, so a refused detach indicates a teardown
+// ordering bug rather than a condition to handle.
+type GroupDetacher interface {
+	DetachGroup(cg int)
+}
+
 // Queue is the per-device request path: controller -> scheduler ->
 // dispatch lock -> device.
 type Queue struct {
@@ -223,6 +234,22 @@ func (q *Queue) Scheduler() Scheduler { return q.sched }
 
 // Controller returns the attached controller (nil when none).
 func (q *Queue) Controller() Controller { return q.ctl }
+
+// DetachGroup drops the scheduler's and controller's per-cgroup state
+// for a removed cgroup. Call only after the cgroup's traffic has fully
+// drained; components that still hold requests for the cgroup keep
+// their state (see GroupDetacher). Stages without per-cgroup state
+// (noop, mq-deadline) are skipped.
+func (q *Queue) DetachGroup(cg int) {
+	if d, ok := q.sched.(GroupDetacher); ok {
+		d.DetachGroup(cg)
+	}
+	if q.ctl != nil {
+		if d, ok := q.ctl.(GroupDetacher); ok {
+			d.DetachGroup(cg)
+		}
+	}
+}
 
 // PathOverheads returns the combined controller+scheduler overheads,
 // which the workload layer charges to the issuing core.

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"isolbench/internal/cgroup"
-	"isolbench/internal/device"
 	"isolbench/internal/metrics"
 	"isolbench/internal/runpool"
 	"isolbench/internal/sim"
@@ -91,7 +90,11 @@ func burstPriorityConfig(k Knob, prio, be, root *cgroup.Group) error {
 // steady value and stays there for 3 consecutive windows.
 func RunBurst(cfg BurstConfig) (*BurstResult, error) {
 	cfg = cfg.withDefaults()
-	cl, err := NewCluster(Options{Knob: cfg.Knob, Profile: device.ProfileByName(cfg.Profile), Cores: cfg.Cores, Seed: cfg.Seed, Control: cfg.Control})
+	prof, err := resolveProfile(cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := NewCluster(Options{Knob: cfg.Knob, Profile: prof, Cores: cfg.Cores, Seed: cfg.Seed, Control: cfg.Control})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"isolbench/internal/sim"
+	"isolbench/internal/workload"
+)
+
+// churnSpec is the test tenant template: one QD1 LC app.
+func churnSpec(name string) TenantSpec {
+	return TenantSpec{Name: name, Apps: []workload.Spec{workload.LCApp("", nil)}}
+}
+
+// TestChurnParanoidAcrossKnobs removes and adds tenants mid-window
+// under every knob with the paranoid checker armed: drained teardown
+// must keep every conservation law green, and a second window after
+// the churn must be green too.
+func TestChurnParanoidAcrossKnobs(t *testing.T) {
+	for _, k := range AllKnobs() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			cl, err := NewFleet(Options{
+				Knob: k, Devices: 2, Cores: 4, Seed: 11,
+				Control: RunControl{Paranoid: true},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tenants := make([]*Tenant, 0, 6)
+			for i := 0; i < 6; i++ {
+				tn, err := cl.AddTenant(churnSpec(""))
+				if err != nil {
+					t.Fatal(err)
+				}
+				tenants = append(tenants, tn)
+			}
+			// Three replace events inside the 200 ms measurement window
+			// (which opens after 50 ms warmup).
+			seq := 0
+			for _, off := range []sim.Duration{80, 130, 180} {
+				off := off
+				cl.Eng.At(sim.Time(0).Add(off*sim.Millisecond), func() {
+					for _, tn := range cl.Tenants {
+						if tn.removing {
+							continue
+						}
+						cl.RemoveTenant(tn, func(err error) {
+							if err != nil {
+								t.Errorf("teardown: %v", err)
+							}
+						})
+						break
+					}
+					if _, err := cl.AddTenant(churnSpec("")); err != nil {
+						t.Errorf("mid-run AddTenant: %v", err)
+					}
+					seq++
+				})
+			}
+			if err := cl.RunPhase(50*sim.Millisecond, 200*sim.Millisecond); err != nil {
+				t.Fatalf("churn window: %v", err)
+			}
+			// A fresh window after the churn must also hold. Drains are
+			// asynchronous and BFQ's slice idling stretches the quiesced
+			// tenants' final requests past the churn window, so removal
+			// completion is asserted after this window, not before it.
+			if err := cl.RunPhase(0, 100*sim.Millisecond); err != nil {
+				t.Fatalf("post-churn window: %v", err)
+			}
+			if got := cl.Removals(); got != 3 {
+				t.Fatalf("removals = %d, want 3", got)
+			}
+			if got := len(cl.Tenants); got != 6 {
+				t.Fatalf("live tenants = %d, want 6", got)
+			}
+			for _, tn := range tenants[:3] {
+				if !tn.Removed() {
+					t.Fatalf("tenant %s still live after drain", tn.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestRemoveTenantTwiceErrors pins the double-removal contract.
+func TestRemoveTenantTwiceErrors(t *testing.T) {
+	cl, err := NewFleet(Options{Knob: KnobNone, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := cl.AddTenant(churnSpec("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.RemoveTenant(tn, nil) // apps never started: drains synchronously
+	if !tn.Removed() {
+		t.Fatal("unstarted tenant should tear down synchronously")
+	}
+	var second error
+	cl.RemoveTenant(tn, func(err error) { second = err })
+	if second == nil {
+		t.Fatal("second removal should report an error")
+	}
+}
+
+// TestPlacementPolicies pins each policy's device choice.
+func TestPlacementPolicies(t *testing.T) {
+	add := func(cl *Fleet, spec TenantSpec) int {
+		t.Helper()
+		tn, err := cl.AddTenant(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tn.Device
+	}
+	// Round-robin cycles; pinning overrides.
+	cl, err := NewFleet(Options{Knob: KnobNone, Devices: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{0, 1, 2, 0} {
+		if got := add(cl, churnSpec("")); got != want {
+			t.Fatalf("round-robin tenant %d on device %d, want %d", i, got, want)
+		}
+	}
+	pin := churnSpec("")
+	pin.PinDevice, pin.Device = true, 2
+	if got := add(cl, pin); got != 2 {
+		t.Fatalf("pinned tenant on device %d, want 2", got)
+	}
+
+	// Packed fills device 0 up to the limit, then spills.
+	cl, err = NewFleet(Options{Knob: KnobNone, Devices: 2, Seed: 1,
+		Placement: PlacePacked, PackLimit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{0, 0, 1, 1} {
+		if got := add(cl, churnSpec("")); got != want {
+			t.Fatalf("packed tenant %d on device %d, want %d", i, got, want)
+		}
+	}
+	if _, err := cl.AddTenant(churnSpec("overflow")); err == nil {
+		t.Fatal("packed fleet at PackLimit accepted another tenant")
+	}
+
+	// Weighted spread balances placement-weight sums.
+	cl, err = NewFleet(Options{Knob: KnobNone, Devices: 2, Seed: 1,
+		Placement: PlaceWeightedSpread})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := churnSpec("")
+	heavy.Weight = 3
+	if got := add(cl, heavy); got != 0 {
+		t.Fatalf("first tenant on device %d, want 0", got)
+	}
+	for i := 0; i < 3; i++ { // weight-1 tenants fill device 1 up to 3
+		if got := add(cl, churnSpec("")); got != 1 {
+			t.Fatalf("light tenant %d on device %d, want 1", i, got)
+		}
+	}
+	if got := add(cl, churnSpec("")); got != 0 {
+		t.Fatalf("balanced tenant on device %d, want 0", got)
+	}
+}
+
+// fleetScaleTestConfig is a small fast churn sweep shared by the
+// determinism tests.
+func fleetScaleTestConfig() FleetScaleConfig {
+	return FleetScaleConfig{
+		Knob: KnobIOCost, Tenants: []int{5, 16}, Devices: 2, Cores: 4,
+		Churn: true, ChurnRate: 200,
+		Warmup: 20 * sim.Millisecond, Measure: 100 * sim.Millisecond,
+		Seed: 7,
+	}
+}
+
+// stripWall zeroes the one nondeterministic field.
+func stripWall(pts []FleetScalePoint) []FleetScalePoint {
+	out := make([]FleetScalePoint, len(pts))
+	copy(out, pts)
+	for i := range out {
+		out[i].WallMS = 0
+	}
+	return out
+}
+
+// TestFleetScaleDeterministicAcrossWorkers requires identical points
+// (modulo wall clock) at pool widths 1 and 8.
+func TestFleetScaleDeterministicAcrossWorkers(t *testing.T) {
+	cfg := fleetScaleTestConfig()
+	cfg.Workers = 1
+	seq, err := RunFleetScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	par, err := RunFleetScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripWall(seq), stripWall(par)) {
+		t.Fatalf("workers=1 and workers=8 diverge:\n%+v\n%+v", stripWall(seq), stripWall(par))
+	}
+}
+
+// TestFleetScaleObsInvariant requires that enabling the observer (via
+// paranoid mode, which also arms the invariant checker and the
+// MaxCgroups fold) changes nothing but the Folded count.
+func TestFleetScaleObsInvariant(t *testing.T) {
+	plain := fleetScaleTestConfig()
+	bare, err := RunFleetScale(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := fleetScaleTestConfig()
+	observed.Control.Paranoid = true
+	observed.MaxCgroups = 4 // force folding during the run
+	obs, err := RunFleetScale(observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strip := func(pts []FleetScalePoint) []FleetScalePoint {
+		out := stripWall(pts)
+		for i := range out {
+			out[i].Folded = 0
+		}
+		return out
+	}
+	if !reflect.DeepEqual(strip(bare), strip(obs)) {
+		t.Fatalf("observer perturbed the run:\nbare %+v\nobs  %+v", strip(bare), strip(obs))
+	}
+	var folded bool
+	for _, p := range obs {
+		if p.Folded > 0 {
+			folded = true
+		}
+	}
+	if !folded {
+		t.Fatal("MaxCgroups=4 with 5+ tenants never folded — the bound is not engaged")
+	}
+}
+
+// TestFleetScale10kChurn is the acceptance run: ten thousand tenants
+// with churn and the paranoid checker, bounded observer memory. The
+// window is short — the point is the population scale, not the I/O
+// volume.
+func TestFleetScale10kChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-tenant fleet is a multi-second run")
+	}
+	pts, err := RunFleetScale(FleetScaleConfig{
+		Knob: KnobIOCost, Tenants: []int{10000}, Churn: true, ChurnRate: 500,
+		Warmup: 10 * sim.Millisecond, Measure: 40 * sim.Millisecond,
+		MaxCgroups: 64, Seed: 1, Workers: 1,
+		Control: RunControl{Paranoid: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pts[0]
+	if p.Tenants != 10000 || p.IOPS <= 0 {
+		t.Fatalf("degenerate point: %+v", p)
+	}
+	if p.Removes == 0 {
+		t.Fatal("churn never completed a teardown")
+	}
+	if p.Folded == 0 {
+		t.Fatal("10k cgroups with MaxCgroups=64 never folded")
+	}
+}
+
+// BenchmarkFleetTenants measures one churning fleetscale window at two
+// population sizes — the number that must stay near-linear in N for
+// the 10k acceptance run to be tractable (the io.cost weight-refresh
+// memoization is what keeps it so).
+func BenchmarkFleetTenants(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		n := n
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := FleetScaleConfig{
+					Knob: KnobIOCost, Tenants: []int{n}, Churn: true, ChurnRate: 200,
+					Warmup: 10 * sim.Millisecond, Measure: 50 * sim.Millisecond,
+					MaxCgroups: 64, Seed: uint64(i) + 1, Workers: 1,
+				}
+				if _, err := RunFleetScale(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,20 +1,12 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"isolbench/internal/blk"
-	"isolbench/internal/cgroup"
 	"isolbench/internal/device"
 	"isolbench/internal/fault"
 	"isolbench/internal/host"
-	"isolbench/internal/ioctl/iocost"
-	"isolbench/internal/ioctl/iolatency"
-	"isolbench/internal/ioctl/iomax"
-	"isolbench/internal/iosched/bfq"
-	"isolbench/internal/iosched/mqdeadline"
-	"isolbench/internal/iosched/noop"
 	"isolbench/internal/metrics"
 	"isolbench/internal/obs"
 	"isolbench/internal/obs/attr"
@@ -37,7 +29,7 @@ const (
 	UnthrottledCostQoS   = "enable=0 min=100.00 max=100.00"
 )
 
-// Options configures a testbed cluster.
+// Options configures a testbed fleet.
 type Options struct {
 	Knob    Knob
 	Profile device.Profile // zero value -> flash980
@@ -45,6 +37,13 @@ type Options struct {
 	Cores   int            // CPU cores (default 20, the paper's host)
 	Seed    uint64
 	Costs   host.Costs // zero value -> host.DefaultCosts()
+
+	// Placement selects which device column a new tenant lands on
+	// (AddTenant); the zero value is round-robin. PackLimit bounds the
+	// tenants per device under PlacePacked (0 = pack everything on
+	// device 0).
+	Placement Placement
+	PackLimit int
 
 	// BFQSliceIdleOff disables BFQ's slice_idle (the paper does this
 	// for overhead experiments).
@@ -63,7 +62,7 @@ type Options struct {
 	Precondition bool
 
 	// Observe enables the observability layer: an obs.Observer is
-	// created on the cluster's engine and wired into every queue,
+	// created on the fleet's engine and wired into every queue,
 	// controller, scheduler, and device, and registered as the cgroup
 	// tree's io.stat/io.pressure provider. Off (the default) leaves
 	// every hook holding a nil observer — the one-branch fast path.
@@ -90,7 +89,7 @@ type Options struct {
 	SLO obs.SLOConfig
 
 	// Fault, when Enabled, attaches a per-device fault.Injector (seeded
-	// from the cluster seed and device index, on a stream independent
+	// from the fleet seed and device index, on a stream independent
 	// of the device's own jitter RNG) and defaults Retry to
 	// blk.DefaultRetryPolicy. The zero profile changes nothing — no
 	// injector is attached and no watchdog events are scheduled, so
@@ -102,7 +101,7 @@ type Options struct {
 	Retry blk.RetryPolicy
 
 	// Control wires run-resilience (cancellation, deadlines, watchdog,
-	// paranoid invariant checks) into the cluster's engine. The zero
+	// paranoid invariant checks) into the fleet's engine. The zero
 	// value arms nothing.
 	Control RunControl
 }
@@ -145,333 +144,18 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Cluster is one assembled testbed: engine, CPU, cgroup tree, devices,
-// queues wired for the chosen knob, and the apps added so far.
-type Cluster struct {
-	Opts Options
-
-	Eng     *sim.Engine
-	CPU     *host.CPU
-	Tree    *cgroup.Tree
-	Devices []*device.Device
-	Queues  []*blk.Queue
-	Slice   *cgroup.Group // the management group tenant groups live under
-
-	// Obs is the observability hub; nil unless Options.Observe.
-	Obs *obs.Observer
-
-	// Attr is the wait-for-whom tracker; nil unless Options.Attr.
-	Attr *attr.Tracker
-
-	// Faults holds each device's injector when Options.Fault is
-	// enabled (index by device); nil otherwise.
-	Faults []*fault.Injector
-
-	// Knob-specific controller handles for introspection (index by
-	// device); nil slices when the knob does not use them.
-	IOLat  []*iolatency.Controller
-	IOCost []*iocost.Controller
-
-	Apps   []*workload.App
-	Groups []*cgroup.Group
-
-	appSeq     uint64
-	appDev     []int // device index per app, parallel to Apps
-	started    bool
-	busyBefore []sim.Duration
-	ctxBefore  float64
-	cycBefore  float64
-	iosBefore  uint64
-	measStart  sim.Time
-
-	// obsBase holds the io.stat byte total at measStart so the paranoid
-	// window check can compare app-window bytes against the io.stat
-	// delta; obsBaseSet marks that the snapshot exists.
-	obsBase    int64
-	obsBaseSet bool
-	// incidentNoted dedups the obs incident for a sticky engine error
-	// reported by several RunPhase/RunTo calls.
-	incidentNoted bool
-}
+// Cluster is the legacy name for a Fleet: the single-device experiments
+// predate the fleet layer and keep reading naturally through this
+// alias.
+type Cluster = Fleet
 
 // DevName returns the "major:minor" name of device i as used in cgroup
 // control files.
 func DevName(i int) string { return fmt.Sprintf("259:%d", i) }
 
-// NewCluster assembles a testbed for the given options.
-func NewCluster(opts Options) (*Cluster, error) {
-	opts = opts.withDefaults()
-	c := &Cluster{
-		Opts: opts,
-		Eng:  sim.NewEngine(),
-		Tree: cgroup.NewTree(),
-	}
-	c.CPU = host.NewCPU(c.Eng, opts.Cores)
-	if opts.Control.armed() {
-		c.Eng.SetWatchdog(opts.Control.watchdog())
-	}
-
-	if opts.Observe {
-		c.Obs = obs.NewWithConfig(c.Eng, opts.ObsConfig)
-		c.Obs.CgroupName = func(id int) string {
-			if g := c.Tree.ByID(id); g != nil {
-				return g.Path()
-			}
-			return ""
-		}
-		c.Tree.SetStatProvider(c.Obs)
-	}
-	if opts.Attr {
-		c.Attr = attr.NewTracker(c.Eng, opts.AttrConfig)
-		c.Obs.Attr = c.Attr
-		// Every CPU core gets an occupancy ledger so submission/reap
-		// queueing can be blamed on the cgroup holding the core.
-		for _, core := range c.CPU.Cores {
-			core.SetLedger(c.Attr.NewLedger(attr.LayerCPU))
-		}
-	}
-	if opts.SLO.P99 > 0 {
-		c.Obs.EnableSLO(opts.SLO)
-	}
-
-	slice, err := c.Tree.Root().Create("isolbench.slice")
-	if err != nil {
-		return nil, err
-	}
-	if err := slice.EnableController("io"); err != nil {
-		return nil, err
-	}
-	c.Slice = slice
-
-	// io.cost config must be on the root before controllers attach.
-	if opts.Knob == KnobIOCost {
-		for i := 0; i < opts.Devices; i++ {
-			if err := c.Tree.Root().SetFile("io.cost.model", DevName(i)+" "+opts.IOCostModel); err != nil {
-				return nil, fmt.Errorf("io.cost.model: %w", err)
-			}
-			if err := c.Tree.Root().SetFile("io.cost.qos", DevName(i)+" "+opts.IOCostQoS); err != nil {
-				return nil, fmt.Errorf("io.cost.qos: %w", err)
-			}
-		}
-	}
-
-	for i := 0; i < opts.Devices; i++ {
-		dev, err := device.New(c.Eng, opts.Profile, opts.Seed*1000003+uint64(i)+1)
-		if err != nil {
-			return nil, err
-		}
-		if opts.Precondition {
-			dev.Precondition()
-		}
-		var sched blk.Scheduler
-		var ctl blk.Controller
-		switch opts.Knob {
-		case KnobMQDeadline:
-			md := mqdeadline.New(c.Eng, mqdeadline.DefaultConfig())
-			md.Obs = c.Obs
-			sched = md
-		case KnobBFQ:
-			cfg := bfq.DefaultConfig()
-			if opts.BFQSliceIdleOff {
-				cfg.SliceIdle = 0
-			}
-			cfg.LowLatency = opts.BFQLowLatency
-			bq := bfq.New(c.Eng, cfg)
-			bq.Obs = c.Obs
-			sched = bq
-		case KnobIOMax:
-			sched = noop.New()
-			im := iomax.New(c.Eng, c.Tree, DevName(i))
-			im.Obs = c.Obs
-			ctl = im
-		case KnobIOLatency:
-			sched = noop.New()
-			il := iolatency.New(c.Eng, c.Tree, DevName(i), opts.Profile.MaxQD)
-			il.Obs = c.Obs
-			c.IOLat = append(c.IOLat, il)
-			ctl = il
-		case KnobIOCost:
-			sched = noop.New()
-			ic := iocost.New(c.Eng, c.Tree, DevName(i))
-			ic.Obs = c.Obs
-			c.IOCost = append(c.IOCost, ic)
-			ctl = ic
-		default:
-			sched = noop.New()
-		}
-		if c.Obs != nil {
-			name := DevName(i)
-			dev.OnGC = func(active bool, debtBytes int64) {
-				on := 0.0
-				if active {
-					on = 1
-				}
-				c.Obs.Sample("dev.gc_active."+name, -1, on)
-				c.Obs.Sample("dev.gc_debt."+name, -1, float64(debtBytes))
-			}
-		}
-		if opts.Fault.Enabled() {
-			// The injector's seed stream is disjoint from the device
-			// seed (opts.Seed*1000003+i+1) so attaching faults never
-			// perturbs the device's own jitter draws.
-			in, err := fault.NewInjector(opts.Fault, opts.Seed*2654435761+uint64(i)+500009)
-			if err != nil {
-				return nil, fmt.Errorf("fault profile: %w", err)
-			}
-			dev.AttachFaults(in)
-			c.Faults = append(c.Faults, in)
-		}
-		c.Devices = append(c.Devices, dev)
-		q := blk.NewQueue(c.Eng, dev, sched, ctl)
-		q.SetObserver(c.Obs, DevName(i))
-		if c.Attr != nil {
-			q.SetAttribution(c.Attr)
-			// Schedulers share the queue's dispatch-stream ledger so
-			// they can own intervals where nothing dispatches (BFQ
-			// idling, MQ-DL strict-priority recency blocks);
-			// controllers charge their throttle holds directly.
-			switch s := sched.(type) {
-			case *mqdeadline.Scheduler:
-				s.Led = q.SchedLedger()
-			case *bfq.Scheduler:
-				s.Led = q.SchedLedger()
-			}
-			switch t := ctl.(type) {
-			case *iomax.Controller:
-				t.Attr = c.Attr
-			case *iolatency.Controller:
-				t.Attr = c.Attr
-			case *iocost.Controller:
-				t.Attr = c.Attr
-			}
-		}
-		retry := opts.Retry
-		if retry == (blk.RetryPolicy{}) && opts.Fault.Enabled() {
-			retry = blk.DefaultRetryPolicy()
-		}
-		if retry != (blk.RetryPolicy{}) {
-			q.SetRetryPolicy(retry)
-		}
-		c.Queues = append(c.Queues, q)
-	}
-	return c, nil
-}
-
-// NewGroup creates a tenant process group under the benchmark slice.
-func (c *Cluster) NewGroup(name string) (*cgroup.Group, error) {
-	g, err := c.Slice.Create(name)
-	if err != nil {
-		return nil, err
-	}
-	c.Groups = append(c.Groups, g)
-	return g, nil
-}
-
-// AddApp creates an app bound to device dev and registers it.
-func (c *Cluster) AddApp(spec workload.Spec, dev int) (*workload.App, error) {
-	if dev < 0 || dev >= len(c.Queues) {
-		return nil, fmt.Errorf("core: device index %d out of range", dev)
-	}
-	c.appSeq++
-	app, err := workload.NewApp(c.Eng, c.CPU, c.Opts.Costs, c.Queues[dev],
-		spec, c.Opts.Seed*7919+c.appSeq)
-	if err != nil {
-		return nil, err
-	}
-	if c.Attr != nil {
-		app.SetAttribution(c.Attr)
-	}
-	c.Apps = append(c.Apps, app)
-	c.appDev = append(c.appDev, dev)
-	return app, nil
-}
-
-// Start arms every app.
-func (c *Cluster) Start() {
-	if c.started {
-		return
-	}
-	c.started = true
-	for _, a := range c.Apps {
-		a.Start()
-	}
-}
-
-// RunPhase runs warmup (discarded) then a measurement window.
-// It may be called repeatedly; each call opens a fresh window.
-//
-// The error is non-nil only when the engine stopped early: the run
-// context was canceled (errors.Is(err, context.Canceled)), the
-// watchdog aborted the unit (errors.Is(err, sim.ErrWatchdog)), or —
-// in paranoid mode — an invariant was violated at window end.
-func (c *Cluster) RunPhase(warmup, measure sim.Duration) error {
-	c.Start()
-	c.Eng.RunUntil(c.Eng.Now().Add(warmup))
-	if err := c.runErr(); err != nil {
-		return err
-	}
-	for _, a := range c.Apps {
-		a.ResetMetrics()
-	}
-	c.busyBefore = c.CPU.BusySnapshot()
-	c.ctxBefore, c.cycBefore, c.iosBefore = c.CPU.Counters()
-	c.measStart = c.Eng.Now()
-	if c.Opts.Control.Paranoid {
-		c.snapshotParanoid()
-	}
-	c.Eng.RunUntil(c.Eng.Now().Add(measure))
-	if err := c.runErr(); err != nil {
-		return err
-	}
-	if c.Opts.Control.Paranoid {
-		return c.checkAndNote()
-	}
-	return nil
-}
-
-// RunTo starts the cluster (if necessary) and runs the engine to
-// absolute virtual time t — the open-loop variant of RunPhase used by
-// the burst and illustrate experiments. Error semantics match
-// RunPhase.
-func (c *Cluster) RunTo(t sim.Time) error {
-	c.Start()
-	c.Eng.RunUntil(t)
-	if err := c.runErr(); err != nil {
-		return err
-	}
-	if c.Opts.Control.Paranoid {
-		return c.checkAndNote()
-	}
-	return nil
-}
-
-// runErr surfaces the engine's sticky stop reason, recording it once
-// as an obs incident so aborts show up in exports and summaries.
-func (c *Cluster) runErr() error {
-	err := c.Eng.Err()
-	if err == nil {
-		return nil
-	}
-	if c.Obs != nil && !c.incidentNoted {
-		c.incidentNoted = true
-		kind := obs.IncidentCancel
-		if errors.Is(err, sim.ErrWatchdog) {
-			kind = obs.IncidentWatchdog
-		}
-		c.Obs.RecordIncident(kind, err.Error())
-	}
-	return err
-}
-
-// checkAndNote runs the paranoid invariant suite and records a
-// violation as an obs incident before returning it.
-func (c *Cluster) checkAndNote() error {
-	err := c.CheckInvariants()
-	if err != nil && c.Obs != nil {
-		c.Obs.RecordIncident(obs.IncidentInvariant, err.Error())
-	}
-	return err
-}
+// NewCluster assembles a testbed for the given options (alias of
+// NewFleet, kept for the pre-fleet experiment code).
+func NewCluster(opts Options) (*Cluster, error) { return NewFleet(opts) }
 
 // GroupStats aggregates one tenant group's apps over the measurement
 // window.
@@ -501,8 +185,8 @@ type Result struct {
 	CyclesPerIO float64
 	IOs         uint64
 
-	// Recovery-path counters, summed over the cluster's queues. These
-	// are cumulative since cluster construction (the blk layer has no
+	// Recovery-path counters, summed over the fleet's queues. These
+	// are cumulative since fleet construction (the blk layer has no
 	// warmup reset) — zero on healthy runs.
 	Errors   uint64
 	Retries  uint64
@@ -514,7 +198,10 @@ type Result struct {
 }
 
 // Result collects measurements for the window opened by RunPhase.
-func (c *Cluster) Result() Result {
+// Tenants removed during the window are not represented — their apps
+// left the roster at teardown (the fleetscale experiment reads churned
+// windows through the aggregate device counters instead).
+func (c *Fleet) Result() Result {
 	span := c.Eng.Now().Sub(c.measStart)
 	res := Result{Knob: c.Opts.Knob, Span: span}
 
@@ -577,8 +264,8 @@ type groupAcc struct {
 }
 
 // MergedHistogram returns the merged latency histogram across all apps
-// in the cluster (for CDF extraction over the last window).
-func (c *Cluster) MergedHistogram() *metrics.Histogram {
+// in the fleet (for CDF extraction over the last window).
+func (c *Fleet) MergedHistogram() *metrics.Histogram {
 	var h metrics.Histogram
 	for _, a := range c.Apps {
 		h.Merge(a.Histogram())

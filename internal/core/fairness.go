@@ -191,8 +191,13 @@ func RunFairness(cfg FairnessConfig) (*FairnessResult, error) {
 // runFairnessRepeat runs one seeded repeat of a fairness cell and
 // returns the per-group and aggregate bandwidths.
 func runFairnessRepeat(cfg FairnessConfig, weights []float64, rep int) ([]float64, float64, error) {
+	prof, err := resolveProfile(cfg.Profile)
+	if err != nil {
+		return nil, 0, err
+	}
 	opts := Options{
 		Knob:         cfg.Knob,
+		Profile:      prof,
 		Cores:        cfg.Cores,
 		Seed:         cfg.Seed + uint64(rep)*101,
 		Precondition: cfg.Mix == MixReadWrite,
@@ -251,17 +256,35 @@ func runFairnessRepeat(cfg FairnessConfig, weights []float64, rep int) ([]float6
 	return bws, r.AggregateBW, nil
 }
 
-// FairnessScalability runs the Fig. 5 sweep: group counts x
-// {uniform, weighted} for one knob. Group counts fan out across
-// workers; each cell's repeats fan out in turn.
-func FairnessScalability(k Knob, profile string, groupCounts []int, weighted bool, repeats int, seed uint64, workers int, ctl RunControl) ([]*FairnessResult, error) {
-	if len(groupCounts) == 0 {
-		groupCounts = []int{2, 4, 8, 16}
+// FairnessSweepConfig parameterizes the Fig. 5 sweep: group counts x
+// {uniform, weighted} for one knob. It is the template shape for
+// sweep-style runner configs (cf. FleetScaleConfig).
+type FairnessSweepConfig struct {
+	Knob        Knob
+	Profile     string
+	GroupCounts []int // nil -> {2, 4, 8, 16}
+	Weighted    bool
+	Repeats     int
+	Seed        uint64
+	Workers     int        // group-count fan-out (<=0 GOMAXPROCS, 1 sequential)
+	Control     RunControl // cancellation/watchdog/paranoid settings
+}
+
+func (c FairnessSweepConfig) withDefaults() FairnessSweepConfig {
+	if len(c.GroupCounts) == 0 {
+		c.GroupCounts = []int{2, 4, 8, 16}
 	}
-	return runpool.MapCtx(ctl.Ctx, workers, len(groupCounts), func(i int) (*FairnessResult, error) {
+	return c
+}
+
+// FairnessScalability runs the Fig. 5 sweep. Group counts fan out
+// across workers; each cell's repeats fan out in turn.
+func FairnessScalability(cfg FairnessSweepConfig) ([]*FairnessResult, error) {
+	cfg = cfg.withDefaults()
+	return runpool.MapCtx(cfg.Control.Ctx, cfg.Workers, len(cfg.GroupCounts), func(i int) (*FairnessResult, error) {
 		return RunFairness(FairnessConfig{
-			Knob: k, Profile: profile, Groups: groupCounts[i], Weighted: weighted,
-			Repeats: repeats, Seed: seed, Workers: workers, Control: ctl,
+			Knob: cfg.Knob, Profile: cfg.Profile, Groups: cfg.GroupCounts[i], Weighted: cfg.Weighted,
+			Repeats: cfg.Repeats, Seed: cfg.Seed, Workers: cfg.Workers, Control: cfg.Control,
 		})
 	})
 }

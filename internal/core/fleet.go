@@ -1,0 +1,480 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"isolbench/internal/blk"
+	"isolbench/internal/cgroup"
+	"isolbench/internal/device"
+	"isolbench/internal/fault"
+	"isolbench/internal/host"
+	"isolbench/internal/ioctl/iocost"
+	"isolbench/internal/ioctl/iolatency"
+	"isolbench/internal/ioctl/iomax"
+	"isolbench/internal/iosched/bfq"
+	"isolbench/internal/iosched/mqdeadline"
+	"isolbench/internal/iosched/noop"
+	"isolbench/internal/obs"
+	"isolbench/internal/obs/attr"
+	"isolbench/internal/sim"
+	"isolbench/internal/workload"
+)
+
+// Placement selects which device column a new tenant lands on when its
+// spec does not pin one.
+type Placement int
+
+// Placement policies.
+const (
+	// PlaceRoundRobin cycles tenants across devices in arrival order
+	// (the default; matches how earlier experiments spread apps).
+	PlaceRoundRobin Placement = iota
+	// PlacePacked fills the lowest-indexed device up to Options.PackLimit
+	// tenants before spilling to the next; with PackLimit 0 every tenant
+	// lands on device 0 — the worst-case-contention policy.
+	PlacePacked
+	// PlaceWeightedSpread puts each tenant on the device with the
+	// smallest placement-weight sum (lowest index on ties), balancing
+	// heterogeneous tenants rather than counts.
+	PlaceWeightedSpread
+)
+
+func (p Placement) String() string {
+	switch p {
+	case PlacePacked:
+		return "packed"
+	case PlaceWeightedSpread:
+		return "weighted-spread"
+	default:
+		return "round-robin"
+	}
+}
+
+// DeviceColumn is one device's full request path: the device itself,
+// its blk queue (scheduler + controller wired for the fleet's knob),
+// and the optional fault injector and controller handles. Columns are
+// the unit of placement — a tenant's apps all feed one column.
+type DeviceColumn struct {
+	Index  int
+	Dev    *device.Device
+	Queue  *blk.Queue
+	Fault  *fault.Injector       // nil unless Options.Fault is enabled
+	IOLat  *iolatency.Controller // nil unless the knob is io.latency
+	IOCost *iocost.Controller    // nil unless the knob is io.cost
+}
+
+// Fleet is the assembled testbed: engine, CPU, cgroup tree, N device
+// columns, and the tenants/apps added so far. It supports mid-run
+// churn — AddTenant/RemoveTenant while the engine runs — with drained
+// teardown so the conservation invariants keep holding.
+//
+// Cluster is an alias of Fleet; the single-device experiments use the
+// legacy name and never touch the tenant API.
+type Fleet struct {
+	Opts Options
+
+	Eng     *sim.Engine
+	CPU     *host.CPU
+	Tree    *cgroup.Tree
+	Devices []*device.Device
+	Queues  []*blk.Queue
+	Slice   *cgroup.Group // the management group tenant groups live under
+
+	// Columns holds the per-device request paths, parallel to Devices
+	// and Queues.
+	Columns []*DeviceColumn
+
+	// Obs is the observability hub; nil unless Options.Observe.
+	Obs *obs.Observer
+
+	// Attr is the wait-for-whom tracker; nil unless Options.Attr.
+	Attr *attr.Tracker
+
+	// Faults holds each device's injector when Options.Fault is
+	// enabled (index by device); nil otherwise.
+	Faults []*fault.Injector
+
+	// Knob-specific controller handles for introspection (index by
+	// device); nil slices when the knob does not use them.
+	IOLat  []*iolatency.Controller
+	IOCost []*iocost.Controller
+
+	Apps   []*workload.App
+	Groups []*cgroup.Group
+
+	// Tenants lists the live tenant handles in creation order (removed
+	// tenants drop out once their teardown finishes).
+	Tenants []*Tenant
+
+	appSeq     uint64
+	appDev     []int // device index per app, parallel to Apps
+	started    bool
+	busyBefore []sim.Duration
+	ctxBefore  float64
+	cycBefore  float64
+	iosBefore  uint64
+	measStart  sim.Time
+
+	// Placement bookkeeping: tenant count and placement-weight sum per
+	// device column.
+	tenantSeq  int
+	rrNext     int
+	devTenants []int
+	devLoad    []float64
+	removals   int
+
+	// Churn accounting for the paranoid checker. Removed tenants leave
+	// the Apps roster, so their window-banked bytes (and edge slack)
+	// move into these accumulators; both reset when a new measurement
+	// window opens. maxReqSize tracks the largest request size any app
+	// ever used, so the device-vs-io.stat slack stays valid after the
+	// app that set it is gone. churnViolations records teardown failures
+	// (a cgroup that refused removal) for CheckInvariants.
+	retiredR        int64
+	retiredW        int64
+	retiredSlack    int64
+	maxReqSize      int64
+	churnViolations []string
+
+	// obsBase holds the io.stat byte total at measStart so the paranoid
+	// window check can compare app-window bytes against the io.stat
+	// delta; obsBaseSet marks that the snapshot exists.
+	obsBase    int64
+	obsBaseSet bool
+	// incidentNoted dedups the obs incident for a sticky engine error
+	// reported by several RunPhase/RunTo calls.
+	incidentNoted bool
+}
+
+// NewFleet assembles a testbed for the given options.
+func NewFleet(opts Options) (*Fleet, error) {
+	opts = opts.withDefaults()
+	c := &Fleet{
+		Opts: opts,
+		Eng:  sim.NewEngine(),
+		Tree: cgroup.NewTree(),
+	}
+	c.CPU = host.NewCPU(c.Eng, opts.Cores)
+	if opts.Control.armed() {
+		c.Eng.SetWatchdog(opts.Control.watchdog())
+	}
+
+	if opts.Observe {
+		c.Obs = obs.NewWithConfig(c.Eng, opts.ObsConfig)
+		c.Obs.CgroupName = func(id int) string {
+			if g := c.Tree.ByID(id); g != nil {
+				return g.Path()
+			}
+			return ""
+		}
+		c.Tree.SetStatProvider(c.Obs)
+	}
+	if opts.Attr {
+		c.Attr = attr.NewTracker(c.Eng, opts.AttrConfig)
+		c.Obs.Attr = c.Attr
+		// Every CPU core gets an occupancy ledger so submission/reap
+		// queueing can be blamed on the cgroup holding the core.
+		for _, core := range c.CPU.Cores {
+			core.SetLedger(c.Attr.NewLedger(attr.LayerCPU))
+		}
+	}
+	if opts.SLO.P99 > 0 {
+		c.Obs.EnableSLO(opts.SLO)
+	}
+
+	slice, err := c.Tree.Root().Create("isolbench.slice")
+	if err != nil {
+		return nil, err
+	}
+	if err := slice.EnableController("io"); err != nil {
+		return nil, err
+	}
+	c.Slice = slice
+
+	// io.cost config must be on the root before controllers attach.
+	if opts.Knob == KnobIOCost {
+		for i := 0; i < opts.Devices; i++ {
+			if err := c.configureIOCostRoot(i); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for i := 0; i < opts.Devices; i++ {
+		if err := c.addColumn(i); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// configureIOCostRoot writes the root io.cost.model/io.cost.qos lines
+// for device i.
+func (c *Fleet) configureIOCostRoot(i int) error {
+	if err := c.Tree.Root().SetFile("io.cost.model", DevName(i)+" "+c.Opts.IOCostModel); err != nil {
+		return fmt.Errorf("io.cost.model: %w", err)
+	}
+	if err := c.Tree.Root().SetFile("io.cost.qos", DevName(i)+" "+c.Opts.IOCostQoS); err != nil {
+		return fmt.Errorf("io.cost.qos: %w", err)
+	}
+	return nil
+}
+
+// addColumn builds device column i: the device, the knob's scheduler
+// and controller, the observability/attribution/fault wiring, and the
+// blk queue, in exactly the order the original single-loop constructor
+// used (the seed derivations depend on the device index only, so
+// columns added later draw the same streams they always would have).
+func (c *Fleet) addColumn(i int) error {
+	opts := c.Opts
+	dev, err := device.New(c.Eng, opts.Profile, opts.Seed*1000003+uint64(i)+1)
+	if err != nil {
+		return err
+	}
+	if opts.Precondition {
+		dev.Precondition()
+	}
+	col := &DeviceColumn{Index: i, Dev: dev}
+	var sched blk.Scheduler
+	var ctl blk.Controller
+	switch opts.Knob {
+	case KnobMQDeadline:
+		md := mqdeadline.New(c.Eng, mqdeadline.DefaultConfig())
+		md.Obs = c.Obs
+		sched = md
+	case KnobBFQ:
+		cfg := bfq.DefaultConfig()
+		if opts.BFQSliceIdleOff {
+			cfg.SliceIdle = 0
+		}
+		cfg.LowLatency = opts.BFQLowLatency
+		bq := bfq.New(c.Eng, cfg)
+		bq.Obs = c.Obs
+		sched = bq
+	case KnobIOMax:
+		sched = noop.New()
+		im := iomax.New(c.Eng, c.Tree, DevName(i))
+		im.Obs = c.Obs
+		ctl = im
+	case KnobIOLatency:
+		sched = noop.New()
+		il := iolatency.New(c.Eng, c.Tree, DevName(i), opts.Profile.MaxQD)
+		il.Obs = c.Obs
+		c.IOLat = append(c.IOLat, il)
+		col.IOLat = il
+		ctl = il
+	case KnobIOCost:
+		sched = noop.New()
+		ic := iocost.New(c.Eng, c.Tree, DevName(i))
+		ic.Obs = c.Obs
+		c.IOCost = append(c.IOCost, ic)
+		col.IOCost = ic
+		ctl = ic
+	default:
+		sched = noop.New()
+	}
+	if c.Obs != nil {
+		name := DevName(i)
+		dev.OnGC = func(active bool, debtBytes int64) {
+			on := 0.0
+			if active {
+				on = 1
+			}
+			c.Obs.Sample("dev.gc_active."+name, -1, on)
+			c.Obs.Sample("dev.gc_debt."+name, -1, float64(debtBytes))
+		}
+	}
+	if opts.Fault.Enabled() {
+		// The injector's seed stream is disjoint from the device
+		// seed (opts.Seed*1000003+i+1) so attaching faults never
+		// perturbs the device's own jitter draws.
+		in, err := fault.NewInjector(opts.Fault, opts.Seed*2654435761+uint64(i)+500009)
+		if err != nil {
+			return fmt.Errorf("fault profile: %w", err)
+		}
+		dev.AttachFaults(in)
+		c.Faults = append(c.Faults, in)
+		col.Fault = in
+	}
+	c.Devices = append(c.Devices, dev)
+	q := blk.NewQueue(c.Eng, dev, sched, ctl)
+	q.SetObserver(c.Obs, DevName(i))
+	if c.Attr != nil {
+		q.SetAttribution(c.Attr)
+		// Schedulers share the queue's dispatch-stream ledger so
+		// they can own intervals where nothing dispatches (BFQ
+		// idling, MQ-DL strict-priority recency blocks);
+		// controllers charge their throttle holds directly.
+		switch s := sched.(type) {
+		case *mqdeadline.Scheduler:
+			s.Led = q.SchedLedger()
+		case *bfq.Scheduler:
+			s.Led = q.SchedLedger()
+		}
+		switch t := ctl.(type) {
+		case *iomax.Controller:
+			t.Attr = c.Attr
+		case *iolatency.Controller:
+			t.Attr = c.Attr
+		case *iocost.Controller:
+			t.Attr = c.Attr
+		}
+	}
+	retry := opts.Retry
+	if retry == (blk.RetryPolicy{}) && opts.Fault.Enabled() {
+		retry = blk.DefaultRetryPolicy()
+	}
+	if retry != (blk.RetryPolicy{}) {
+		q.SetRetryPolicy(retry)
+	}
+	c.Queues = append(c.Queues, q)
+	col.Queue = q
+	c.Columns = append(c.Columns, col)
+	c.devTenants = append(c.devTenants, 0)
+	c.devLoad = append(c.devLoad, 0)
+	return nil
+}
+
+// AddDevice grows the fleet by one device column (usable mid-run: the
+// new device's RNG streams depend only on its index, and the engine
+// clamps nothing — the column simply starts existing now). Returns the
+// new column's device index.
+func (c *Fleet) AddDevice() (int, error) {
+	i := len(c.Devices)
+	if c.Opts.Knob == KnobIOCost {
+		if err := c.configureIOCostRoot(i); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.addColumn(i); err != nil {
+		return 0, err
+	}
+	return i, nil
+}
+
+// Column returns device column i.
+func (c *Fleet) Column(i int) *DeviceColumn { return c.Columns[i] }
+
+// NewGroup creates a tenant process group under the benchmark slice.
+func (c *Fleet) NewGroup(name string) (*cgroup.Group, error) {
+	g, err := c.Slice.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	c.Groups = append(c.Groups, g)
+	return g, nil
+}
+
+// AddApp creates an app bound to device dev and registers it.
+func (c *Fleet) AddApp(spec workload.Spec, dev int) (*workload.App, error) {
+	if dev < 0 || dev >= len(c.Queues) {
+		return nil, fmt.Errorf("core: device index %d out of range", dev)
+	}
+	c.appSeq++
+	app, err := workload.NewApp(c.Eng, c.CPU, c.Opts.Costs, c.Queues[dev],
+		spec, c.Opts.Seed*7919+c.appSeq)
+	if err != nil {
+		return nil, err
+	}
+	if c.Attr != nil {
+		app.SetAttribution(c.Attr)
+	}
+	c.Apps = append(c.Apps, app)
+	c.appDev = append(c.appDev, dev)
+	if s := app.Spec().Size; s > c.maxReqSize {
+		c.maxReqSize = s
+	}
+	return app, nil
+}
+
+// Start arms every app.
+func (c *Fleet) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	for _, a := range c.Apps {
+		a.Start()
+	}
+}
+
+// Started reports whether the fleet's apps have been armed.
+func (c *Fleet) Started() bool { return c.started }
+
+// RunPhase runs warmup (discarded) then a measurement window.
+// It may be called repeatedly; each call opens a fresh window.
+//
+// The error is non-nil only when the engine stopped early: the run
+// context was canceled (errors.Is(err, context.Canceled)), the
+// watchdog aborted the unit (errors.Is(err, sim.ErrWatchdog)), or —
+// in paranoid mode — an invariant was violated at window end.
+func (c *Fleet) RunPhase(warmup, measure sim.Duration) error {
+	c.Start()
+	c.Eng.RunUntil(c.Eng.Now().Add(warmup))
+	if err := c.runErr(); err != nil {
+		return err
+	}
+	for _, a := range c.Apps {
+		a.ResetMetrics()
+	}
+	c.busyBefore = c.CPU.BusySnapshot()
+	c.ctxBefore, c.cycBefore, c.iosBefore = c.CPU.Counters()
+	c.measStart = c.Eng.Now()
+	c.retiredR, c.retiredW, c.retiredSlack = 0, 0, 0
+	if c.Opts.Control.Paranoid {
+		c.snapshotParanoid()
+	}
+	c.Eng.RunUntil(c.Eng.Now().Add(measure))
+	if err := c.runErr(); err != nil {
+		return err
+	}
+	if c.Opts.Control.Paranoid {
+		return c.checkAndNote()
+	}
+	return nil
+}
+
+// RunTo starts the fleet (if necessary) and runs the engine to
+// absolute virtual time t — the open-loop variant of RunPhase used by
+// the burst and illustrate experiments. Error semantics match
+// RunPhase.
+func (c *Fleet) RunTo(t sim.Time) error {
+	c.Start()
+	c.Eng.RunUntil(t)
+	if err := c.runErr(); err != nil {
+		return err
+	}
+	if c.Opts.Control.Paranoid {
+		return c.checkAndNote()
+	}
+	return nil
+}
+
+// runErr surfaces the engine's sticky stop reason, recording it once
+// as an obs incident so aborts show up in exports and summaries.
+func (c *Fleet) runErr() error {
+	err := c.Eng.Err()
+	if err == nil {
+		return nil
+	}
+	if c.Obs != nil && !c.incidentNoted {
+		c.incidentNoted = true
+		kind := obs.IncidentCancel
+		if errors.Is(err, sim.ErrWatchdog) {
+			kind = obs.IncidentWatchdog
+		}
+		c.Obs.RecordIncident(kind, err.Error())
+	}
+	return err
+}
+
+// checkAndNote runs the paranoid invariant suite and records a
+// violation as an obs incident before returning it.
+func (c *Fleet) checkAndNote() error {
+	err := c.CheckInvariants()
+	if err != nil && c.Obs != nil {
+		c.Obs.RecordIncident(obs.IncidentInvariant, err.Error())
+	}
+	return err
+}

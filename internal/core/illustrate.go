@@ -4,7 +4,6 @@ import (
 	"context"
 
 	"isolbench/internal/cgroup"
-	"isolbench/internal/device"
 	"isolbench/internal/metrics"
 	"isolbench/internal/runpool"
 	"isolbench/internal/sim"
@@ -85,9 +84,13 @@ func illustrateKnobConfig(k Knob, weighted bool, gs [3]*cgroup.Group, root *cgro
 // rate-limited to 1.5 GiB/s, in separate cgroups under the given knob.
 func RunIllustrate(cfg IllustrateConfig) ([]TimelineSeries, error) {
 	cfg = cfg.withDefaults()
+	prof, err := resolveProfile(cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
 	cl, err := NewCluster(Options{
 		Knob:    cfg.Knob,
-		Profile: device.ProfileByName(cfg.Profile),
+		Profile: prof,
 		Seed:    cfg.Seed,
 		Control: cfg.Control,
 		// Fig. 2g/h annotate io.cost with a P95 100 us latency target.

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"isolbench/internal/cgroup"
-	"isolbench/internal/device"
 	"isolbench/internal/obs"
 	"isolbench/internal/sim"
 	"isolbench/internal/trace"
@@ -50,9 +49,13 @@ func RunJobFile(cfg JobRunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	prof, err := resolveProfile(cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
 	cl, err := NewCluster(Options{
 		Knob:      cfg.Knob,
-		Profile:   device.ProfileByName(cfg.Profile),
+		Profile:   prof,
 		Cores:     cfg.Cores,
 		Seed:      cfg.Seed,
 		Observe:   cfg.Observe,
@@ -134,9 +137,13 @@ func RunJobFile(cfg JobRunConfig) (*Result, error) {
 // ReplayTrace replays a recorded trace as a single open-loop tenant
 // under the given knob and returns its latency statistics.
 func ReplayTrace(k Knob, profile string, entries []trace.Entry, seed uint64) (workload.Stats, error) {
+	prof, err := resolveProfile(profile)
+	if err != nil {
+		return workload.Stats{}, err
+	}
 	cl, err := NewCluster(Options{
 		Knob:    k,
-		Profile: device.ProfileByName(profile),
+		Profile: prof,
 		Seed:    seed,
 	})
 	if err != nil {

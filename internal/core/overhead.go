@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"isolbench/internal/cgroup"
-	"isolbench/internal/device"
 	"isolbench/internal/metrics"
 	"isolbench/internal/runpool"
 	"isolbench/internal/sim"
@@ -28,17 +27,21 @@ func NeutralizeKnob(k Knob, g *cgroup.Group) error {
 
 // overheadOptions returns cluster options with the knob neutralized
 // for D1 measurements.
-func overheadOptions(k Knob, profile string, cores, devices int, seed uint64) Options {
+func overheadOptions(k Knob, profile string, cores, devices int, seed uint64) (Options, error) {
+	prof, err := resolveProfile(profile)
+	if err != nil {
+		return Options{}, err
+	}
 	return Options{
 		Knob:            k,
-		Profile:         device.ProfileByName(profile),
+		Profile:         prof,
 		Cores:           cores,
 		Devices:         devices,
 		Seed:            seed,
 		BFQSliceIdleOff: true, // §V: slice_idle disabled for overhead runs
 		IOCostModel:     UnthrottledCostModel,
 		IOCostQoS:       UnthrottledCostQoS,
-	}
+	}, nil
 }
 
 // LatencyScalingPoint is one (apps, latency/CPU) sample of Fig. 3.
@@ -93,7 +96,10 @@ func RunLatencyScaling(cfg LatencyScalingConfig) ([]LatencyScalingPoint, error) 
 	return runpool.MapCtx(cfg.Control.Ctx, cfg.Workers, len(cfg.AppCounts), func(ci int) (LatencyScalingPoint, error) {
 		var zero LatencyScalingPoint
 		n := cfg.AppCounts[ci]
-		opts := overheadOptions(cfg.Knob, cfg.Profile, 1, 1, cfg.Seed+uint64(n))
+		opts, err := overheadOptions(cfg.Knob, cfg.Profile, 1, 1, cfg.Seed+uint64(n))
+		if err != nil {
+			return zero, err
+		}
 		opts.Control = cfg.Control
 		cl, err := NewCluster(opts)
 		if err != nil {
@@ -183,7 +189,10 @@ func RunBandwidthScaling(cfg BandwidthScalingConfig) ([]BandwidthScalingPoint, e
 	return runpool.MapCtx(cfg.Control.Ctx, cfg.Workers, len(cfg.AppCounts), func(ci int) (BandwidthScalingPoint, error) {
 		var zero BandwidthScalingPoint
 		n := cfg.AppCounts[ci]
-		opts := overheadOptions(cfg.Knob, cfg.Profile, cfg.Cores, cfg.Devices, cfg.Seed+uint64(n))
+		opts, err := overheadOptions(cfg.Knob, cfg.Profile, cfg.Cores, cfg.Devices, cfg.Seed+uint64(n))
+		if err != nil {
+			return zero, err
+		}
 		opts.Control = cfg.Control
 		cl, err := NewCluster(opts)
 		if err != nil {

@@ -47,6 +47,11 @@ func (c *Cluster) obsBytesTotal() int64 {
 func (c *Cluster) CheckInvariants() error {
 	var v []string
 
+	// Churn teardown failures recorded by RemoveTenant are invariant
+	// violations in their own right: a cgroup that refused removal
+	// after a full drain means some layer still held its state.
+	v = append(v, c.churnViolations...)
+
 	// Layer 1: each app's lifetime request accounting.
 	for _, a := range c.Apps {
 		v = append(v, a.CheckConservation()...)
@@ -90,14 +95,12 @@ func (c *Cluster) CheckInvariants() error {
 	// may legitimately run ahead: an attempt that timed out while in
 	// service still completes inside the device (and counts bytes there)
 	// but reaches io.stat only if a retry succeeds — so the gap is
-	// bounded by the timeout count times the largest request.
-	maxSize := int64(0)
-	for _, a := range c.Apps {
-		if s := a.Spec().Size; s > maxSize {
-			maxSize = s
-		}
-	}
-	if c.Obs != nil && len(c.Apps) > 0 {
+	// bounded by the timeout count times the largest request. The bound
+	// uses the fleet's monotonic maximum request size rather than a scan
+	// of the live apps: a removed tenant's large requests still moved
+	// device bytes, so the slack must remember them.
+	maxSize := c.maxReqSize
+	if c.Obs != nil && (len(c.Apps) > 0 || c.removals > 0) {
 		for i, d := range c.Devices {
 			st := d.Stats()
 			devBytes := st.ReadBytes + st.WriteBytes
@@ -123,9 +126,11 @@ func (c *Cluster) CheckInvariants() error {
 		// match the io.stat delta up to the requests that straddle either
 		// window edge (completed at the device but not yet reaped, or the
 		// reverse at the start) — at most one queue depth per app, counted
-		// on both edges.
+		// on both edges. Tenants removed mid-window contribute through the
+		// retired accumulators their teardown banked.
 		if c.obsBaseSet {
-			var appBytes, slack int64
+			appBytes := c.retiredR + c.retiredW
+			slack := c.retiredSlack
 			for _, a := range c.Apps {
 				r, w := a.WindowBytes()
 				appBytes += r + w

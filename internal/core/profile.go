@@ -1,0 +1,14 @@
+package core
+
+import "isolbench/internal/device"
+
+// resolveProfile maps an experiment config's device profile name to a
+// profile. The empty string keeps the historical default (flash980);
+// any other name must resolve or the experiment fails loudly rather
+// than silently measuring the wrong device.
+func resolveProfile(name string) (device.Profile, error) {
+	if name == "" {
+		return device.Flash980Profile(), nil
+	}
+	return device.ProfileByName(name)
+}

@@ -68,6 +68,27 @@ func WriteFairness(w io.Writer, rs []*FairnessResult) {
 	tw.Flush()
 }
 
+// WriteFleetScale prints the knob-overhead-vs-N-tenants table. WallMS
+// is host wall-clock and varies run to run; every other column is
+// deterministic for a given config.
+func WriteFleetScale(w io.Writer, cfg FleetScaleConfig, pts []FleetScalePoint) {
+	cfg = cfg.withDefaults() // header shows the effective values
+	churn := "off"
+	if cfg.Churn {
+		churn = fmt.Sprintf("%.0f/s", cfg.ChurnRate)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "# fleetscale knob=%s devices=%d placement=%s churn=%s\n",
+		cfg.Knob, cfg.Devices, cfg.Placement, churn)
+	fmt.Fprintln(tw, "tenants\tadds\trms\tbandwidth\tIOPS\tjain\tCPU%\tcycles/IO\tcs/IO\tfolded\twall_ms")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%s\t%.0f\t%.3f\t%.1f\t%.0f\t%.2f\t%d\t%.0f\n",
+			p.Tenants, p.Adds, p.Removes, GiB(p.AggregateBW), p.IOPS, p.Jain,
+			p.CPUUtil*100, p.CyclesPerIO, p.CtxPerIO, p.Folded, p.WallMS)
+	}
+	tw.Flush()
+}
+
 // WriteTradeoff prints a Fig. 7 panel.
 func WriteTradeoff(w io.Writer, cfg TradeoffConfig, pts []TradeoffPoint) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)

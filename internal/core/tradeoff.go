@@ -261,9 +261,13 @@ func RunTradeoff(cfg TradeoffConfig) ([]TradeoffPoint, error) {
 // runTradeoffSetting measures one knob setting in a fresh cluster.
 func runTradeoffSetting(cfg TradeoffConfig, si int, set knobSetting) (TradeoffPoint, error) {
 	var zero TradeoffPoint
+	prof, err := resolveProfile(cfg.Profile)
+	if err != nil {
+		return zero, err
+	}
 	cl, err := NewCluster(Options{
 		Knob:         cfg.Knob,
-		Profile:      device.ProfileByName(cfg.Profile),
+		Profile:      prof,
 		Cores:        cfg.Cores,
 		Seed:         cfg.Seed + uint64(si)*977,
 		Precondition: cfg.Variant == BE4KWrite,

@@ -224,11 +224,19 @@ func TestProfileValidation(t *testing.T) {
 }
 
 func TestProfileByName(t *testing.T) {
-	if ProfileByName("optane").Name != "optane" {
-		t.Fatal("optane lookup failed")
+	p, err := ProfileByName("optane")
+	if err != nil || p.Name != "optane" {
+		t.Fatalf("optane lookup failed: %v %q", err, p.Name)
 	}
-	if ProfileByName("whatever").Name != "flash980" {
-		t.Fatal("default lookup failed")
+	p, err = ProfileByName("flash980")
+	if err != nil || p.Name != "flash980" {
+		t.Fatalf("flash980 lookup failed: %v %q", err, p.Name)
+	}
+	if _, err := ProfileByName("whatever"); err == nil {
+		t.Fatal("unknown profile name accepted")
+	}
+	if _, err := ProfileByName(""); err == nil {
+		t.Fatal("empty profile name accepted")
 	}
 }
 

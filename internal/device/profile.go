@@ -10,7 +10,11 @@
 // (see Flash980Profile and OptaneProfile).
 package device
 
-import "isolbench/internal/sim"
+import (
+	"fmt"
+
+	"isolbench/internal/sim"
+)
 
 // Op is the I/O operation type.
 type Op uint8
@@ -187,11 +191,19 @@ func OptaneProfile() Profile {
 	}
 }
 
-// ProfileByName returns a named built-in profile. Unknown names return
-// the flash980 profile.
-func ProfileByName(name string) Profile {
-	if name == "optane" {
-		return OptaneProfile()
+// ProfileByName returns a named built-in profile. Unknown names are an
+// error — a typoed -profile must fail loudly, not silently measure the
+// wrong device.
+func ProfileByName(name string) (Profile, error) {
+	switch name {
+	case "flash980":
+		return Flash980Profile(), nil
+	case "optane":
+		return OptaneProfile(), nil
 	}
-	return Flash980Profile()
+	return Profile{}, fmt.Errorf("device: unknown profile %q (known: %s)", name, KnownProfiles())
 }
+
+// KnownProfiles lists the built-in profile names accepted by
+// ProfileByName.
+func KnownProfiles() string { return "flash980, optane" }

@@ -233,12 +233,16 @@ func (c *Controller) activate(s *gstate) {
 }
 
 func (c *Controller) refreshWeights() {
+	// Shared per-parent sibling sums make the refresh O(groups) instead
+	// of O(groups x siblings) — the difference between a fleet-scale
+	// activation costing microseconds and one costing seconds.
+	sums := make(map[*cgroup.Group]float64)
 	for id, s := range c.groups {
 		if !s.active {
 			continue
 		}
 		if g := c.tree.ByID(id); g != nil {
-			s.hweight = g.HierWeight(cgroup.WeightIOCost)
+			s.hweight = g.HierWeightWith(cgroup.WeightIOCost, sums)
 		} else {
 			s.hweight = 1
 		}
@@ -337,6 +341,28 @@ func (c *Controller) release(s *gstate) {
 	}
 }
 
+// DetachGroup drops the cgroup's vtime clock after its traffic has
+// drained (blk.GroupDetacher). A group with throttled requests still
+// waiting keeps its state. Detaching an active group deactivates it in
+// the tree first (while the group is still resolvable) and refreshes
+// the surviving groups' hierarchical weights, exactly as a period-tick
+// deactivation would.
+func (c *Controller) DetachGroup(cg int) {
+	s, ok := c.groups[cg]
+	if !ok || s.waiting.Len() > 0 {
+		return
+	}
+	s.timerGen++ // disarm any armed release timer
+	wasActive := s.active
+	if g := c.tree.ByID(cg); g != nil {
+		g.SetActive(false)
+	}
+	delete(c.groups, cg)
+	if wasActive {
+		c.refreshWeights()
+	}
+}
+
 // Completed records latency for QoS control.
 func (c *Controller) Completed(r *device.Request) {
 	lat := int64(r.Complete.Sub(r.Queued))
@@ -417,6 +443,7 @@ func (c *Controller) donate() {
 	}
 	var entries []entry
 	var baseTotal float64
+	sums := make(map[*cgroup.Group]float64)
 	for id, s := range c.groups {
 		if !s.active {
 			s.absUsed = 0
@@ -424,7 +451,7 @@ func (c *Controller) donate() {
 		}
 		base := 1.0
 		if g := c.tree.ByID(id); g != nil {
-			base = g.HierWeight(cgroup.WeightIOCost)
+			base = g.HierWeightWith(cgroup.WeightIOCost, sums)
 		}
 		entries = append(entries, entry{s: s, base: base, usage: s.absUsed / dv})
 		baseTotal += base

@@ -205,6 +205,19 @@ func (c *Controller) windowTick() {
 	c.eng.After(Window, c.windowTick)
 }
 
+// DetachGroup drops the cgroup's depth-limit state after its traffic
+// has drained (blk.GroupDetacher). A group with queued or in-flight
+// requests is kept. The window ticker simply stops seeing the group;
+// a stale blame pointer at the next tick only names an aggressor id
+// for attribution and is recomputed every window.
+func (c *Controller) DetachGroup(cg int) {
+	s, ok := c.groups[cg]
+	if !ok || s.waiting.Len() > 0 || s.inflight > 0 {
+		return
+	}
+	delete(c.groups, cg)
+}
+
 // QDLimit exposes a group's current effective queue depth (for tests
 // and the benchmark's introspection).
 func (c *Controller) QDLimit(id int) int { return c.stateFor(id).qdLimit }

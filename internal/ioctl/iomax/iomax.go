@@ -238,6 +238,19 @@ func (c *Controller) release(id int, b *bucket) {
 	}
 }
 
+// DetachGroup drops the cgroup's token bucket after its traffic has
+// drained (blk.GroupDetacher). A bucket with throttled requests still
+// waiting is kept; any armed release timer is disarmed via the bucket
+// generation.
+func (c *Controller) DetachGroup(cg int) {
+	b, ok := c.groups[cg]
+	if !ok || b.waiting.Len() > 0 {
+		return
+	}
+	b.timerGen++
+	delete(c.groups, cg)
+}
+
 // Completed is a no-op: io.max throttles at submission only.
 func (c *Controller) Completed(*device.Request) {}
 

@@ -288,6 +288,37 @@ func (s *Scheduler) selectQueue() {
 // whole budget in one instant, which is what makes slices meaningful.
 func (s *Scheduler) DispatchWindow() int { return 64 }
 
+// DetachGroup drops the cgroup's queue after its traffic has drained
+// (blk.GroupDetacher). A queue that still holds pending or in-flight
+// requests is left in place. If the queue is in service — possibly
+// holding the device idle waiting for more of its work — the idle hold
+// is cancelled, the slice expires, and the pump is kicked so another
+// group can take over immediately.
+func (s *Scheduler) DetachGroup(cg int) {
+	q, ok := s.queues[cg]
+	if !ok || q.pending() > 0 || q.inflight > 0 {
+		return
+	}
+	if q == s.inService {
+		if s.idling {
+			s.noteIdleEnd()
+			s.idling = false
+			s.idleGen++
+		}
+		s.expire(q)
+		if s.kick != nil {
+			s.kick()
+		}
+	}
+	delete(s.queues, cg)
+	for i, oq := range s.order {
+		if oq == q {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
 // Completed tracks per-queue inflight counts.
 func (s *Scheduler) Completed(r *device.Request) {
 	if q, ok := s.queues[r.Cgroup]; ok && q.inflight > 0 {

@@ -89,6 +89,12 @@ func (l Layer) String() string {
 // here so the matrix stays bounded at fleet scale.
 const Other = -1
 
+// FoldedVictim is the victim id of the row-overflow bucket: once the
+// tracker holds MaxVictims distinct victim rows, later victims
+// aggregate here. Together with Other this bounds the matrix in both
+// dimensions, so attribution memory stays flat at thousands of cgroups.
+const FoldedVictim = -2
+
 // Charge is one attributed slice of a request's wait.
 type Charge struct {
 	Layer Layer
@@ -174,6 +180,10 @@ type Config struct {
 	// LedgerCap bounds each occupancy ledger's segment ring
 	// (default 4096).
 	LedgerCap int
+	// MaxVictims bounds the number of distinct victim rows before later
+	// victims fold into the FoldedVictim row (0 = unbounded). Blame
+	// conservation is unaffected — every charge still lands somewhere.
+	MaxVictims int
 }
 
 func (c Config) withDefaults() Config {
@@ -202,6 +212,8 @@ type Tracker struct {
 
 	victims map[int]*victimState
 	order   []int
+	foldedV int // distinct victim ids folded into FoldedVictim
+	foldMap map[int]struct{}
 
 	free       []*ReqBlame
 	finished   uint64
@@ -348,6 +360,22 @@ func (t *Tracker) Finish(victim int, b *ReqBlame) {
 			}
 		}
 	}
+	// Row-overflow fold: a victim without a row of its own folds into
+	// FoldedVictim once the tracker is at capacity. The choice is
+	// sticky by construction — a victim that got a row before the cap
+	// keeps it, one that didn't never will.
+	if t.cfg.MaxVictims > 0 && victim != FoldedVictim {
+		if _, ok := t.victims[victim]; !ok && len(t.victims) >= t.cfg.MaxVictims {
+			if t.foldMap == nil {
+				t.foldMap = make(map[int]struct{})
+			}
+			if _, seen := t.foldMap[victim]; !seen {
+				t.foldMap[victim] = struct{}{}
+				t.foldedV++
+			}
+			victim = FoldedVictim
+		}
+	}
 	v := t.victims[victim]
 	if v == nil {
 		v = &victimState{agg: make(map[int]*[NumLayers]sim.Duration)}
@@ -377,6 +405,15 @@ func (t *Tracker) Finish(victim int, b *ReqBlame) {
 	if len(t.free) < 1024 {
 		t.free = append(t.free, b)
 	}
+}
+
+// FoldedVictims reports how many distinct victim ids were aggregated
+// into the FoldedVictim row because of Config.MaxVictims.
+func (t *Tracker) FoldedVictims() int {
+	if t == nil {
+		return 0
+	}
+	return t.foldedV
 }
 
 // Finished returns how many blame records were folded into the matrix.

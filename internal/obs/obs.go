@@ -40,7 +40,21 @@ const (
 type Config struct {
 	SpanCap   int // max spans kept (0 = DefaultSpanCap)
 	SeriesCap int // max points per series (0 = DefaultSeriesCap)
+
+	// MaxCgroups bounds how many distinct cgroups get individual
+	// accounting (io.stat counters, PSI, stage histograms, per-cgroup
+	// series); 0 = unbounded. Once the bound is reached, further
+	// cgroups aggregate into the FoldedCgroup bucket: totals (and the
+	// paranoid byte-conservation checks built on them) stay exact,
+	// only per-group detail is lost for the overflow. This is what
+	// keeps a 10k-tenant fleet run's observer memory flat.
+	MaxCgroups int
 }
+
+// FoldedCgroup is the reserved cgroup id under which cgroups beyond
+// Config.MaxCgroups aggregate. (-1 is taken by device/controller-global
+// series.)
+const FoldedCgroup = -2
 
 // Observer is the per-cluster observability hub. The zero of the
 // *pointer* type — nil — is the disabled fast path; all methods are
@@ -65,6 +79,8 @@ type Observer struct {
 	spanDropped uint64
 
 	groups map[int]*groupState   // per-cgroup accounting
+	fold   map[int]int           // cgroup id -> canonical id under MaxCgroups
+	folded int                   // distinct cgroup ids folded so far
 	series map[seriesKey]*Series // controller internals
 	order  []seriesKey           // stable series listing order
 	devs   map[string]struct{}   // device names seen
@@ -145,7 +161,42 @@ type IOStat struct {
 	Timeouts uint64 // attempts the watchdog gave up on
 }
 
+// foldID canonicalizes a cgroup id under the MaxCgroups bound: the
+// first MaxCgroups distinct ids keep themselves, every later id maps to
+// FoldedCgroup. The mapping is sticky — once an id is assigned a
+// canonical id it keeps it forever — so a cgroup's counters never split
+// across buckets. Negative ids (global series, the fold bucket itself)
+// pass through untouched.
+func (o *Observer) foldID(id int) int {
+	if o.cfg.MaxCgroups <= 0 || id < 0 {
+		return id
+	}
+	if c, ok := o.fold[id]; ok {
+		return c
+	}
+	if o.fold == nil {
+		o.fold = make(map[int]int)
+	}
+	if len(o.fold)-o.folded < o.cfg.MaxCgroups {
+		o.fold[id] = id
+		return id
+	}
+	o.fold[id] = FoldedCgroup
+	o.folded++
+	return FoldedCgroup
+}
+
+// FoldedCgroups reports how many distinct cgroup ids were aggregated
+// into the FoldedCgroup bucket because of Config.MaxCgroups.
+func (o *Observer) FoldedCgroups() int {
+	if o == nil {
+		return 0
+	}
+	return o.folded
+}
+
 func (o *Observer) groupFor(id int) *groupState {
+	id = o.foldID(id)
 	g, ok := o.groups[id]
 	if !ok {
 		g = &groupState{
@@ -403,6 +454,9 @@ func (o *Observer) Devices() []string {
 }
 
 func (o *Observer) nameOf(id int) string {
+	if id == FoldedCgroup {
+		return "(folded)"
+	}
 	if o.CgroupName != nil {
 		if n := o.CgroupName(id); n != "" {
 			return n

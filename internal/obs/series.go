@@ -73,7 +73,10 @@ func (o *Observer) Sample(name string, cg int, v float64) {
 	if o == nil {
 		return
 	}
-	k := seriesKey{name: name, cg: cg}
+	// Under Config.MaxCgroups, overflow cgroups share one series per
+	// signal (the FoldedCgroup row): the interleaved values lose
+	// per-group meaning but the series count stays bounded.
+	k := seriesKey{name: name, cg: o.foldID(cg)}
 	s, ok := o.series[k]
 	if !ok {
 		s = &Series{Name: name, Cgroup: cg, cap: o.cfg.SeriesCap}

@@ -64,6 +64,12 @@ type App struct {
 	bytesWrit int64
 
 	wakeGen uint64
+
+	// Churn support: a quiesced app stops issuing and fires onDrained
+	// once nothing it built remains in flight (mid-run tenant removal
+	// drains through this).
+	quiesced  bool
+	onDrained func()
 }
 
 // NewApp builds an app bound to a queue and a core. It attaches one
@@ -162,9 +168,44 @@ func maxf(x, y float64) float64 {
 	return y
 }
 
+// Quiesce stops the app from issuing new requests and arranges for
+// onDrained to fire (inside the engine) once every request it built has
+// been reaped. An app with nothing in flight drains synchronously.
+// Pending rate-limit/burst wakeups are cancelled via the wake
+// generation. Quiescing is permanent — it is the first half of tenant
+// removal, not a pause.
+func (a *App) Quiesce(onDrained func()) {
+	a.quiesced = true
+	a.onDrained = onDrained
+	a.wakeGen++ // drop any armed wakeups
+	a.maybeDrained()
+}
+
+// Drained reports whether the app is quiesced with nothing in flight.
+func (a *App) Drained() bool {
+	return a.quiesced && a.outstanding == 0 && !a.submitting
+}
+
+// maybeDrained fires the drain callback exactly once, when the last
+// outstanding request has been reaped and no staged batch remains.
+func (a *App) maybeDrained() {
+	if !a.quiesced || a.outstanding != 0 || a.submitting || a.onDrained == nil {
+		return
+	}
+	cb := a.onDrained
+	a.onDrained = nil
+	cb()
+}
+
 // trySubmit issues as many requests as QD, rate budget, and the batch
 // cap allow, charging the submission CPU cost once per batch.
 func (a *App) trySubmit() {
+	if a.quiesced {
+		// The drain path funnels through here: reapBatch's trailing
+		// trySubmit is the natural "all reaped" detection point.
+		a.maybeDrained()
+		return
+	}
 	if a.submitting {
 		return
 	}

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# bench.sh — run the engine and executor benchmarks and append one
+# bench.sh — run the engine, executor, and fleet benchmarks and append one
 # run-labeled entry to BENCH_engine.json. History accumulates instead
 # of being overwritten, so regressions are visible across runs; a
 # pre-history file in the old single-run format is preserved as the
@@ -21,7 +21,7 @@ run="$(mktemp)"
 next="$(mktemp)"
 trap 'rm -f "$raw" "$run" "$next"' EXIT
 
-go test -run '^$' -bench 'EngineHotLoop|TradeoffParallel' -benchmem \
+go test -run '^$' -bench 'EngineHotLoop|TradeoffParallel|FleetTenants' -benchmem \
     -benchtime "$benchtime" -count "$count" \
     ./internal/sim/ ./internal/core/ | tee "$raw"
 
