@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -22,12 +23,12 @@ import (
 func setGoldenFlags(t *testing.T) {
 	t.Helper()
 	quick, seed, knob, prof := *quickFlag, *seedFlag, *knobFlag, *profFlag
-	paranoid, slo, cap := *paranoidFlag, *sloFlag, *obsCapFlag
+	paranoid, slo, cap, shards := *paranoidFlag, *sloFlag, *obsCapFlag, *shardsFlag
 	*quickFlag, *seedFlag, *knobFlag, *profFlag = true, 1, "", "flash980"
-	*paranoidFlag, *sloFlag, *obsCapFlag = false, "", ""
+	*paranoidFlag, *sloFlag, *obsCapFlag, *shardsFlag = false, "", "", 0
 	t.Cleanup(func() {
 		*quickFlag, *seedFlag, *knobFlag, *profFlag = quick, seed, knob, prof
-		*paranoidFlag, *sloFlag, *obsCapFlag = paranoid, slo, cap
+		*paranoidFlag, *sloFlag, *obsCapFlag, *shardsFlag = paranoid, slo, cap, shards
 	})
 }
 
@@ -58,30 +59,36 @@ func TestQuickGoldens(t *testing.T) {
 		t.Skip("quick-mode sweeps are multi-second runs")
 	}
 	setGoldenFlags(t)
-	for _, tc := range []struct{ exp, golden string }{
-		{"fig2", "golden_fig2_quick.txt"},
-		{"fig3", "golden_fig3_quick.txt"},
-		{"attribution", "golden_attribution_quick.txt"},
-	} {
-		tc := tc
-		t.Run(tc.exp, func(t *testing.T) {
-			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
-			if err != nil {
-				t.Fatal(err)
-			}
-			got := runExp(t, tc.exp)
-			if got != string(want) {
-				t.Errorf("%s output drifted from testdata/%s\n(regenerate with: isolbench -exp %s -quick -seed 1 > testdata/%s)",
-					tc.exp, tc.golden, tc.exp, tc.golden)
-			}
-		})
+	// The sharded runtime must hit the exact same goldens: -shards is a
+	// performance knob, never an output knob.
+	for _, shards := range []int{0, 4} {
+		shards := shards
+		for _, tc := range []struct{ exp, golden string }{
+			{"fig2", "golden_fig2_quick.txt"},
+			{"fig3", "golden_fig3_quick.txt"},
+			{"attribution", "golden_attribution_quick.txt"},
+		} {
+			tc := tc
+			t.Run(fmt.Sprintf("%s/shards=%d", tc.exp, shards), func(t *testing.T) {
+				*shardsFlag = shards
+				want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := runExp(t, tc.exp)
+				if got != string(want) {
+					t.Errorf("%s output drifted from testdata/%s at -shards %d\n(regenerate with: isolbench -exp %s -quick -seed 1 > testdata/%s)",
+						tc.exp, tc.golden, shards, tc.exp, tc.golden)
+				}
+			})
+		}
 	}
 }
 
 // fleetResumeUnits builds a small fleetscale sweep (three knobs with
 // churn) shaped like fleetscaleUnits' output but fast enough for a
 // test.
-func fleetResumeUnits(ran *atomic.Int32) []harness.Unit {
+func fleetResumeUnits(ran *atomic.Int32, shards int) []harness.Unit {
 	knobs := []core.Knob{core.KnobNone, core.KnobIOMax, core.KnobIOCost}
 	units := make([]harness.Unit, len(knobs))
 	for i, k := range knobs {
@@ -94,7 +101,7 @@ func fleetResumeUnits(ran *atomic.Int32) []harness.Unit {
 				Knob: k, Tenants: []int{5, 12}, Devices: 2, Cores: 4,
 				Churn: true, ChurnRate: 200,
 				Warmup: 20 * sim.Millisecond, Measure: 80 * sim.Millisecond,
-				Seed: 7, Workers: 1, Control: core.RunControl{Ctx: ctx},
+				Seed: 7, Workers: 1, Control: core.RunControl{Ctx: ctx, Shards: shards},
 			}
 			pts, err := core.RunFleetScale(cfg)
 			if err != nil {
@@ -129,58 +136,64 @@ func stripWallCol(s string) string {
 // sweep after its first unit, resumes from the manifest, and requires
 // the resumed report to match an uninterrupted run modulo wall_ms —
 // the churn path must be replayable from a checkpoint like every other
-// experiment.
+// experiment. Runs once on the classic runtime and once sharded: an
+// interrupted sharded sweep must resume to the same bytes.
 func TestFleetScaleResumeDeterministic(t *testing.T) {
-	header := harness.Header{Exp: "fleetscale", Profile: "flash980", Seed: 7, Quick: true}
+	for _, shards := range []int{0, 2} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			header := harness.Header{Exp: "fleetscale", Profile: "flash980", Seed: 7, Quick: true}
 
-	var clean bytes.Buffer
-	r := &harness.Runner{Workers: 2, Out: &clean}
-	if _, err := r.Run(context.Background(), fleetResumeUnits(nil)); err != nil {
-		t.Fatal(err)
-	}
+			var clean bytes.Buffer
+			r := &harness.Runner{Workers: 2, Out: &clean}
+			if _, err := r.Run(context.Background(), fleetResumeUnits(nil, shards)); err != nil {
+				t.Fatal(err)
+			}
 
-	// Interrupted run: cancel once the first unit has completed.
-	path := filepath.Join(t.TempDir(), "m.jsonl")
-	j, err := harness.Create(path, header)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	units := fleetResumeUnits(nil)
-	first := units[0].Run
-	units[0].Run = func(ctx context.Context) (string, error) {
-		out, err := first(ctx)
-		cancel()
-		return out, err
-	}
-	var partial bytes.Buffer
-	ir := &harness.Runner{Workers: 2, Journal: j, Out: &partial}
-	if _, err := ir.Run(ctx, units); !errors.Is(err, context.Canceled) {
-		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
-	}
-	j.Close()
+			// Interrupted run: cancel once the first unit has completed.
+			path := filepath.Join(t.TempDir(), "m.jsonl")
+			j, err := harness.Create(path, header)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			units := fleetResumeUnits(nil, shards)
+			first := units[0].Run
+			units[0].Run = func(ctx context.Context) (string, error) {
+				out, err := first(ctx)
+				cancel()
+				return out, err
+			}
+			var partial bytes.Buffer
+			ir := &harness.Runner{Workers: 2, Journal: j, Out: &partial}
+			if _, err := ir.Run(ctx, units); !errors.Is(err, context.Canceled) {
+				t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+			}
+			j.Close()
 
-	// Resume: cached units must not re-run, and the stitched report
-	// must match the clean one byte-for-byte once wall_ms is stripped.
-	cache, j2, err := harness.Resume(path, header)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer j2.Close()
-	if len(cache) == 0 {
-		t.Fatal("nothing journaled before the interrupt")
-	}
-	var ran atomic.Int32
-	var resumed bytes.Buffer
-	rr := &harness.Runner{Workers: 2, Cache: cache, Journal: j2, Out: &resumed}
-	if _, err := rr.Run(context.Background(), fleetResumeUnits(&ran)); err != nil {
-		t.Fatal(err)
-	}
-	if int(ran.Load()) != len(fleetResumeUnits(nil))-len(cache) {
-		t.Fatalf("%d units re-ran with a %d-entry cache", ran.Load(), len(cache))
-	}
-	if got, want := stripWallCol(resumed.String()), stripWallCol(clean.String()); got != want {
-		t.Fatalf("resumed fleetscale report diverged from the clean run:\nclean:\n%s\nresumed:\n%s", want, got)
+			// Resume: cached units must not re-run, and the stitched report
+			// must match the clean one byte-for-byte once wall_ms is stripped.
+			cache, j2, err := harness.Resume(path, header)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j2.Close()
+			if len(cache) == 0 {
+				t.Fatal("nothing journaled before the interrupt")
+			}
+			var ran atomic.Int32
+			var resumed bytes.Buffer
+			rr := &harness.Runner{Workers: 2, Cache: cache, Journal: j2, Out: &resumed}
+			if _, err := rr.Run(context.Background(), fleetResumeUnits(&ran, shards)); err != nil {
+				t.Fatal(err)
+			}
+			if int(ran.Load()) != len(fleetResumeUnits(nil, shards))-len(cache) {
+				t.Fatalf("%d units re-ran with a %d-entry cache", ran.Load(), len(cache))
+			}
+			if got, want := stripWallCol(resumed.String()), stripWallCol(clean.String()); got != want {
+				t.Fatalf("resumed fleetscale report diverged from the clean run:\nclean:\n%s\nresumed:\n%s", want, got)
+			}
+		})
 	}
 }

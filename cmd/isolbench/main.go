@@ -22,7 +22,9 @@
 // same run skips everything journaled, producing output byte-identical
 // to an uninterrupted run. -unit-timeout bounds each unit's wall-clock
 // time, and -paranoid verifies conservation-law invariants at the end
-// of every unit.
+// of every unit. -shards N runs each multi-device fleet on per-device
+// engines advanced in conservative time windows — faster on multi-core
+// hosts, byte-identical output.
 package main
 
 import (
@@ -64,6 +66,7 @@ var (
 	replayFlag  = flag.String("replay", "", "replay a JSONL trace under -knob instead of a canned experiment")
 
 	unitTimeoutFlag = flag.Duration("unit-timeout", 0, "wall-clock budget per simulation unit; an exceeded unit is aborted with a diagnostic, its siblings keep running (0 = none)")
+	shardsFlag      = flag.Int("shards", 0, "run each fleet on up to this many per-device engines advanced in conservative time windows (0/1 = single engine; output is byte-identical at any setting; observability modes fall back to one engine)")
 	paranoidFlag    = flag.Bool("paranoid", false, "verify conservation-law invariants (submitted vs completed, byte accounting, histogram counts) at the end of every unit")
 	resumeFlag      = flag.String("resume", "", "resume from a run manifest: units it records are folded in from cache instead of rerunning")
 	manifestFlag    = flag.String("manifest", "", `run manifest path for checkpoint/resume (default results/manifest-<run>.jsonl, "none" disables journaling)`)
@@ -173,7 +176,7 @@ func knobs(withBaseline bool) ([]core.Knob, error) {
 // context, the -paranoid toggle, and a fresh wall-clock deadline so
 // -unit-timeout bounds each unit separately, not the whole sweep.
 func control(ctx context.Context) core.RunControl {
-	ctl := core.RunControl{Ctx: ctx, Paranoid: *paranoidFlag}
+	ctl := core.RunControl{Ctx: ctx, Paranoid: *paranoidFlag, Shards: *shardsFlag}
 	if *unitTimeoutFlag > 0 {
 		ctl.Deadline = time.Now().Add(*unitTimeoutFlag)
 	}

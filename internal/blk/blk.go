@@ -158,6 +158,7 @@ type Queue struct {
 	retry    RetryPolicy
 	pending  map[*device.Request]uint64
 	wdToken  uint64
+	wdCB     sim.Callback // persistent watchdog callback (arg=request, gen=token)
 	retries  uint64
 	timeouts uint64
 	failures uint64
@@ -180,6 +181,7 @@ func NewQueue(eng *sim.Engine, dev *device.Device, sched Scheduler, ctl Controll
 	q := &Queue{eng: eng, dev: dev, sched: sched, ctl: ctl}
 	q.lock = host.NewServer(eng, "dispatch-lock:"+sched.Name())
 	q.lockFn = q.lockRelease
+	q.wdCB = func(arg any, token uint64) { q.onTimeout(arg.(*device.Request), token) }
 	sched.Bind(q.Pump)
 	if ctl != nil {
 		ctl.Bind(q.toScheduler)
@@ -425,7 +427,7 @@ func (q *Queue) toDevice(r *device.Request) {
 		q.wdToken++
 		token := q.wdToken
 		q.pending[r] = token
-		q.eng.After(q.retry.Timeout, func() { q.onTimeout(r, token) })
+		q.eng.AfterCall(q.retry.Timeout, q.wdCB, r, token)
 	}
 	q.dev.Submit(r)
 }

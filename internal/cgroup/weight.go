@@ -78,6 +78,40 @@ func (g *Group) HierWeightWith(kind WeightKind, sums map[*Group]float64) float64
 	return share
 }
 
+// HierWeightIn is HierWeightWith with the active set supplied by the
+// caller instead of read from the tree's shared flags. io.cost keeps
+// one active set per device controller (mirroring the kernel, where
+// activation lives on the per-device ioc, not on the cgroup), so a
+// sharded fleet resolves weights without any cross-device mutable
+// state. The float summation order is identical to HierWeightWith —
+// children order, inactive-cur add-back last — so results are
+// bit-identical for the same active set.
+func (g *Group) HierWeightIn(kind WeightKind, active func(*Group) bool, sums map[*Group]float64) float64 {
+	if g.IsRoot() {
+		return 1
+	}
+	share := 1.0
+	for cur := g; cur.parent != nil; cur = cur.parent {
+		total, ok := sums[cur.parent]
+		if !ok {
+			for _, sib := range cur.parent.children {
+				if active(sib) {
+					total += sib.weightOf(kind)
+				}
+			}
+			sums[cur.parent] = total
+		}
+		if !active(cur) {
+			total += cur.weightOf(kind)
+		}
+		if total <= 0 {
+			continue
+		}
+		share *= cur.weightOf(kind) / total
+	}
+	return share
+}
+
 // ActiveLeaves returns all active groups in the subtree rooted at g,
 // in deterministic (path-sorted) order.
 func (g *Group) ActiveLeaves() []*Group {

@@ -40,6 +40,19 @@ type RunControl struct {
 	// laws across workload, blk, device, and obs) plus the engine's
 	// monotonic-clock assertion. Implies Observe on every cluster.
 	Paranoid bool
+
+	// Shards > 1 requests the parallel sharded runtime: each device
+	// column runs on its own event engine, advanced through conservative
+	// time windows so an N-device fleet uses up to N cores while staying
+	// byte-identical to the single-engine run (see DESIGN.md "Memory
+	// model & sharding"). The effective shard count is min(Shards,
+	// Devices); fleets that run with observability (Observe/Attr/SLO/
+	// Paranoid) fall back to the single engine, since the observer is
+	// single-engine state. 0 or 1 means the classic unsharded runtime.
+	//
+	// Shards deliberately does NOT count toward armed(): it changes how
+	// the event stream executes, not whether a watchdog observes it.
+	Shards int
 }
 
 // armed reports whether any control is active.

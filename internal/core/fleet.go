@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 
 	"isolbench/internal/blk"
 	"isolbench/internal/cgroup"
@@ -145,6 +147,38 @@ type Fleet struct {
 	// incidentNoted dedups the obs incident for a sticky engine error
 	// reported by several RunPhase/RunTo calls.
 	incidentNoted bool
+
+	// Sharded runtime state (Control.Shards > 1). Each device column is
+	// pinned to one shard engine; c.Eng stays the global engine, which
+	// only hosts events scheduled while no shard window is running
+	// (setup-time schedules like churn arrivals, and barrier work).
+	// Empty shardEngs means the classic single-engine runtime.
+	shardEngs []*sim.Engine
+	colShard  []int  // device column -> shard index
+	coreShard []int  // CPU core -> owning shard (-1 until first use)
+	shardNote string // why a Shards request was clamped off ("" otherwise)
+
+	// reqPools holds the per-engine request freelists injected into
+	// every app: index by shard when sharded, a single fleet-wide pool
+	// otherwise. Requests recycle strictly within one engine's event
+	// stream, keeping reuse deterministic.
+	reqPools []*device.Pool
+
+	// Deferred tenant-teardown state: while a shard window runs
+	// (winActive), the global half of finishRemove queues here and is
+	// applied at the next window barrier in (drain time, tenant ID)
+	// order.
+	winActive     bool
+	retireMu      sync.Mutex
+	pendingRetire []pendingRetire
+}
+
+// pendingRetire is one drained tenant awaiting its global teardown at
+// the next window barrier.
+type pendingRetire struct {
+	at   sim.Time
+	t    *Tenant
+	done func(error)
 }
 
 // NewFleet assembles a testbed for the given options.
@@ -156,8 +190,48 @@ func NewFleet(opts Options) (*Fleet, error) {
 		Tree: cgroup.NewTree(),
 	}
 	c.CPU = host.NewCPU(c.Eng, opts.Cores)
+	if opts.Control.Shards > 1 {
+		if opts.Observe {
+			// The observer (and everything that implies it: Attr, SLO,
+			// Paranoid) is single-engine state — its rings and counters
+			// are appended from every layer's hooks, which would race
+			// across shard goroutines.
+			c.shardNote = "sharding disabled: observability requires the single-engine runtime"
+		} else {
+			n := opts.Control.Shards
+			if n > opts.Devices {
+				n = opts.Devices
+			}
+			c.shardEngs = make([]*sim.Engine, n)
+			for i := range c.shardEngs {
+				c.shardEngs[i] = sim.NewEngine()
+			}
+			c.coreShard = make([]int, opts.Cores)
+			for i := range c.coreShard {
+				c.coreShard[i] = -1
+			}
+		}
+	}
+	// One request freelist per engine: apps Get at submit and Put at
+	// reap, so the steady-state working set is the fleet's aggregate
+	// queue depth instead of a fresh arena per app.
+	if len(c.shardEngs) > 0 {
+		c.reqPools = make([]*device.Pool, len(c.shardEngs))
+		for i := range c.reqPools {
+			c.reqPools[i] = device.NewPool()
+		}
+	} else {
+		c.reqPools = []*device.Pool{device.NewPool()}
+	}
 	if opts.Control.armed() {
+		// The same watchdog config is armed on every engine: it only
+		// observes the event stream, so a run that does not trip it is
+		// bit-identical either way. In sharded runs MaxEvents/StallEvents
+		// bound each shard separately.
 		c.Eng.SetWatchdog(opts.Control.watchdog())
+		for _, se := range c.shardEngs {
+			se.SetWatchdog(opts.Control.watchdog())
+		}
 	}
 
 	if opts.Observe {
@@ -228,7 +302,13 @@ func (c *Fleet) configureIOCostRoot(i int) error {
 // columns added later draw the same streams they always would have).
 func (c *Fleet) addColumn(i int) error {
 	opts := c.Opts
-	dev, err := device.New(c.Eng, opts.Profile, opts.Seed*1000003+uint64(i)+1)
+	shard := 0
+	if n := len(c.shardEngs); n > 0 {
+		shard = i % n
+	}
+	c.colShard = append(c.colShard, shard)
+	eng := c.EngFor(i)
+	dev, err := device.New(eng, opts.Profile, opts.Seed*1000003+uint64(i)+1)
 	if err != nil {
 		return err
 	}
@@ -240,7 +320,7 @@ func (c *Fleet) addColumn(i int) error {
 	var ctl blk.Controller
 	switch opts.Knob {
 	case KnobMQDeadline:
-		md := mqdeadline.New(c.Eng, mqdeadline.DefaultConfig())
+		md := mqdeadline.New(eng, mqdeadline.DefaultConfig())
 		md.Obs = c.Obs
 		sched = md
 	case KnobBFQ:
@@ -249,24 +329,24 @@ func (c *Fleet) addColumn(i int) error {
 			cfg.SliceIdle = 0
 		}
 		cfg.LowLatency = opts.BFQLowLatency
-		bq := bfq.New(c.Eng, cfg)
+		bq := bfq.New(eng, cfg)
 		bq.Obs = c.Obs
 		sched = bq
 	case KnobIOMax:
 		sched = noop.New()
-		im := iomax.New(c.Eng, c.Tree, DevName(i))
+		im := iomax.New(eng, c.Tree, DevName(i))
 		im.Obs = c.Obs
 		ctl = im
 	case KnobIOLatency:
 		sched = noop.New()
-		il := iolatency.New(c.Eng, c.Tree, DevName(i), opts.Profile.MaxQD)
+		il := iolatency.New(eng, c.Tree, DevName(i), opts.Profile.MaxQD)
 		il.Obs = c.Obs
 		c.IOLat = append(c.IOLat, il)
 		col.IOLat = il
 		ctl = il
 	case KnobIOCost:
 		sched = noop.New()
-		ic := iocost.New(c.Eng, c.Tree, DevName(i))
+		ic := iocost.New(eng, c.Tree, DevName(i))
 		ic.Obs = c.Obs
 		c.IOCost = append(c.IOCost, ic)
 		col.IOCost = ic
@@ -298,7 +378,7 @@ func (c *Fleet) addColumn(i int) error {
 		col.Fault = in
 	}
 	c.Devices = append(c.Devices, dev)
-	q := blk.NewQueue(c.Eng, dev, sched, ctl)
+	q := blk.NewQueue(eng, dev, sched, ctl)
 	q.SetObserver(c.Obs, DevName(i))
 	if c.Attr != nil {
 		q.SetAttribution(c.Attr)
@@ -356,6 +436,25 @@ func (c *Fleet) AddDevice() (int, error) {
 // Column returns device column i.
 func (c *Fleet) Column(i int) *DeviceColumn { return c.Columns[i] }
 
+// EngFor returns the engine that device column i's events run on: the
+// column's shard engine when the fleet is sharded, the fleet engine
+// otherwise. Components that schedule per-device runtime events (extra
+// managers, replayers) must use this engine, not c.Eng.
+func (c *Fleet) EngFor(i int) *sim.Engine {
+	if len(c.shardEngs) > 0 && i < len(c.colShard) {
+		return c.shardEngs[c.colShard[i]]
+	}
+	return c.Eng
+}
+
+// Shards reports the effective shard count: 0 for the classic
+// single-engine runtime, >= 1 when the sharded runtime is active.
+func (c *Fleet) Shards() int { return len(c.shardEngs) }
+
+// ShardNote reports why a Control.Shards request was clamped off (""
+// when sharding is active or was never requested).
+func (c *Fleet) ShardNote() string { return c.shardNote }
+
 // NewGroup creates a tenant process group under the benchmark slice.
 func (c *Fleet) NewGroup(name string) (*cgroup.Group, error) {
 	g, err := c.Slice.Create(name)
@@ -366,17 +465,43 @@ func (c *Fleet) NewGroup(name string) (*cgroup.Group, error) {
 	return g, nil
 }
 
-// AddApp creates an app bound to device dev and registers it.
+// AddApp creates an app bound to device dev and registers it. In a
+// sharded fleet the app runs on its device column's shard engine, and
+// its core is bound to that shard on first use — a core cannot serve
+// apps from two shards (their completion events would interleave
+// across engines), so such a placement is rejected.
 func (c *Fleet) AddApp(spec workload.Spec, dev int) (*workload.App, error) {
 	if dev < 0 || dev >= len(c.Queues) {
 		return nil, fmt.Errorf("core: device index %d out of range", dev)
 	}
+	pool := c.reqPools[0]
+	if len(c.shardEngs) > 0 {
+		shard := c.colShard[dev]
+		pool = c.reqPools[shard]
+		ci := spec.Core
+		if ci < 0 {
+			ci = -ci
+		}
+		ci %= len(c.CPU.Cores)
+		switch c.coreShard[ci] {
+		case -1:
+			c.CPU.Cores[ci].Rebind(c.shardEngs[shard])
+			c.coreShard[ci] = shard
+		case shard:
+			// already bound to this shard
+		default:
+			return nil, fmt.Errorf(
+				"core: app %q on device %d needs core %d in shard %d, but the core is bound to shard %d (run with -shards 1, or place shard-disjoint cores)",
+				spec.Name, dev, ci, shard, c.coreShard[ci])
+		}
+	}
 	c.appSeq++
-	app, err := workload.NewApp(c.Eng, c.CPU, c.Opts.Costs, c.Queues[dev],
+	app, err := workload.NewApp(c.EngFor(dev), c.CPU, c.Opts.Costs, c.Queues[dev],
 		spec, c.Opts.Seed*7919+c.appSeq)
 	if err != nil {
 		return nil, err
 	}
+	app.UsePool(pool)
 	if c.Attr != nil {
 		app.SetAttribution(c.Attr)
 	}
@@ -411,7 +536,7 @@ func (c *Fleet) Started() bool { return c.started }
 // in paranoid mode — an invariant was violated at window end.
 func (c *Fleet) RunPhase(warmup, measure sim.Duration) error {
 	c.Start()
-	c.Eng.RunUntil(c.Eng.Now().Add(warmup))
+	c.advance(c.Eng.Now().Add(warmup))
 	if err := c.runErr(); err != nil {
 		return err
 	}
@@ -425,7 +550,7 @@ func (c *Fleet) RunPhase(warmup, measure sim.Duration) error {
 	if c.Opts.Control.Paranoid {
 		c.snapshotParanoid()
 	}
-	c.Eng.RunUntil(c.Eng.Now().Add(measure))
+	c.advance(c.Eng.Now().Add(measure))
 	if err := c.runErr(); err != nil {
 		return err
 	}
@@ -441,7 +566,7 @@ func (c *Fleet) RunPhase(warmup, measure sim.Duration) error {
 // RunPhase.
 func (c *Fleet) RunTo(t sim.Time) error {
 	c.Start()
-	c.Eng.RunUntil(t)
+	c.advance(t)
 	if err := c.runErr(); err != nil {
 		return err
 	}
@@ -451,10 +576,128 @@ func (c *Fleet) RunTo(t sim.Time) error {
 	return nil
 }
 
-// runErr surfaces the engine's sticky stop reason, recording it once
+// advance moves all virtual clocks to t: a plain RunUntil on the
+// single-engine runtime, the conservative-window barrier loop when
+// sharded.
+func (c *Fleet) advance(t sim.Time) {
+	if len(c.shardEngs) == 0 {
+		c.Eng.RunUntil(t)
+		return
+	}
+	c.runSharded(t)
+}
+
+// runSharded advances a sharded fleet to t. The global engine's
+// pending events define the barriers: between consecutive global
+// events every shard advances independently (in parallel) through the
+// half-open window ending at the barrier, then the barrier's global
+// events run alone, with every shard paused at the barrier instant.
+//
+// This ordering is byte-identical to the single-engine run as long as
+// the global engine only hosts events scheduled OUTSIDE shard windows
+// (setup-time schedules like churn arrivals, or events scheduled by
+// other global events): such events always carry smaller sequence
+// numbers than any same-instant event scheduled during the run, so the
+// single engine would also run them first.
+func (c *Fleet) runSharded(t sim.Time) {
+	for {
+		nt, ok := c.Eng.PeekNext()
+		if !ok || nt > t {
+			break
+		}
+		c.runWindows(nt, false)
+		c.applyRetires()
+		if c.anyEngErr() != nil {
+			return
+		}
+		c.Eng.RunUntil(nt)
+		if c.Eng.Err() != nil {
+			return
+		}
+	}
+	// Final window: inclusive of t, like RunUntil.
+	c.runWindows(t, true)
+	c.applyRetires()
+	c.Eng.RunUntil(t)
+}
+
+// runWindows advances every shard to the window edge t — exclusive
+// (RunBefore) at a barrier, inclusive (RunUntil) for the final window.
+// Shards share no mutable state inside a window: cross-shard effects
+// (tenant teardown's global half) are queued and applied at the
+// barrier by the coordinator.
+func (c *Fleet) runWindows(t sim.Time, inclusive bool) {
+	run := func(e *sim.Engine) {
+		if inclusive {
+			e.RunUntil(t)
+		} else {
+			e.RunBefore(t)
+		}
+	}
+	if len(c.shardEngs) == 1 {
+		// One shard still runs the barrier protocol (so single-device
+		// fleets exercise it), just without goroutines.
+		c.winActive = true
+		run(c.shardEngs[0])
+		c.winActive = false
+		return
+	}
+	c.winActive = true
+	var wg sync.WaitGroup
+	for _, se := range c.shardEngs {
+		wg.Add(1)
+		go func(e *sim.Engine) {
+			defer wg.Done()
+			run(e)
+		}(se)
+	}
+	wg.Wait()
+	c.winActive = false
+}
+
+// applyRetires applies the global half of every tenant teardown that
+// drained during the last shard window, in (drain time, tenant ID)
+// order. Same-instant teardowns of different tenants commute — the
+// rosters, counters, and cgroup removals they touch are disjoint — so
+// this order matches the single-engine run observably even when it
+// differs by engine sequence.
+func (c *Fleet) applyRetires() {
+	if len(c.pendingRetire) == 0 {
+		return
+	}
+	sort.Slice(c.pendingRetire, func(i, j int) bool {
+		a, b := c.pendingRetire[i], c.pendingRetire[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		return a.t.ID < b.t.ID
+	})
+	pend := c.pendingRetire
+	c.pendingRetire = nil
+	for _, p := range pend {
+		c.finishRemoveGlobal(p.t, p.done)
+	}
+}
+
+// anyEngErr returns the first sticky stop reason across the global and
+// shard engines (global first, then shard order, so the report is
+// deterministic even when several watchdogs tripped in one window).
+func (c *Fleet) anyEngErr() error {
+	if err := c.Eng.Err(); err != nil {
+		return err
+	}
+	for _, se := range c.shardEngs {
+		if err := se.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runErr surfaces the engines' sticky stop reason, recording it once
 // as an obs incident so aborts show up in exports and summaries.
 func (c *Fleet) runErr() error {
-	err := c.Eng.Err()
+	err := c.anyEngErr()
 	if err == nil {
 		return nil
 	}

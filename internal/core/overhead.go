@@ -194,6 +194,14 @@ func RunBandwidthScaling(cfg BandwidthScalingConfig) ([]BandwidthScalingPoint, e
 			return zero, err
 		}
 		opts.Control = cfg.Control
+		if cfg.Devices > 1 {
+			// The multi-device panel round-robins apps across cores AND
+			// devices independently (app i -> core i%cores, device
+			// i%devices), so one core serves apps on several device
+			// columns. That violates the sharded runtime's core-to-shard
+			// binding; keep this experiment on the single engine.
+			opts.Control.Shards = 0
+		}
 		cl, err := NewCluster(opts)
 		if err != nil {
 			return zero, err

@@ -162,8 +162,30 @@ func (c *Fleet) RemoveTenant(t *Tenant, done func(error)) {
 // Removals reports how many tenants have completed teardown.
 func (c *Fleet) Removals() int { return c.removals }
 
-// finishRemove runs once every app of the tenant has drained.
+// finishRemove runs once every app of the tenant has drained. The
+// scheduler/controller state on the tenant's device column is dropped
+// immediately — it is shard-local, and the column's later events must
+// not see the departed group. The rest of the teardown touches
+// fleet-global state (rosters, the cgroup tree, retired accumulators):
+// inside a shard window that half is deferred to the next barrier,
+// where the coordinator applies drained tenants in (drain time, ID)
+// order; outside a window (single-engine runtime, or a teardown
+// triggered by a barrier event) it runs in place.
 func (c *Fleet) finishRemove(t *Tenant, done func(error)) {
+	c.Queues[t.Device].DetachGroup(t.Group.ID())
+	if c.winActive {
+		at := c.EngFor(t.Device).Now()
+		c.retireMu.Lock()
+		c.pendingRetire = append(c.pendingRetire, pendingRetire{at: at, t: t, done: done})
+		c.retireMu.Unlock()
+		return
+	}
+	c.finishRemoveGlobal(t, done)
+}
+
+// finishRemoveGlobal is the fleet-global half of tenant teardown. It
+// must run with no shard window active.
+func (c *Fleet) finishRemoveGlobal(t *Tenant, done func(error)) {
 	// Bank the apps' window bytes (and the per-app window-edge slack)
 	// before they leave the roster, then detach their processes so the
 	// cgroup becomes removable.
@@ -193,9 +215,8 @@ func (c *Fleet) finishRemove(t *Tenant, done func(error)) {
 	c.Apps = apps
 	c.appDev = devs
 
-	// Drop scheduler/controller state, then the cgroup itself.
-	gid := t.Group.ID()
-	c.Queues[t.Device].DetachGroup(gid)
+	// Scheduler/controller state was already detached at drain time
+	// (finishRemove); here the cgroup itself goes away.
 	err := t.Group.Remove()
 	if err != nil {
 		c.churnViolations = append(c.churnViolations,

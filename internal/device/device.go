@@ -53,6 +53,12 @@ type Device struct {
 	seized   int // channels held by GC
 	waiting  reqRing
 
+	// Persistent timer callbacks, built once in New so the hot path
+	// schedules them with zero allocations (arg carries the request).
+	xferCB   sim.Callback
+	finishCB sim.Callback
+	gcTickCB sim.Callback
+
 	written int64 // cumulative user write bytes (preconditioning state)
 	gcDebt  int64
 	gcOn    bool
@@ -91,6 +97,15 @@ func New(eng *sim.Engine, prof Profile, seed uint64) (*Device, error) {
 	}
 	d := &Device{eng: eng, prof: prof, rng: sim.NewRNG(seed)}
 	d.pipe = newPipe(eng, prof.ReadRate, d.transferDone)
+	d.xferCB = func(arg any, _ uint64) {
+		r := arg.(*Request)
+		// transferDemand is evaluated at fire time: it reads the pipe's
+		// current write share and fault state, which may have changed
+		// since the access delay was armed.
+		d.pipe.add(r, d.transferDemand(r))
+	}
+	d.finishCB = func(arg any, _ uint64) { d.finish(arg.(*Request)) }
+	d.gcTickCB = func(any, uint64) { d.gcDrainSlice() }
 	return d, nil
 }
 
@@ -250,7 +265,7 @@ func (d *Device) startService(r *Request) {
 		}
 	}
 	d.channelBusy += access
-	d.eng.After(access, func() { d.pipe.add(r, d.transferDemand(r)) })
+	d.eng.AfterCall(access, d.xferCB, r, 0)
 }
 
 // chargeDevWait attributes the channel wait [r.Dispatch, now). The
@@ -418,7 +433,7 @@ func (d *Device) transferDone(r *Request) {
 	if r.extraLat > 0 {
 		extra := r.extraLat
 		r.extraLat = 0
-		d.eng.After(extra, func() { d.finish(r) })
+		d.eng.AfterCall(extra, d.finishCB, r, 0)
 		return
 	}
 	d.finish(r)
@@ -473,32 +488,39 @@ func (d *Device) maybeStartGC() {
 	d.gcTick()
 }
 
-// gcTick drains debt in 10 ms slices so throttled knobs observe GC as a
-// gradual capacity loss rather than a single stall.
+// gcSlice is the GC drain granularity: debt retires in 10 ms slices so
+// throttled knobs observe GC as a gradual capacity loss rather than a
+// single stall.
+const gcSlice = 10 * sim.Millisecond
+
+// gcTick arms the next drain slice.
 func (d *Device) gcTick() {
-	const slice = 10 * sim.Millisecond
-	d.eng.After(slice, func() {
-		d.gcDebt -= int64(d.prof.GCDrainRate * slice.Seconds())
-		if d.gcDebt <= d.prof.GCLowBytes {
-			if d.gcDebt < 0 {
-				d.gcDebt = 0
-			}
-			d.gcOn = false
-			d.seized = 0
-			d.gcWindowClose(d.eng.Now())
-			if d.OnGC != nil {
-				d.OnGC(false, d.gcDebt)
-			}
-			for d.busy < d.availableChannels() && d.waiting.len() > 0 {
-				d.startService(d.waiting.pop())
-			}
-			return
+	d.eng.AfterCall(gcSlice, d.gcTickCB, nil, 0)
+}
+
+// gcDrainSlice retires one slice worth of debt and re-arms until the
+// low watermark is reached.
+func (d *Device) gcDrainSlice() {
+	d.gcDebt -= int64(d.prof.GCDrainRate * gcSlice.Seconds())
+	if d.gcDebt <= d.prof.GCLowBytes {
+		if d.gcDebt < 0 {
+			d.gcDebt = 0
 		}
+		d.gcOn = false
+		d.seized = 0
+		d.gcWindowClose(d.eng.Now())
 		if d.OnGC != nil {
-			d.OnGC(true, d.gcDebt)
+			d.OnGC(false, d.gcDebt)
 		}
-		d.gcTick()
-	})
+		for d.busy < d.availableChannels() && d.waiting.len() > 0 {
+			d.startService(d.waiting.pop())
+		}
+		return
+	}
+	if d.OnGC != nil {
+		d.OnGC(true, d.gcDebt)
+	}
+	d.gcTick()
 }
 
 // reqRing is a growable FIFO of requests (amortized O(1) push/pop

@@ -72,7 +72,6 @@ func (p *pipe) reschedule() {
 	if len(p.flows) == 0 {
 		return
 	}
-	gen := p.gen
 	head := p.flows[0]
 	remaining := head.finishS - p.s
 	if remaining < 0 {
@@ -82,12 +81,18 @@ func (p *pipe) reschedule() {
 	// Round up: a truncated wait would fire at the same instant with
 	// the head still fractionally unserved and spin forever.
 	wait++
-	p.eng.After(wait, func() {
-		if gen != p.gen {
-			return
-		}
-		p.completeReady()
-	})
+	p.eng.AfterCall(wait, pipeCompleteCB, p, p.gen)
+}
+
+// pipeCompleteCB is the persistent completion callback: every arrival
+// or departure reschedules it, so an allocated closure here would be
+// the hottest allocation in the simulator.
+func pipeCompleteCB(arg any, gen uint64) {
+	p := arg.(*pipe)
+	if gen != p.gen {
+		return
+	}
+	p.completeReady()
 }
 
 // completeReady pops every flow whose demand has been served.

@@ -89,6 +89,12 @@ func (s *Server) Tasks() uint64 { return s.tasks }
 
 func (s *Server) String() string { return fmt.Sprintf("server(%s)", s.name) }
 
+// Rebind moves the server onto another engine. Sharded fleets bind a
+// core to its shard's engine on first use so all of the core's events
+// run inside that shard's window. Only legal while the server is idle
+// (no pending completion events on the old engine).
+func (s *Server) Rebind(eng *sim.Engine) { s.eng = eng }
+
 // Costs are the host-side CPU costs of the I/O path, before any knob
 // or scheduler adds its own. Both the submission syscall and the
 // completion reap amortize a fixed cost over a batch (io_uring
@@ -147,9 +153,32 @@ func (c Costs) ReapCost(n int) sim.Duration {
 type CPU struct {
 	Cores []*Server
 
-	ctxSwitches float64
-	cycles      float64
+	accounts []*IOAccount
+}
+
+// IOAccount is one component's I/O bookkeeping slot: an integer event
+// count with fixed per-IO coefficients. Keeping the count per account
+// (instead of accumulating floats on the shared CPU) makes accounting
+// order-independent — Counters sums accounts in registration order, so
+// sharded runs that interleave completions differently still report
+// bit-identical totals — and race-free, since each account is only
+// touched by its owner's engine.
+type IOAccount struct {
+	ctxPerIO    float64
+	cyclesPerIO float64
 	ios         uint64
+}
+
+// AccountIO records one completed I/O.
+func (a *IOAccount) AccountIO() { a.ios++ }
+
+// NewAccount registers a bookkeeping slot with fixed per-IO costs.
+// Registration order defines the (deterministic) summation order in
+// Counters.
+func (c *CPU) NewAccount(ctxPerIO, cyclesPerIO float64) *IOAccount {
+	a := &IOAccount{ctxPerIO: ctxPerIO, cyclesPerIO: cyclesPerIO}
+	c.accounts = append(c.accounts, a)
+	return a
 }
 
 // NewCPU returns n idle cores.
@@ -172,40 +201,41 @@ func (c *CPU) Core(i int) *Server {
 	return c.Cores[i%len(c.Cores)]
 }
 
-// AccountIO records bookkeeping for one completed I/O: ctxPerIO context
-// switches and cycles consumed. Schedulers pass their measured
-// overheads (the paper reports these per knob: none 1.00 cs / 25.0K
-// cycles, MQ-DL 1.06 / 31.7K, BFQ 1.05 / 44.0K).
-func (c *CPU) AccountIO(ctxPerIO, cyclesPerIO float64) {
-	c.ctxSwitches += ctxPerIO
-	c.cycles += cyclesPerIO
-	c.ios++
-}
-
 // ContextSwitchesPerIO returns the average recorded context switches
 // per I/O.
 func (c *CPU) ContextSwitchesPerIO() float64 {
-	if c.ios == 0 {
+	ctx, _, ios := c.Counters()
+	if ios == 0 {
 		return 0
 	}
-	return c.ctxSwitches / float64(c.ios)
+	return ctx / float64(ios)
 }
 
 // CyclesPerIO returns the average recorded cycles per I/O.
 func (c *CPU) CyclesPerIO() float64 {
-	if c.ios == 0 {
+	_, cycles, ios := c.Counters()
+	if ios == 0 {
 		return 0
 	}
-	return c.cycles / float64(c.ios)
+	return cycles / float64(ios)
 }
 
 // IOs returns the number of accounted I/Os.
-func (c *CPU) IOs() uint64 { return c.ios }
+func (c *CPU) IOs() uint64 {
+	_, _, ios := c.Counters()
+	return ios
+}
 
-// Counters returns the raw cumulative accounting (context switches,
-// cycles, I/Os); diff two snapshots to measure a window.
+// Counters returns the cumulative accounting (context switches,
+// cycles, I/Os) summed over all registered accounts in registration
+// order; diff two snapshots to measure a window.
 func (c *CPU) Counters() (ctxSwitches, cycles float64, ios uint64) {
-	return c.ctxSwitches, c.cycles, c.ios
+	for _, a := range c.accounts {
+		ctxSwitches += float64(a.ios) * a.ctxPerIO
+		cycles += float64(a.ios) * a.cyclesPerIO
+		ios += a.ios
+	}
+	return ctxSwitches, cycles, ios
 }
 
 // BusySnapshot returns per-core busy time; diff two snapshots to get

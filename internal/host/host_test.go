@@ -77,8 +77,9 @@ func TestCPURoundRobin(t *testing.T) {
 
 func TestAccounting(t *testing.T) {
 	c := NewCPU(sim.NewEngine(), 1)
-	c.AccountIO(1.06, 31700)
-	c.AccountIO(1.06, 31700)
+	a := c.NewAccount(1.06, 31700)
+	a.AccountIO()
+	a.AccountIO()
 	if c.IOs() != 2 {
 		t.Fatalf("ios = %d", c.IOs())
 	}

@@ -119,6 +119,13 @@ type Controller struct {
 	groups map[int]*gstate
 	armed  bool
 
+	// Persistent timer callbacks and the active-set predicate, built
+	// once in New so steady-state scheduling allocates nothing.
+	releaseCB sim.Callback
+	periodFn  func()
+	qosFn     func()
+	activeFn  func(*cgroup.Group) bool
+
 	rhist, whist metrics.Histogram
 
 	// VRateLog records vrate at each QoS tick for introspection.
@@ -145,6 +152,22 @@ func New(eng *sim.Engine, tree *cgroup.Tree, dev string) *Controller {
 	}
 	c.reloadConfig()
 	c.vrateMin, c.vrateMax = c.vrate, c.vrate
+	c.releaseCB = func(arg any, gen uint64) {
+		s := arg.(*gstate)
+		if gen != s.timerGen {
+			return
+		}
+		c.release(s)
+	}
+	c.periodFn = c.periodTick
+	c.qosFn = c.qosTick
+	// Activation is per controller (per device), as in the kernel where
+	// the active list hangs off the ioc, not the cgroup: a group busy on
+	// one device must not count as an active sibling on another.
+	c.activeFn = func(g *cgroup.Group) bool {
+		s, ok := c.groups[g.ID()]
+		return ok && s.active
+	}
 	return c
 }
 
@@ -221,9 +244,6 @@ func (c *Controller) activate(s *gstate) {
 		return
 	}
 	s.active = true
-	if g := c.tree.ByID(s.id); g != nil {
-		g.SetActive(true)
-	}
 	// A (re)activating group starts at the global clock: it must not
 	// burn budget banked while idle.
 	if s.vtime < c.vnow {
@@ -242,7 +262,7 @@ func (c *Controller) refreshWeights() {
 			continue
 		}
 		if g := c.tree.ByID(id); g != nil {
-			s.hweight = g.HierWeightWith(cgroup.WeightIOCost, sums)
+			s.hweight = g.HierWeightIn(cgroup.WeightIOCost, c.activeFn, sums)
 		} else {
 			s.hweight = 1
 		}
@@ -314,13 +334,7 @@ func (c *Controller) armRelease(s *gstate) {
 		wait = 2 * sim.Microsecond
 	}
 	s.timerGen++
-	gen := s.timerGen
-	c.eng.After(wait, func() {
-		if gen != s.timerGen {
-			return
-		}
-		c.release(s)
-	})
+	c.eng.AfterCall(wait, c.releaseCB, s, s.timerGen)
 }
 
 // release forwards waiting requests while budget allows.
@@ -354,9 +368,6 @@ func (c *Controller) DetachGroup(cg int) {
 	}
 	s.timerGen++ // disarm any armed release timer
 	wasActive := s.active
-	if g := c.tree.ByID(cg); g != nil {
-		g.SetActive(false)
-	}
 	delete(c.groups, cg)
 	if wasActive {
 		c.refreshWeights()
@@ -379,8 +390,8 @@ func (c *Controller) armTimers() {
 		return
 	}
 	c.armed = true
-	c.eng.After(Period, c.periodTick)
-	c.eng.After(QoSPeriod, c.qosTick)
+	c.eng.After(Period, c.periodFn)
+	c.eng.After(QoSPeriod, c.qosFn)
 }
 
 // periodTick deactivates groups idle for a full period and runs the
@@ -390,13 +401,10 @@ func (c *Controller) armTimers() {
 func (c *Controller) periodTick() {
 	now := c.eng.Now()
 	changed := false
-	for id, s := range c.groups {
+	for _, s := range c.groups {
 		if s.active && s.waiting.Len() == 0 && now.Sub(s.lastUse) > Period {
 			s.active = false
 			changed = true
-			if g := c.tree.ByID(id); g != nil {
-				g.SetActive(false)
-			}
 		}
 	}
 	if changed {
@@ -419,7 +427,7 @@ func (c *Controller) periodTick() {
 			c.Obs.SetGauge(c.dev, id, "cost.nr_queued", float64(s.waiting.Len()))
 		}
 	}
-	c.eng.After(Period, c.periodTick)
+	c.eng.After(Period, c.periodFn)
 }
 
 // donate redistributes unused share. Base shares come from the cgroup
@@ -451,7 +459,7 @@ func (c *Controller) donate() {
 		}
 		base := 1.0
 		if g := c.tree.ByID(id); g != nil {
-			base = g.HierWeightWith(cgroup.WeightIOCost, sums)
+			base = g.HierWeightIn(cgroup.WeightIOCost, c.activeFn, sums)
 		}
 		entries = append(entries, entry{s: s, base: base, usage: s.absUsed / dv})
 		baseTotal += base
@@ -532,7 +540,7 @@ func (c *Controller) qosTick() {
 	c.Obs.Sample("iocost.vrate", -1, c.vrate)
 	c.rhist.Reset()
 	c.whist.Reset()
-	c.eng.After(QoSPeriod, c.qosTick)
+	c.eng.After(QoSPeriod, c.qosFn)
 }
 
 // Overheads returns io.cost's hot-path profile: a modest fixed cost

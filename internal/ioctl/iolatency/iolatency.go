@@ -41,9 +41,10 @@ type Controller struct {
 	// depth is the group's own backlog and charges to self.
 	Attr *attr.Tracker
 
-	groups  map[int]*state
-	armed   bool
-	blameCg int // protected group behind the current tightening (-1 none)
+	groups   map[int]*state
+	armed    bool
+	blameCg  int    // protected group behind the current tightening (-1 none)
+	windowFn func() // persistent tick, so each window schedules alloc-free
 }
 
 type state struct {
@@ -62,10 +63,12 @@ func New(eng *sim.Engine, tree *cgroup.Tree, dev string, maxQD int) *Controller 
 	if maxQD < 1 {
 		maxQD = 1
 	}
-	return &Controller{
+	c := &Controller{
 		eng: eng, tree: tree, dev: dev, maxQD: maxQD,
 		groups: make(map[int]*state), blameCg: -1,
 	}
+	c.windowFn = c.windowTick
+	return c
 }
 
 // Name returns "io.latency".
@@ -139,7 +142,7 @@ func (c *Controller) armWindow() {
 		return
 	}
 	c.armed = true
-	c.eng.After(Window, c.windowTick)
+	c.eng.After(Window, c.windowFn)
 }
 
 // windowTick evaluates every protected group's window percentile and
@@ -202,7 +205,7 @@ func (c *Controller) windowTick() {
 		}
 		c.releaseWaiting(s)
 	}
-	c.eng.After(Window, c.windowTick)
+	c.eng.After(Window, c.windowFn)
 }
 
 // DetachGroup drops the cgroup's depth-limit state after its traffic

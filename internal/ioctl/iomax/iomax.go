@@ -44,9 +44,12 @@ type Controller struct {
 	Attr *attr.Tracker
 
 	groups map[int]*bucket
+
+	releaseCB sim.Callback // persistent deficit-timer callback
 }
 
 type bucket struct {
+	id             int     // owning cgroup, for the persistent release timer
 	rBytes, wBytes float64 // byte token balances
 	rOps, wOps     float64 // op token balances
 	last           sim.Time
@@ -57,7 +60,15 @@ type bucket struct {
 // New returns an io.max controller reading limits for device dev from
 // the cgroup tree.
 func New(eng *sim.Engine, tree *cgroup.Tree, dev string) *Controller {
-	return &Controller{eng: eng, tree: tree, dev: dev, groups: make(map[int]*bucket)}
+	c := &Controller{eng: eng, tree: tree, dev: dev, groups: make(map[int]*bucket)}
+	c.releaseCB = func(arg any, gen uint64) {
+		b := arg.(*bucket)
+		if gen != b.timerGen {
+			return
+		}
+		c.release(b.id, b)
+	}
+	return c
 }
 
 // Name returns "io.max".
@@ -76,7 +87,7 @@ func (c *Controller) limits(id int) cgroup.IOMax {
 func (c *Controller) bucketFor(id int) *bucket {
 	b, ok := c.groups[id]
 	if !ok {
-		b = &bucket{last: c.eng.Now()}
+		b = &bucket{id: id, last: c.eng.Now()}
 		c.groups[id] = b
 	}
 	return b
@@ -163,7 +174,7 @@ func (c *Controller) Submit(r *device.Request) {
 	c.Attr.HoldBegin(r.Blame)
 	c.Obs.ThrottleBegin(r.Cgroup)
 	c.sampleBucket(r.Cgroup, b, lim)
-	c.armTimer(r.Cgroup, b, lim)
+	c.armTimer(b, lim)
 }
 
 // sampleBucket publishes the group's token balances and queue depth.
@@ -188,16 +199,10 @@ func (c *Controller) sampleBucket(id int, b *bucket, lim cgroup.IOMax) {
 
 // armTimer schedules the next release attempt at the instant every
 // deficit is repaid.
-func (c *Controller) armTimer(id int, b *bucket, lim cgroup.IOMax) {
+func (c *Controller) armTimer(b *bucket, lim cgroup.IOMax) {
 	wait := c.deficitWait(b, lim)
 	b.timerGen++
-	gen := b.timerGen
-	c.eng.After(wait, func() {
-		if gen != b.timerGen {
-			return
-		}
-		c.release(id, b)
-	})
+	c.eng.AfterCall(wait, c.releaseCB, b, b.timerGen)
 }
 
 // deficitWait returns how long until all limited balances reach zero.
@@ -234,7 +239,7 @@ func (c *Controller) release(id int, b *bucket) {
 	}
 	c.sampleBucket(id, b, lim)
 	if b.waiting.Len() > 0 {
-		c.armTimer(id, b, lim)
+		c.armTimer(b, lim)
 	}
 }
 

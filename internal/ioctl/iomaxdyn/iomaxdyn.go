@@ -66,13 +66,16 @@ type Manager struct {
 	cfg     Config
 	members []*member
 	running bool
+	tickFn  func() // persistent tick, so each period schedules alloc-free
 
 	Reconfigs int // number of limit rewrites performed (introspection)
 }
 
 // New creates a manager for one device.
 func New(eng *sim.Engine, dev string, cfg Config) *Manager {
-	return &Manager{eng: eng, dev: dev, cfg: cfg.withDefaults()}
+	m := &Manager{eng: eng, dev: dev, cfg: cfg.withDefaults()}
+	m.tickFn = m.tickRun
+	return m
 }
 
 // Add registers a group with an abstract weight and a usage probe.
@@ -98,22 +101,24 @@ func (m *Manager) Start() {
 }
 
 func (m *Manager) tick() {
-	m.eng.After(m.cfg.Period, func() {
-		changed := false
-		for _, mb := range m.members {
-			u := mb.usage()
-			active := u-mb.lastSeen >= m.cfg.IdleThreshold
-			mb.lastSeen = u
-			if active != mb.active {
-				mb.active = active
-				changed = true
-			}
+	m.eng.After(m.cfg.Period, m.tickFn)
+}
+
+func (m *Manager) tickRun() {
+	changed := false
+	for _, mb := range m.members {
+		u := mb.usage()
+		active := u-mb.lastSeen >= m.cfg.IdleThreshold
+		mb.lastSeen = u
+		if active != mb.active {
+			mb.active = active
+			changed = true
 		}
-		if changed {
-			m.apply()
-		}
-		m.tick()
-	})
+	}
+	if changed {
+		m.apply()
+	}
+	m.tick()
 }
 
 // apply rewrites io.max for every member: active groups share PeakBW

@@ -105,6 +105,8 @@ type Scheduler struct {
 	idleStart sim.Time // attribution: when the current idle hold began
 	idleQ     int      // attribution: cgroup the device idles for
 	kick      func()
+
+	idleCB sim.Callback // persistent slice-idle expiry callback
 }
 
 // New returns a BFQ scheduler.
@@ -112,7 +114,22 @@ func New(eng *sim.Engine, cfg Config) *Scheduler {
 	if cfg.MaxBudget <= 0 {
 		cfg.MaxBudget = 2 << 20
 	}
-	return &Scheduler{eng: eng, cfg: cfg, queues: make(map[int]*queue)}
+	s := &Scheduler{eng: eng, cfg: cfg, queues: make(map[int]*queue)}
+	s.idleCB = func(arg any, gen uint64) {
+		if gen != s.idleGen || !s.idling {
+			return
+		}
+		q := arg.(*queue)
+		s.noteIdleEnd()
+		s.idling = false
+		if s.inService == q && q.pending() == 0 {
+			s.expire(q)
+		}
+		if s.kick != nil {
+			s.kick()
+		}
+	}
+	return s
 }
 
 // Name returns "bfq".
@@ -209,23 +226,10 @@ func (s *Scheduler) Dispatch() *device.Request {
 func (s *Scheduler) startIdle(q *queue) {
 	s.idling = true
 	s.idleGen++
-	gen := s.idleGen
 	s.idleStart = s.eng.Now()
 	s.idleQ = q.id
 	s.Obs.Sample("bfq.idle", q.id, 1)
-	s.eng.After(s.cfg.SliceIdle, func() {
-		if gen != s.idleGen || !s.idling {
-			return
-		}
-		s.noteIdleEnd()
-		s.idling = false
-		if s.inService == q && q.pending() == 0 {
-			s.expire(q)
-		}
-		if s.kick != nil {
-			s.kick()
-		}
-	})
+	s.eng.AfterCall(s.cfg.SliceIdle, s.idleCB, q, s.idleGen)
 }
 
 // expire closes the queue's slice: the queue is charged served/weight

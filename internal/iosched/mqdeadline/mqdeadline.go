@@ -77,6 +77,11 @@ type Scheduler struct {
 	lastInsertCg [3]int
 	everSeen     [3]bool
 	windowKickAt sim.Time
+
+	// Persistent timer callbacks; the window kick smuggles its arm time
+	// through the gen slot (sim.Time is a non-negative int64).
+	windowKickCB sim.Callback
+	agingCB      sim.Callback
 }
 
 type fifoList struct {
@@ -117,7 +122,25 @@ func New(eng *sim.Engine, cfg Config) *Scheduler {
 	if cfg.WritesStarved <= 0 {
 		cfg.WritesStarved = 2
 	}
-	return &Scheduler{eng: eng, cfg: cfg}
+	s := &Scheduler{eng: eng, cfg: cfg}
+	s.windowKickCB = func(_ any, gen uint64) {
+		if s.windowKickAt == sim.Time(gen) {
+			s.windowKickAt = 0
+		}
+		if s.kick != nil {
+			s.kick()
+		}
+	}
+	s.agingCB = func(any, uint64) {
+		s.timerArmed = false
+		if s.kick != nil {
+			s.kick()
+		}
+		if s.pending() > 0 {
+			s.armAgingTimer()
+		}
+	}
+	return s
 }
 
 // Name returns "mq-deadline".
@@ -170,14 +193,7 @@ func (s *Scheduler) armWindowKick(at sim.Time) {
 		return // an earlier-or-equal kick is already armed
 	}
 	s.windowKickAt = at
-	s.eng.At(at, func() {
-		if s.windowKickAt == at {
-			s.windowKickAt = 0
-		}
-		if s.kick != nil {
-			s.kick()
-		}
-	})
+	s.eng.AtCall(at, s.windowKickCB, nil, uint64(at))
 }
 
 // armAgingTimer ensures a future kick so aged lower-class requests get
@@ -187,15 +203,7 @@ func (s *Scheduler) armAgingTimer() {
 		return
 	}
 	s.timerArmed = true
-	s.eng.After(s.cfg.PrioAgingExpire, func() {
-		s.timerArmed = false
-		if s.kick != nil {
-			s.kick()
-		}
-		if s.pending() > 0 {
-			s.armAgingTimer()
-		}
-	})
+	s.eng.AfterCall(s.cfg.PrioAgingExpire, s.agingCB, nil, 0)
 }
 
 func (s *Scheduler) pending() int {

@@ -1,11 +1,29 @@
 package sim
 
+// Callback is the engine's event entry point: a persistent function
+// that receives the argument and generation it was scheduled with.
+// Hot paths schedule a long-lived Callback via AtCall/AfterCall
+// instead of building a fresh closure per event — the engine stores
+// arg and gen inline in the event, and pointer-shaped args (pointers,
+// funcs, maps, channels) ride in the any without allocating, so
+// steady-state timer scheduling is allocation-free. gen is an opaque
+// invalidation token: callbacks that can go stale compare it against
+// their owner's current generation and return early on a mismatch.
+type Callback func(arg any, gen uint64)
+
+// runThunk adapts a plain func() scheduled through At/After to the
+// Callback shape. A func() stored in an any is pointer-shaped, so the
+// adaptation costs nothing.
+func runThunk(arg any, _ uint64) { arg.(func())() }
+
 // event is a scheduled callback. Events at the same instant fire in
 // scheduling order (seq breaks ties) so runs are deterministic.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	call Callback
+	arg  any
+	gen  uint64
 }
 
 // Engine is a deterministic discrete-event simulator. The zero value is
@@ -75,7 +93,7 @@ func (e *Engine) pop() event {
 	top := h[0]
 	n := len(h) - 1
 	last := h[n]
-	h[n] = event{} // release the fn pointer to the GC
+	h[n] = event{} // release the callback and arg pointers to the GC
 	h = h[:n]
 	e.events = h
 	if n > 0 {
@@ -110,11 +128,7 @@ func (e *Engine) pop() event {
 // At schedules fn to run at virtual time t. Scheduling in the past runs
 // the event at the current time (never before now).
 func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		t = e.now
-	}
-	e.seq++
-	e.push(event{at: t, seq: e.seq, fn: fn})
+	e.AtCall(t, runThunk, fn, 0)
 }
 
 // After schedules fn to run d after the current time.
@@ -122,7 +136,29 @@ func (e *Engine) After(d Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	e.At(e.now.Add(d), fn)
+	e.AtCall(e.now.Add(d), runThunk, fn, 0)
+}
+
+// AtCall schedules call(arg, gen) at virtual time t. Scheduling in the
+// past runs the event at the current time (never before now). This is
+// the allocation-free scheduling path: call is expected to be a
+// persistent function (package-level or built once per component), and
+// arg/gen carry the per-event state that a closure would otherwise
+// capture.
+func (e *Engine) AtCall(t Time, call Callback, arg any, gen uint64) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.push(event{at: t, seq: e.seq, call: call, arg: arg, gen: gen})
+}
+
+// AfterCall schedules call(arg, gen) at d after the current time.
+func (e *Engine) AfterCall(d Duration, call Callback, arg any, gen uint64) {
+	if d < 0 {
+		d = 0
+	}
+	e.AtCall(e.now.Add(d), call, arg, gen)
 }
 
 // Step runs the single earliest pending event. It reports whether an
@@ -137,8 +173,18 @@ func (e *Engine) Step() bool {
 	ev := e.pop()
 	e.now = ev.at
 	e.nRun++
-	ev.fn()
+	ev.call(ev.arg, ev.gen)
 	return true
+}
+
+// PeekNext reports the timestamp of the earliest pending event. ok is
+// false when no events are pending. Shard coordinators use this on the
+// global engine to compute the next conservative window edge.
+func (e *Engine) PeekNext() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
 }
 
 // RunUntil executes events in timestamp order until the clock reaches t
@@ -147,6 +193,22 @@ func (e *Engine) Step() bool {
 // horizon.
 func (e *Engine) RunUntil(t Time) {
 	for len(e.events) > 0 && e.stopErr == nil && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.stopErr == nil && e.now < t {
+		e.now = t
+	}
+}
+
+// RunBefore executes events strictly earlier than t and leaves the
+// clock at t; events at exactly t stay pending. Sharded runs advance
+// each shard through the half-open window [now, t) so that barrier
+// events scheduled on the global engine at t observe every shard with
+// its pre-t work complete but its at-t work unrun — matching the
+// unsharded order, where globally scheduled events carry smaller
+// sequence numbers than any event scheduled during the run.
+func (e *Engine) RunBefore(t Time) {
+	for len(e.events) > 0 && e.stopErr == nil && e.events[0].at < t {
 		e.Step()
 	}
 	if e.stopErr == nil && e.now < t {

@@ -25,7 +25,8 @@ type App struct {
 
 	over blk.Overheads // cached controller+scheduler path overheads
 
-	pool        []*device.Request
+	pool        *device.Pool
+	acct        *host.IOAccount
 	outstanding int
 	submitting  bool
 	started     bool
@@ -64,6 +65,7 @@ type App struct {
 	bytesWrit int64
 
 	wakeGen uint64
+	wakeCB  sim.Callback // persistent generation-guarded wakeup
 
 	// Churn support: a quiesced app stops issuing and fires onDrained
 	// once nothing it built remains in flight (mid-run tenant removal
@@ -96,11 +98,26 @@ func NewApp(eng *sim.Engine, cpu *host.CPU, costs host.Costs, q *blk.Queue, spec
 	a.submitFn = a.submitBatch
 	a.reapFn = a.reapBatch
 	a.onCompleteFn = a.onComplete
-	a.cgID = spec.Group.ID()
-	for i := 0; i < spec.QD; i++ {
-		a.pool = append(a.pool, &device.Request{})
+	a.wakeCB = func(_ any, gen uint64) {
+		if gen != a.wakeGen {
+			return
+		}
+		a.trySubmit()
 	}
+	a.cgID = spec.Group.ID()
+	a.pool = device.NewPool()
+	a.acct = cpu.NewAccount(a.over.CtxPerIO, a.over.CyclesPerIO)
 	return a, nil
+}
+
+// UsePool replaces the app's private request freelist with a shared
+// one. Call before Start. The pool must belong to the app's engine
+// (its shard): requests recycle strictly within one event stream, so
+// reuse order stays deterministic.
+func (a *App) UsePool(p *device.Pool) {
+	if p != nil {
+		a.pool = p
+	}
 }
 
 // Spec returns the app's configuration.
@@ -277,25 +294,13 @@ func (a *App) submitBatch() {
 // superseded by real activity are dropped).
 func (a *App) wake(at sim.Time) {
 	a.wakeGen++
-	gen := a.wakeGen
-	a.eng.At(at, func() {
-		if gen != a.wakeGen {
-			return
-		}
-		a.trySubmit()
-	})
+	a.eng.AtCall(at, a.wakeCB, nil, a.wakeGen)
 }
 
-// buildRequest pulls a pooled request and fills it.
+// buildRequest pulls a pooled request and fills it. This is the
+// lifecycle's get point; the matching put is in reapBatch.
 func (a *App) buildRequest(submitAt sim.Time) *device.Request {
-	var r *device.Request
-	if n := len(a.pool); n > 0 {
-		r = a.pool[n-1]
-		a.pool = a.pool[:n-1]
-		r.Reset()
-	} else {
-		r = &device.Request{}
-	}
+	r := a.pool.Get()
 	a.nextID++
 	r.ID = a.nextID
 	r.Op = a.spec.Op
@@ -371,9 +376,9 @@ func (a *App) reapBatch() {
 			// moved no data, so it counts as an error, not as latency
 			// or bandwidth.
 			a.errsDone++
-			a.cpu.AccountIO(a.over.CtxPerIO, a.over.CyclesPerIO)
+			a.acct.AccountIO()
 			a.outstanding--
-			a.pool = append(a.pool, r)
+			a.pool.Put(r)
 			continue
 		}
 		a.hist.Record(int64(now.Sub(r.Submit)))
@@ -384,9 +389,9 @@ func (a *App) reapBatch() {
 		} else {
 			a.bytesRead += r.Size
 		}
-		a.cpu.AccountIO(a.over.CtxPerIO, a.over.CyclesPerIO)
+		a.acct.AccountIO()
 		a.outstanding--
-		a.pool = append(a.pool, r)
+		a.pool.Put(r)
 	}
 	a.doneQ = a.doneQ[:0]
 	a.reaping = false

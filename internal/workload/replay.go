@@ -20,6 +20,7 @@ import (
 type ReplayApp struct {
 	eng   *sim.Engine
 	cpu   *host.CPU
+	acct  *host.IOAccount
 	core  *host.Server
 	costs host.Costs
 	queue *blk.Queue
@@ -53,7 +54,7 @@ func NewReplayApp(eng *sim.Engine, cpu *host.CPU, costs host.Costs, q *blk.Queue
 	if scale <= 0 {
 		scale = 1
 	}
-	return &ReplayApp{
+	a := &ReplayApp{
 		eng:       eng,
 		cpu:       cpu,
 		core:      cpu.Core(core),
@@ -64,7 +65,9 @@ func NewReplayApp(eng *sim.Engine, cpu *host.CPU, costs host.Costs, q *blk.Queue
 		entries:   entries,
 		scale:     scale,
 		bytesDone: metrics.NewCounter(100 * sim.Millisecond),
-	}, nil
+	}
+	a.acct = cpu.NewAccount(a.over.CtxPerIO, a.over.CyclesPerIO)
+	return a, nil
 }
 
 // Start schedules every arrival.
@@ -107,7 +110,7 @@ func (a *ReplayApp) onComplete(r *device.Request) {
 		a.bytesDone.Add(a.eng.Now(), float64(r.Size))
 		a.iosDone++
 		a.inflight--
-		a.cpu.AccountIO(a.over.CtxPerIO, a.over.CyclesPerIO)
+		a.acct.AccountIO()
 	})
 }
 

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# alloc_gate.sh — allocation-count gate for the zero-alloc request
+# path. Runs BenchmarkTradeoffParallel/sequential with -benchmem and
+# fails if allocs/op exceeds MAX_ALLOCS. Unlike ns/op, allocs/op is
+# machine-independent and exactly reproducible, so the budget is a
+# hard number, not a percentage.
+#
+# The budget is pinned with wide headroom above the measured value
+# (~1.8k allocs/op after the request-freelist and zero-alloc engine
+# work; it was ~2.5M before) and far below the pre-optimization count,
+# so only a real regression — a new per-I/O allocation on the
+# app/queue/scheduler/device path — can trip it.
+#
+# Usage: scripts/alloc_gate.sh
+# Env: MAX_ALLOCS (default 50000), BENCHTIME (default 1x).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+max="${MAX_ALLOCS:-50000}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench 'TradeoffParallel/sequential' -benchmem \
+    -benchtime "${BENCHTIME:-1x}" ./internal/core/ | tee "$raw"
+
+allocs="$(awk '/^BenchmarkTradeoffParallel\/sequential/ {
+    for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") { print $i; exit }
+}' "$raw")"
+if [ -z "$allocs" ]; then
+    echo "benchmark produced no allocs/op sample" >&2
+    exit 1
+fi
+
+if [ "$allocs" -gt "$max" ]; then
+    echo "FAIL: TradeoffParallel/sequential allocates $allocs/op, budget $max/op" >&2
+    echo "      (a new per-I/O allocation crept into the request path)" >&2
+    exit 1
+fi
+echo "OK: $allocs allocs/op within budget $max"

@@ -25,7 +25,18 @@ go test -run '^$' -bench 'EngineHotLoop|TradeoffParallel|FleetTenants' -benchmem
     -benchtime "$benchtime" -count "$count" \
     ./internal/sim/ ./internal/core/ | tee "$raw"
 
-awk -v label="$label" '
+# Machine/toolchain metadata, recorded per run so entries from
+# different hosts are never compared as if they were a regression
+# (the pr6-fleet heap4 "15x regression" was exactly that: a slower
+# recording machine, not a code change).
+goversion="$(go env GOVERSION 2>/dev/null || go version | awk '{print $3}')"
+ncpu="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 0)"
+os="$(uname -sr 2>/dev/null || echo unknown)"
+cpu="$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || true)"
+[ -n "$cpu" ] || cpu="unknown"
+
+awk -v label="$label" -v goversion="$goversion" -v ncpu="$ncpu" \
+    -v os="$os" -v cpu="$cpu" '
 BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1
@@ -38,7 +49,9 @@ BEGIN { n = 0 }
     if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
 }
 END {
-    printf "    {\n      \"label\": \"%s\",\n      \"benchmarks\": [\n", label
+    printf "    {\n      \"label\": \"%s\",\n", label
+    printf "      \"env\": {\"go\": \"%s\", \"cpus\": %s, \"os\": \"%s\", \"cpu_model\": \"%s\"},\n", goversion, ncpu, os, cpu
+    printf "      \"benchmarks\": [\n"
     for (i = 0; i < n; i++) {
         name = order[i]
         printf "        {\"name\": \"%s\", \"ns_per_op\": %s", name, ns[name]
