@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"isolbench/internal/core"
+	"isolbench/internal/fault"
 	"isolbench/internal/harness"
 	"isolbench/internal/sim"
 )
@@ -130,6 +131,99 @@ func stripWallCol(s string) string {
 		}
 	}
 	return strings.Join(lines, "\n")
+}
+
+// tracereplayResumeUnits builds a small tracereplay sweep (two knobs,
+// two shapes, healthy + gcstorm) shaped like tracereplayUnits' output
+// but fast enough for a test.
+func tracereplayResumeUnits(ran *atomic.Int32) []harness.Unit {
+	knobs := []core.Knob{core.KnobIOMax, core.KnobIOCost}
+	shapes := []string{"diurnal", "mmpp"}
+	profiles := []fault.Profile{{}, fault.GCStormProfile()}
+	units := make([]harness.Unit, len(knobs))
+	for i, k := range knobs {
+		k := k
+		units[i] = harness.Unit{Key: "tracereplay/" + k.String(), Run: func(ctx context.Context) (string, error) {
+			if ran != nil {
+				ran.Add(1)
+			}
+			cfg := core.TraceReplayConfig{
+				Knob: k, Phases: 2, PhaseDur: 80 * sim.Millisecond,
+				Warmup: 40 * sim.Millisecond, Seed: 7,
+				Control: core.RunControl{Ctx: ctx},
+			}
+			results, err := core.RunTraceReplayGrid(shapes, profiles, cfg, 2)
+			if err != nil {
+				return "", err
+			}
+			var buf bytes.Buffer
+			core.WriteTraceReplay(&buf, results)
+			return buf.String(), nil
+		}}
+	}
+	return units
+}
+
+// TestTraceReplayResumeDeterministic interrupts a tracereplay sweep
+// after its first unit, resumes from the manifest, and requires the
+// resumed report to match an uninterrupted run byte-for-byte — the
+// streaming replay path must be replayable from a checkpoint like
+// every other experiment (tracereplay has no wall-clock column, so no
+// stripping is needed).
+func TestTraceReplayResumeDeterministic(t *testing.T) {
+	header := harness.Header{Exp: "tracereplay", Profile: "flash980", Seed: 7, Quick: true}
+
+	var clean bytes.Buffer
+	r := &harness.Runner{Workers: 2, Out: &clean}
+	if _, err := r.Run(context.Background(), tracereplayResumeUnits(nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel once the first unit has completed.
+	path := filepath.Join(t.TempDir(), "m.jsonl")
+	j, err := harness.Create(path, header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	units := tracereplayResumeUnits(nil)
+	first := units[0].Run
+	units[0].Run = func(ctx context.Context) (string, error) {
+		out, err := first(ctx)
+		cancel()
+		return out, err
+	}
+	var partial bytes.Buffer
+	ir := &harness.Runner{Workers: 2, Journal: j, Out: &partial}
+	if _, err := ir.Run(ctx, units); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+	j.Close()
+
+	// Resume: cached units must not re-run, and the stitched report
+	// must match the clean one byte-for-byte.
+	cache, j2, err := harness.Resume(path, header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(cache) == 0 {
+		t.Fatal("nothing journaled before the interrupt")
+	}
+	var ran atomic.Int32
+	var resumed bytes.Buffer
+	rr := &harness.Runner{Workers: 2, Cache: cache, Journal: j2, Out: &resumed}
+	if _, err := rr.Run(context.Background(), tracereplayResumeUnits(&ran)); err != nil {
+		t.Fatal(err)
+	}
+	if int(ran.Load()) != len(tracereplayResumeUnits(nil))-len(cache) {
+		t.Fatalf("%d units re-ran with a %d-entry cache", ran.Load(), len(cache))
+	}
+	if resumed.String() != clean.String() {
+		t.Fatalf("resumed tracereplay report diverged from the clean run:\nclean:\n%s\nresumed:\n%s",
+			clean.String(), resumed.String())
+	}
 }
 
 // TestFleetScaleResumeDeterministic interrupts a churning fleetscale

@@ -13,7 +13,10 @@
 // trade-offs), q10 (burst response), tab1 (Table I verdicts),
 // resilience (isolation verdicts under injected device faults),
 // attribution (wait-for-whom blame matrices explaining WHY isolation
-// failed, with SLO burn-rate incidents).
+// failed, with SLO burn-rate incidents), fleetscale (opt-in: fleet
+// capacity/churn sweeps), tracereplay (opt-in: generative
+// production-shaped traces streamed through the open-loop replayer,
+// solo vs contended, per load phase).
 //
 // A run is a list of independently rendered units (one per panel or
 // table block). Completed units are journaled to a JSONL manifest
@@ -55,7 +58,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment id: fig2|fig3|fig4|fig5|fig6|fig7|q10|tab1|resilience|attribution|fleetscale|all (fleetscale is opt-in: it is not part of all)")
+	expFlag     = flag.String("exp", "all", "experiment id: fig2|fig3|fig4|fig5|fig6|fig7|q10|tab1|resilience|attribution|fleetscale|tracereplay|all (fleetscale and tracereplay are opt-in: not part of all)")
 	knobFlag    = flag.String("knob", "", "restrict to one knob (none|mq-deadline|bfq|io.max|io.latency|io.cost)")
 	quickFlag   = flag.Bool("quick", false, "short runs and coarse sweeps (fast, noisier)")
 	seedFlag    = flag.Uint64("seed", 1, "simulation seed")
@@ -303,6 +306,8 @@ func unitsFor(exp string) ([]harness.Unit, error) {
 		return attributionUnits()
 	case "fleetscale":
 		return fleetscaleUnits()
+	case "tracereplay":
+		return tracereplayUnits()
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", exp)
 	}
@@ -690,6 +695,42 @@ func fleetscaleUnits() ([]harness.Unit, error) {
 	return units, nil
 }
 
+func tracereplayUnits() ([]harness.Unit, error) {
+	ks, err := knobs(false)
+	if err != nil {
+		return nil, err
+	}
+	slo, err := parseSLO(*sloFlag)
+	if err != nil {
+		return nil, err
+	}
+	// One unit per knob; the shape x fault cells fan out across the
+	// worker pool inside each unit. Healthy and gcstorm columns cover
+	// the paper's "does it hold when the device misbehaves" axis
+	// without re-running the whole resilience grid.
+	profiles := []fault.Profile{{}, fault.GCStormProfile()}
+	var units []harness.Unit
+	for _, k := range ks {
+		k := k
+		units = append(units, harness.Unit{Key: "tracereplay/" + k.String(), Run: func(ctx context.Context) (string, error) {
+			results, err := core.RunTraceReplayGrid(core.TraceReplayShapes(), profiles, core.TraceReplayConfig{
+				Knob:     k,
+				PhaseDur: measure(500 * sim.Millisecond),
+				Seed:     *seedFlag,
+				SLO:      slo,
+				Control:  control(ctx),
+			}, *workersFlag)
+			if err != nil {
+				return "", err
+			}
+			var buf bytes.Buffer
+			core.WriteTraceReplay(&buf, results)
+			return buf.String(), nil
+		}})
+	}
+	return units, nil
+}
+
 // parseSLO parses the -slo flag ("p99=500us,budget=0.01,burn=14,
 // fast=100ms,slow=1s"); empty input returns the zero config (off).
 func parseSLO(s string) (obs.SLOConfig, error) {
@@ -888,5 +929,9 @@ func runReplay(path string) error {
 		sum.Requests, sum.MeanIOPS, knob)
 	fmt.Printf("P50=%.1fus P90=%.1fus P99=%.1fus max=%.1fus\n",
 		float64(st.P50Ns)/1e3, float64(st.P90Ns)/1e3, float64(st.P99Ns)/1e3, float64(st.MaxNs)/1e3)
+	if st.Errors > 0 || st.Retries > 0 {
+		fmt.Printf("errors=%d retries=%d (failed attempts are excluded from the latency figures)\n",
+			st.Errors, st.Retries)
+	}
 	return nil
 }

@@ -20,6 +20,7 @@ import (
 	"isolbench/internal/obs"
 	"isolbench/internal/obs/attr"
 	"isolbench/internal/sim"
+	"isolbench/internal/trace"
 	"isolbench/internal/workload"
 )
 
@@ -104,6 +105,11 @@ type Fleet struct {
 
 	Apps   []*workload.App
 	Groups []*cgroup.Group
+
+	// Replays lists the open-loop trace replayers (streamed from
+	// trace.Sources); replayDev is their device index, parallel.
+	Replays   []*workload.ReplayApp
+	replayDev []int
 
 	// Tenants lists the live tenant handles in creation order (removed
 	// tenants drop out once their teardown finishes).
@@ -513,7 +519,46 @@ func (c *Fleet) AddApp(spec workload.Spec, dev int) (*workload.App, error) {
 	return app, nil
 }
 
-// Start arms every app.
+// AddReplay creates an open-loop trace replayer streaming from src
+// against device dev and registers it. Shard rules match AddApp: the
+// replayer runs on its device column's shard engine and binds its core
+// to that shard.
+func (c *Fleet) AddReplay(src trace.Source, cfg workload.ReplayConfig, dev int) (*workload.ReplayApp, error) {
+	if dev < 0 || dev >= len(c.Queues) {
+		return nil, fmt.Errorf("core: device index %d out of range", dev)
+	}
+	pool := c.reqPools[0]
+	if len(c.shardEngs) > 0 {
+		shard := c.colShard[dev]
+		pool = c.reqPools[shard]
+		ci := cfg.Core
+		if ci < 0 {
+			ci = -ci
+		}
+		ci %= len(c.CPU.Cores)
+		switch c.coreShard[ci] {
+		case -1:
+			c.CPU.Cores[ci].Rebind(c.shardEngs[shard])
+			c.coreShard[ci] = shard
+		case shard:
+			// already bound to this shard
+		default:
+			return nil, fmt.Errorf(
+				"core: replay %q on device %d needs core %d in shard %d, but the core is bound to shard %d (run with -shards 1, or place shard-disjoint cores)",
+				cfg.Name, dev, ci, shard, c.coreShard[ci])
+		}
+	}
+	app, err := workload.NewReplayApp(c.EngFor(dev), c.CPU, c.Opts.Costs, c.Queues[dev], src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	app.UsePool(pool)
+	c.Replays = append(c.Replays, app)
+	c.replayDev = append(c.replayDev, dev)
+	return app, nil
+}
+
+// Start arms every app and replayer.
 func (c *Fleet) Start() {
 	if c.started {
 		return
@@ -521,6 +566,9 @@ func (c *Fleet) Start() {
 	c.started = true
 	for _, a := range c.Apps {
 		a.Start()
+	}
+	for _, rp := range c.Replays {
+		rp.Start()
 	}
 }
 
@@ -542,6 +590,9 @@ func (c *Fleet) RunPhase(warmup, measure sim.Duration) error {
 	}
 	for _, a := range c.Apps {
 		a.ResetMetrics()
+	}
+	for _, rp := range c.Replays {
+		rp.ResetMetrics()
 	}
 	c.busyBefore = c.CPU.BusySnapshot()
 	c.ctxBefore, c.cycBefore, c.iosBefore = c.CPU.Counters()

@@ -135,7 +135,9 @@ func RunJobFile(cfg JobRunConfig) (*Result, error) {
 }
 
 // ReplayTrace replays a recorded trace as a single open-loop tenant
-// under the given knob and returns its latency statistics.
+// under the given knob and returns its latency statistics. Entries must
+// be sorted by submission time (trace.ReadJSONL and Recorder.Entries
+// both guarantee it).
 func ReplayTrace(k Knob, profile string, entries []trace.Entry, seed uint64) (workload.Stats, error) {
 	prof, err := resolveProfile(profile)
 	if err != nil {
@@ -153,12 +155,19 @@ func ReplayTrace(k Knob, profile string, entries []trace.Entry, seed uint64) (wo
 	if err != nil {
 		return workload.Stats{}, err
 	}
-	app, err := workload.NewReplayApp(cl.Eng, cl.CPU, cl.Opts.Costs, cl.Queues[0], g, entries, 0, 1.0)
+	app, err := cl.AddReplay(trace.NewSliceSource(entries), workload.ReplayConfig{Group: g}, 0)
 	if err != nil {
 		return workload.Stats{}, err
 	}
-	app.Start()
-	span := entries[len(entries)-1].At.Sub(entries[0].At)
-	cl.Eng.RunUntil(cl.Eng.Now().Add(span + 2*sim.Second))
+	var span sim.Duration
+	if len(entries) > 0 {
+		span = entries[len(entries)-1].At.Sub(entries[0].At)
+	}
+	if err := cl.RunTo(cl.Eng.Now().Add(span + 2*sim.Second)); err != nil {
+		return workload.Stats{}, err
+	}
+	if err := app.Err(); err != nil {
+		return workload.Stats{}, err
+	}
 	return app.Stats(), nil
 }

@@ -52,25 +52,28 @@ func (c *Cluster) CheckInvariants() error {
 	// after a full drain means some layer still held its state.
 	v = append(v, c.churnViolations...)
 
-	// Layer 1: each app's lifetime request accounting.
+	// Layer 1: each app's and replayer's lifetime request accounting.
 	for _, a := range c.Apps {
 		v = append(v, a.CheckConservation()...)
 	}
+	for _, rp := range c.Replays {
+		v = append(v, rp.CheckConservation()...)
+	}
 
 	// Layer 2: each queue's submitted = completed + in-path identity,
-	// bounded by the total queue depth of the apps feeding it. A queue
-	// with traffic but no registered apps (replay workloads) skips the
-	// population bound.
+	// bounded by the total queue depth of the apps feeding it. Replayers
+	// are open loop — they have no QD — but everything they put in the
+	// path is still issued-and-unreaped right now, so their live
+	// Outstanding() is a valid instantaneous bound.
 	qdByDev := make([]int, len(c.Queues))
 	for ai, a := range c.Apps {
 		qdByDev[c.appDev[ai]] += a.Spec().QD
 	}
+	for ri, rp := range c.Replays {
+		qdByDev[c.replayDev[ri]] += rp.Outstanding()
+	}
 	for i, q := range c.Queues {
-		bound := qdByDev[i]
-		if bound == 0 && q.Submitted() > 0 {
-			bound = -1
-		}
-		v = append(v, q.CheckConservation(bound)...)
+		v = append(v, q.CheckConservation(qdByDev[i])...)
 	}
 
 	// Layer 3: each device's internal bounds.
@@ -99,8 +102,15 @@ func (c *Cluster) CheckInvariants() error {
 	// uses the fleet's monotonic maximum request size rather than a scan
 	// of the live apps: a removed tenant's large requests still moved
 	// device bytes, so the slack must remember them.
+	for _, rp := range c.Replays {
+		// Replay sizes come from the trace at runtime, not a spec; fold
+		// them into the fleet's monotonic maximum as they appear.
+		if s := rp.MaxReqSize(); s > c.maxReqSize {
+			c.maxReqSize = s
+		}
+	}
 	maxSize := c.maxReqSize
-	if c.Obs != nil && (len(c.Apps) > 0 || c.removals > 0) {
+	if c.Obs != nil && (len(c.Apps) > 0 || len(c.Replays) > 0 || c.removals > 0) {
 		for i, d := range c.Devices {
 			st := d.Stats()
 			devBytes := st.ReadBytes + st.WriteBytes
@@ -135,6 +145,11 @@ func (c *Cluster) CheckInvariants() error {
 				r, w := a.WindowBytes()
 				appBytes += r + w
 				slack += 2 * int64(a.Spec().QD) * a.Spec().Size
+			}
+			for _, rp := range c.Replays {
+				r, w := rp.WindowBytes()
+				appBytes += r + w
+				slack += rp.EdgeSlackBytes()
 			}
 			obsDelta := c.obsBytesTotal() - c.obsBase
 			diff := appBytes - obsDelta

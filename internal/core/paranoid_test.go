@@ -11,6 +11,7 @@ import (
 	"isolbench/internal/fault"
 	"isolbench/internal/sim"
 	"isolbench/internal/workload"
+	"isolbench/internal/workload/gen"
 )
 
 // buildTwoTenant assembles a small two-group, two-app cluster for
@@ -71,6 +72,63 @@ func TestParanoidFaultedRuns(t *testing.T) {
 			})
 			if err := cl.RunPhase(50*sim.Millisecond, 300*sim.Millisecond); err != nil {
 				t.Fatalf("paranoid check failed under fault profile %s: %v", fp.Name, err)
+			}
+		})
+	}
+}
+
+// TestParanoidCoversReplay: open-loop replays are inside the paranoid
+// perimeter now that their exemption is gone — an app+replay mix must
+// satisfy every conservation law across two windows, healthy and under
+// a fault profile that forces the retry path.
+func TestParanoidCoversReplay(t *testing.T) {
+	for _, fp := range []fault.Profile{{}, fault.GCStormProfile()} {
+		fp := fp
+		name := fp.Name
+		if !fp.Enabled() {
+			name = "healthy"
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cl, err := NewCluster(Options{
+				Knob: KnobIOCost, Seed: 5, Fault: fp,
+				Control: RunControl{Ctx: context.Background(), Paranoid: true},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := cl.NewGroup("tenant")
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := workload.BatchApp("t", g)
+			spec.Core = 0
+			if _, err := cl.AddApp(spec, 0); err != nil {
+				t.Fatal(err)
+			}
+			gr, err := cl.NewGroup("replay")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Heavy-tailed sizes so the replay's MaxReqSize feeds the
+			// cross-layer slack with something bigger than the app's 4 KiB.
+			sh := gen.Shape{
+				Seed: 21, Duration: 600 * sim.Millisecond, BaseIOPS: 8000,
+				SizeAlpha: 1.4, SizeCap: 256 << 10, ReadFrac: 0.7, Users: 16,
+			}
+			rp, err := cl.AddReplay(sh.Source(), workload.ReplayConfig{Group: gr, Core: 1}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.RunPhase(50*sim.Millisecond, 250*sim.Millisecond); err != nil {
+				t.Fatalf("paranoid check failed with a replay in the mix: %v", err)
+			}
+			// A second window must pass too (replay window counters reset).
+			if err := cl.RunPhase(0, 150*sim.Millisecond); err != nil {
+				t.Fatalf("paranoid check failed on the second window: %v", err)
+			}
+			if vs := rp.CheckConservation(); len(vs) > 0 {
+				t.Fatalf("replay conservation: %v", vs)
 			}
 		})
 	}

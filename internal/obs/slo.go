@@ -150,6 +150,21 @@ func (o *Observer) SLOBurn(cg int) (fast, slow float64, firing bool) {
 	return g.fast.badFrac() / o.slo.cfg.Budget, g.slow.badFrac() / o.slo.cfg.Budget, g.firing
 }
 
+// SLOFired returns how many burn-rate incidents have fired for the
+// cgroup so far (0 when monitoring is off or the cgroup is unknown).
+// Hysteresis makes this an episode count, so deltas between two reads
+// count the episodes that started in between.
+func (o *Observer) SLOFired(cg int) int {
+	if o == nil || o.slo == nil {
+		return 0
+	}
+	g, ok := o.slo.groups[cg]
+	if !ok {
+		return 0
+	}
+	return g.fired
+}
+
 // observeSLO feeds one completion into the monitor and fires or
 // re-arms the alert for the cgroup.
 func (o *Observer) observeSLO(cg int, lat sim.Duration) {

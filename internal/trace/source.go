@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Source is a pull iterator over trace entries in arrival order. The
+// streaming replayer (internal/workload.ReplayApp) pulls one entry at a
+// time and schedules only a bounded look-ahead window, so a source
+// backed by a file or a generator replays million-request traces in
+// O(window) memory.
+//
+// Next returns the next entry and true, or a zero entry and false once
+// the source is exhausted or has failed; after false, Err distinguishes
+// clean exhaustion (nil) from a read/parse failure. Entries must be
+// non-decreasing in At — ReadJSONL sorts, generators emit monotone
+// clocks, and JSONLSource enforces it while streaming.
+type Source interface {
+	Next() (Entry, bool)
+	Err() error
+}
+
+// SliceSource iterates over an in-memory entry slice (the eager-replay
+// compatibility path: a recorded trace already held in memory).
+type SliceSource struct {
+	entries []Entry
+	idx     int
+}
+
+// NewSliceSource wraps entries without copying. The caller must not
+// mutate the slice while the source is in use.
+func NewSliceSource(entries []Entry) *SliceSource {
+	return &SliceSource{entries: entries}
+}
+
+// Next returns the next entry in slice order.
+func (s *SliceSource) Next() (Entry, bool) {
+	if s.idx >= len(s.entries) {
+		return Entry{}, false
+	}
+	e := s.entries[s.idx]
+	s.idx++
+	return e, true
+}
+
+// Err always returns nil: an in-memory slice cannot fail.
+func (s *SliceSource) Err() error { return nil }
+
+// JSONLSource streams a JSONL trace from a reader one line at a time,
+// never materializing the whole trace. Unlike ReadJSONL it cannot sort,
+// so it requires the file to already be in submission order (WriteJSONL
+// output always is) and fails on a time regression.
+type JSONLSource struct {
+	sc   *bufio.Scanner
+	ln   int
+	last Entry
+	some bool
+	err  error
+	done bool
+}
+
+// NewJSONLSource wraps r. The caller keeps ownership of r and closes it
+// after the replay drains the source.
+func NewJSONLSource(r io.Reader) *JSONLSource {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	return &JSONLSource{sc: sc}
+}
+
+// Next parses the next non-blank line.
+func (s *JSONLSource) Next() (Entry, bool) {
+	if s.done {
+		return Entry{}, false
+	}
+	for s.sc.Scan() {
+		s.ln++
+		line := s.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			s.fail(fmt.Errorf("trace line %d: %w", s.ln, err))
+			return Entry{}, false
+		}
+		if e.Size <= 0 {
+			s.fail(fmt.Errorf("trace line %d: non-positive size", s.ln))
+			return Entry{}, false
+		}
+		if s.some && e.At < s.last.At {
+			s.fail(fmt.Errorf("trace line %d: time regression %v after %v (stream replay needs a sorted trace)",
+				s.ln, e.At, s.last.At))
+			return Entry{}, false
+		}
+		s.last, s.some = e, true
+		return e, true
+	}
+	s.done = true
+	s.err = s.sc.Err()
+	return Entry{}, false
+}
+
+// Err reports the first read or parse failure, nil after clean
+// exhaustion.
+func (s *JSONLSource) Err() error { return s.err }
+
+func (s *JSONLSource) fail(err error) {
+	s.done = true
+	s.err = err
+}
+
+// Collect drains up to max entries from a source (0 = unlimited) —
+// the bridge back to eager []Entry consumers like Summarize and Fit.
+func Collect(s Source, max int) ([]Entry, error) {
+	var out []Entry
+	for {
+		if max > 0 && len(out) >= max {
+			return out, nil
+		}
+		e, ok := s.Next()
+		if !ok {
+			return out, s.Err()
+		}
+		out = append(out, e)
+	}
+}

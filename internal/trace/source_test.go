@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"isolbench/internal/sim"
+)
+
+func testEntries(n int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		out[i] = Entry{
+			At: sim.Time(int64(i) * int64(sim.Microsecond)),
+			Op: "r", Size: 4096, Offset: int64(i) * 4096,
+		}
+	}
+	return out
+}
+
+func TestSliceSourceDrains(t *testing.T) {
+	want := testEntries(10)
+	src := NewSliceSource(want)
+	got, err := Collect(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("collected %d entries, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("exhausted source yielded another entry")
+	}
+}
+
+func TestJSONLSourceMatchesReadJSONL(t *testing.T) {
+	want := testEntries(100)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	eager, err := ReadJSONL(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := Collect(NewJSONLSource(bytes.NewReader(data)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(eager) {
+		t.Fatalf("streamed %d entries, eager read %d", len(streamed), len(eager))
+	}
+	for i := range streamed {
+		if streamed[i] != eager[i] {
+			t.Fatalf("entry %d: streamed %+v, eager %+v", i, streamed[i], eager[i])
+		}
+	}
+}
+
+func TestJSONLSourceErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"malformed", `{"t":1,"op":"r","size":4096}` + "\n" + `not json` + "\n"},
+		{"badsize", `{"t":1,"op":"r","size":0}` + "\n"},
+		{"regression", `{"t":100,"op":"r","size":4096}` + "\n" + `{"t":50,"op":"r","size":4096}` + "\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := NewJSONLSource(strings.NewReader(tc.in))
+			for {
+				if _, ok := src.Next(); !ok {
+					break
+				}
+			}
+			if src.Err() == nil {
+				t.Fatalf("%s trace drained without error", tc.name)
+			}
+			// A failed source stays failed.
+			if _, ok := src.Next(); ok {
+				t.Fatal("failed source yielded another entry")
+			}
+		})
+	}
+}
+
+func TestCollectLimit(t *testing.T) {
+	src := NewSliceSource(testEntries(50))
+	got, err := Collect(src, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 {
+		t.Fatalf("Collect(7) returned %d entries", len(got))
+	}
+}

@@ -403,6 +403,7 @@ type Stats struct {
 	Name       string
 	IOs        uint64
 	Errors     uint64
+	Retries    uint64 // retry attempts behind the completions (replay only today)
 	ReadBytes  int64
 	WriteBytes int64
 	MeanLatNs  float64

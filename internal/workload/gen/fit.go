@@ -1,0 +1,204 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"isolbench/internal/device"
+	"isolbench/internal/sim"
+	"isolbench/internal/trace"
+)
+
+// Model is a compact generative model estimated from one recorded
+// trace: a piecewise-constant arrival-rate curve plus size and op mix
+// histograms. It is the "fitted" counterpart of a hand-written Shape —
+// record one production window, fit it, then resample as many fresh
+// same-shaped scenarios as needed (different seeds, scaled rates).
+type Model struct {
+	Start  sim.Time     // epoch of the fitted trace
+	Span   sim.Duration // fitted horizon
+	Bucket sim.Duration // rate-curve bucket width
+	Rates  []float64    // mean arrival rate (IOPS) per bucket
+
+	Sizes    []int64   // distinct request sizes, ascending
+	SizeCum  []float64 // cumulative probability, parallel to Sizes
+	ReadFrac float64
+}
+
+// fitMaxSizes caps the size histogram's support; beyond it sizes are
+// folded to power-of-two buckets (real traces rarely exceed a handful
+// of distinct sizes, but a fuzzer-shaped input must not blow memory).
+const fitMaxSizes = 256
+
+// Fit estimates a model from a recorded trace. buckets controls the
+// rate curve's resolution (0 = 16). The entries must be non-empty; they
+// are read in any order (only timestamps matter).
+func Fit(entries []trace.Entry, buckets int) (*Model, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("gen: cannot fit an empty trace")
+	}
+	if buckets <= 0 {
+		buckets = 16
+	}
+	first, last := entries[0].At, entries[0].At
+	for _, e := range entries {
+		if e.At < first {
+			first = e.At
+		}
+		if e.At > last {
+			last = e.At
+		}
+	}
+	span := last.Sub(first)
+	if span <= 0 {
+		span = sim.Millisecond // degenerate single-instant trace
+	}
+	m := &Model{Start: first, Span: span, Bucket: span / sim.Duration(buckets)}
+	if m.Bucket <= 0 {
+		m.Bucket = 1
+	}
+	counts := make([]uint64, buckets)
+	sizeCount := map[int64]uint64{}
+	reads := 0
+	for _, e := range entries {
+		bi := int(e.At.Sub(first) / m.Bucket)
+		if bi >= buckets {
+			bi = buckets - 1
+		}
+		counts[bi]++
+		sz := e.Size
+		if len(sizeCount) >= fitMaxSizes {
+			if _, ok := sizeCount[sz]; !ok {
+				sz = pow2Ceil(sz)
+			}
+		}
+		sizeCount[sz]++
+		if e.OpKind() == device.Read {
+			reads++
+		}
+	}
+	m.Rates = make([]float64, buckets)
+	bsec := m.Bucket.Seconds()
+	for i, n := range counts {
+		m.Rates[i] = float64(n) / bsec
+	}
+	m.Sizes = make([]int64, 0, len(sizeCount))
+	for sz := range sizeCount {
+		m.Sizes = append(m.Sizes, sz)
+	}
+	sort.Slice(m.Sizes, func(i, j int) bool { return m.Sizes[i] < m.Sizes[j] })
+	m.SizeCum = make([]float64, len(m.Sizes))
+	total := float64(len(entries))
+	var cum float64
+	for i, sz := range m.Sizes {
+		cum += float64(sizeCount[sz]) / total
+		m.SizeCum[i] = cum
+	}
+	m.ReadFrac = float64(reads) / total
+	return m, nil
+}
+
+// pow2Ceil rounds n up to a power of two (histogram fold bucket).
+func pow2Ceil(n int64) int64 {
+	p := int64(1)
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// PeakRate returns the rate curve's maximum (thinning envelope).
+func (m *Model) PeakRate() float64 {
+	var peak float64
+	for _, r := range m.Rates {
+		if r > peak {
+			peak = r
+		}
+	}
+	return peak
+}
+
+// Source resamples a fresh scenario from the model: piecewise-constant
+// Poisson arrivals following the fitted rate curve (scaled by
+// rateScale; 0 = 1), sizes and ops drawn from the fitted histograms,
+// offsets uniform. seed selects the scenario; the same (model, seed,
+// scale) always yields the same stream.
+func (m *Model) Source(seed uint64, rateScale float64) trace.Source {
+	if rateScale <= 0 {
+		rateScale = 1
+	}
+	src := &modelSource{m: m, scale: rateScale}
+	peak := m.PeakRate() * rateScale
+	if peak <= 0 {
+		src.err = fmt.Errorf("gen: fitted model has an all-zero rate curve")
+		return src
+	}
+	src.rng = sim.NewRNG(seed*0x2545f4914f6cdd1d + 0x9e3779b97f4a7c15)
+	src.t = m.Start
+	src.maxRate = peak
+	return src
+}
+
+type modelSource struct {
+	m       *Model
+	scale   float64
+	rng     *sim.RNG
+	t       sim.Time
+	maxRate float64
+	done    bool
+	err     error
+}
+
+// Next emits the next resampled arrival.
+func (s *modelSource) Next() (trace.Entry, bool) {
+	if s.done || s.err != nil {
+		return trace.Entry{}, false
+	}
+	end := s.m.Start.Add(s.m.Span)
+	for {
+		gap := s.rng.ExpDuration(sim.Duration(float64(sim.Second) / s.maxRate))
+		if gap <= 0 {
+			gap = 1
+		}
+		s.t = s.t.Add(gap)
+		if s.t > end {
+			s.done = true
+			return trace.Entry{}, false
+		}
+		if s.rng.Float64()*s.maxRate <= s.rateAt(s.t) {
+			break
+		}
+	}
+	e := trace.Entry{At: s.t, Op: "r"}
+	if s.rng.Float64() >= s.m.ReadFrac {
+		e.Op = "w"
+	}
+	e.Size = s.drawSize()
+	e.Offset = s.rng.Int63n(1 << 40)
+	return e, true
+}
+
+// Err surfaces a degenerate-model error; nil otherwise.
+func (s *modelSource) Err() error { return s.err }
+
+func (s *modelSource) rateAt(t sim.Time) float64 {
+	bi := int(t.Sub(s.m.Start) / s.m.Bucket)
+	if bi < 0 {
+		bi = 0
+	}
+	if bi >= len(s.m.Rates) {
+		bi = len(s.m.Rates) - 1
+	}
+	return s.m.Rates[bi] * s.scale
+}
+
+func (s *modelSource) drawSize() int64 {
+	x := s.rng.Float64()
+	// Inverse-CDF draw; the last cumulative bin is 1 up to float
+	// rounding, so clamp rather than fall off the end.
+	i := sort.SearchFloat64s(s.m.SizeCum, x)
+	if i >= len(s.m.Sizes) {
+		i = len(s.m.Sizes) - 1
+	}
+	return s.m.Sizes[i]
+}

@@ -1,0 +1,313 @@
+// Package gen synthesizes production-shaped I/O traces as streaming
+// trace.Sources: diurnal rate curves, heavy-tailed (Pareto) request
+// sizes multiplexed over a Zipf-popular user population, and open-loop
+// Poisson or Markov-modulated (MMPP) arrivals. Every source is a pure
+// function of its Shape (seed included): two sources built from the
+// same Shape emit byte-identical entry streams, on any worker count or
+// shard layout — the generator draws only from its own sim.RNG stream
+// and never touches the engine.
+//
+// The trace-fitted mode (fit.go) closes the loop with recorded traces:
+// Fit estimates a compact model — piecewise-constant rate curve plus
+// size/op mix histograms — from one recorded trace, and Model.Source
+// resamples fresh scenarios from it, following the generative-model
+// approach of "Performance Modeling of Data Storage Systems using
+// Generative Models" (see PAPERS.md).
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"isolbench/internal/sim"
+	"isolbench/internal/trace"
+)
+
+// Arrivals selects the arrival process.
+type Arrivals int
+
+// Arrival processes.
+const (
+	// Poisson draws open-loop Poisson arrivals whose instantaneous rate
+	// follows the diurnal curve (non-homogeneous, via thinning).
+	Poisson Arrivals = iota
+	// MMPP overlays a two-state Markov modulation on the Poisson
+	// process: a burst state multiplies the rate by BurstMult, with
+	// exponentially distributed dwell times in each state.
+	MMPP
+	// Uniform spaces arrivals evenly at BaseIOPS (deterministic clock;
+	// sizes and ops still draw from the RNG).
+	Uniform
+)
+
+func (a Arrivals) String() string {
+	switch a {
+	case MMPP:
+		return "mmpp"
+	case Uniform:
+		return "uniform"
+	default:
+		return "poisson"
+	}
+}
+
+// Shape is a deterministic, seed-driven description of a production
+// workload. The zero value is not valid: Duration and BaseIOPS are
+// required.
+type Shape struct {
+	Seed     uint64
+	Start    sim.Time     // first-arrival epoch (0 = simulation start)
+	Duration sim.Duration // generation horizon; the source drains at Start+Duration
+	BaseIOPS float64      // mean arrival rate
+
+	// Diurnal rate curve: rate(t) = BaseIOPS * (1 + DiurnalAmp *
+	// sin(2*pi*(t-Start)/DiurnalPeriod + DiurnalPhase)). Amp 0 keeps
+	// the rate flat; Period 0 defaults to Duration (one full cycle
+	// across the horizon); the default phase (-pi/2) starts the curve
+	// at its trough, so a run sweeps trough -> peak -> trough.
+	DiurnalAmp    float64
+	DiurnalPeriod sim.Duration
+	DiurnalPhase  float64
+
+	Arrivals   Arrivals
+	BurstMult  float64      // MMPP burst-state multiplier (default 8)
+	BurstDwell sim.Duration // MMPP mean dwell per state (default 50 ms)
+
+	// Sizes: with SizeAlpha 0 every request is SizeMin bytes; otherwise
+	// sizes follow a Pareto(SizeAlpha) tail starting at SizeMin,
+	// rounded up to 512-byte sectors and capped at SizeCap.
+	SizeMin   int64 // default 4096
+	SizeAlpha float64
+	SizeCap   int64 // default 1 MiB
+
+	ReadFrac float64 // probability a request is a read (default 1)
+
+	// Users multiplexes a population of per-user sequential streams:
+	// each arrival picks a user by Zipf(UserSkew) popularity and
+	// advances that user's cursor from a random base offset — the
+	// classic "many tenants behind one volume" mix where per-user
+	// sequentiality is invisible at the device. 0 = one anonymous
+	// random-offset stream.
+	Users    int
+	UserSkew float64 // Zipf exponent (default 1.2)
+}
+
+func (s Shape) withDefaults() Shape {
+	if s.BurstMult <= 1 {
+		s.BurstMult = 8
+	}
+	if s.BurstDwell <= 0 {
+		s.BurstDwell = 50 * sim.Millisecond
+	}
+	if s.SizeMin <= 0 {
+		s.SizeMin = 4096
+	}
+	if s.SizeCap <= 0 {
+		s.SizeCap = 1 << 20
+	}
+	if s.SizeCap < s.SizeMin {
+		s.SizeCap = s.SizeMin
+	}
+	if s.ReadFrac <= 0 {
+		s.ReadFrac = 1
+	}
+	if s.ReadFrac > 1 {
+		s.ReadFrac = 1
+	}
+	if s.DiurnalPeriod <= 0 {
+		s.DiurnalPeriod = s.Duration
+	}
+	if s.DiurnalAmp < 0 {
+		s.DiurnalAmp = 0
+	}
+	if s.DiurnalAmp > 1 {
+		s.DiurnalAmp = 1
+	}
+	if s.DiurnalPhase == 0 {
+		s.DiurnalPhase = -math.Pi / 2
+	}
+	if s.UserSkew <= 0 {
+		s.UserSkew = 1.2
+	}
+	return s
+}
+
+// Validate reports whether the shape can generate anything.
+func (s Shape) Validate() error {
+	if s.Duration <= 0 {
+		return fmt.Errorf("gen: shape needs a positive Duration")
+	}
+	if s.BaseIOPS <= 0 {
+		return fmt.Errorf("gen: shape needs a positive BaseIOPS")
+	}
+	return nil
+}
+
+// Source returns a fresh streaming source over the shape. Each call
+// restarts the stream from the seed; two sources from the same shape
+// emit identical entries.
+func (s Shape) Source() trace.Source {
+	sh := s.withDefaults()
+	src := &shapeSource{cfg: sh, err: sh.Validate()}
+	if src.err != nil {
+		return src
+	}
+	src.rng = sim.NewRNG(sh.Seed*0x9e3779b97f4a7c15 + 0x5851f42d4c957f2d)
+	src.t = sh.Start
+	src.stateEnd = sh.Start
+	// The thinning envelope must dominate the instantaneous rate
+	// everywhere: diurnal peak times the burst multiplier.
+	src.maxRate = sh.BaseIOPS * (1 + sh.DiurnalAmp)
+	if sh.Arrivals == MMPP {
+		src.maxRate *= sh.BurstMult
+	}
+	if sh.Users > 0 {
+		src.userCum = make([]float64, sh.Users)
+		src.userOff = make([]int64, sh.Users)
+		var cum float64
+		for i := 0; i < sh.Users; i++ {
+			cum += 1 / math.Pow(float64(i+1), sh.UserSkew)
+			src.userCum[i] = cum
+			src.userOff[i] = src.rng.Int63n(1 << 40)
+		}
+	}
+	return src
+}
+
+// shapeSource is the streaming generator state: O(Users) memory,
+// independent of how many entries it emits.
+type shapeSource struct {
+	cfg  Shape
+	rng  *sim.RNG
+	t    sim.Time
+	done bool
+	err  error
+
+	burst    bool
+	stateEnd sim.Time
+
+	maxRate float64
+	userCum []float64
+	userOff []int64
+}
+
+// Next emits the next arrival, or false once the horizon is reached.
+func (s *shapeSource) Next() (trace.Entry, bool) {
+	if s.done || s.err != nil {
+		return trace.Entry{}, false
+	}
+	end := s.cfg.Start.Add(s.cfg.Duration)
+	for {
+		if s.cfg.Arrivals == Uniform {
+			s.t = s.t.Add(sim.Duration(float64(sim.Second) / s.cfg.BaseIOPS))
+			if s.t > end {
+				s.done = true
+				return trace.Entry{}, false
+			}
+			break
+		}
+		// Lewis-Shedler thinning: candidate arrivals at the envelope
+		// rate, accepted with probability rate(t)/maxRate. ExpDuration's
+		// 8x-mean truncation nudges the candidate rate slightly above
+		// the envelope, which only thins harder — the accepted process
+		// stays at (approximately) the target rate, and determinism is
+		// exact either way.
+		gap := s.rng.ExpDuration(sim.Duration(float64(sim.Second) / s.maxRate))
+		if gap <= 0 {
+			gap = 1
+		}
+		s.t = s.t.Add(gap)
+		if s.t > end {
+			s.done = true
+			return trace.Entry{}, false
+		}
+		if s.rng.Float64()*s.maxRate <= s.rateAt(s.t) {
+			break
+		}
+	}
+	return s.emit(), true
+}
+
+// Err always returns nil for a valid shape; an invalid shape surfaces
+// its validation error here.
+func (s *shapeSource) Err() error { return s.err }
+
+// rateAt evaluates the diurnal curve (and MMPP state) at t, advancing
+// the modulation chain lazily as the arrival clock passes state ends.
+func (s *shapeSource) rateAt(t sim.Time) float64 {
+	r := s.cfg.BaseIOPS
+	if s.cfg.DiurnalAmp > 0 && s.cfg.DiurnalPeriod > 0 {
+		x := 2 * math.Pi * float64(t.Sub(s.cfg.Start)) / float64(s.cfg.DiurnalPeriod)
+		r *= 1 + s.cfg.DiurnalAmp*math.Sin(x+s.cfg.DiurnalPhase)
+	}
+	if s.cfg.Arrivals == MMPP {
+		for t >= s.stateEnd {
+			s.burst = !s.burst
+			dwell := s.rng.ExpDuration(s.cfg.BurstDwell)
+			if dwell <= 0 {
+				dwell = 1
+			}
+			s.stateEnd = s.stateEnd.Add(dwell)
+		}
+		if s.burst {
+			r *= s.cfg.BurstMult
+		}
+	}
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// emit draws the size/op/offset mix for one arrival at s.t.
+func (s *shapeSource) emit() trace.Entry {
+	e := trace.Entry{At: s.t, Op: "r"}
+	if s.rng.Float64() >= s.cfg.ReadFrac {
+		e.Op = "w"
+	}
+	e.Size = s.drawSize()
+	if len(s.userCum) > 0 {
+		u := s.pickUser()
+		e.Offset = s.userOff[u]
+		s.userOff[u] += e.Size
+	} else {
+		e.Offset = s.rng.Int63n(1 << 40)
+	}
+	return e
+}
+
+// drawSize samples the request size: fixed, or Pareto-tailed rounded
+// to sectors and capped.
+func (s *shapeSource) drawSize() int64 {
+	if s.cfg.SizeAlpha <= 0 {
+		return s.cfg.SizeMin
+	}
+	u := s.rng.Float64()
+	if u > 0.999999 {
+		u = 0.999999
+	}
+	size := int64(float64(s.cfg.SizeMin) * math.Pow(1-u, -1/s.cfg.SizeAlpha))
+	size = (size + 511) &^ 511
+	if size > s.cfg.SizeCap {
+		size = s.cfg.SizeCap
+	}
+	if size < s.cfg.SizeMin {
+		size = s.cfg.SizeMin
+	}
+	return size
+}
+
+// pickUser draws a user index from the Zipf popularity CDF.
+func (s *shapeSource) pickUser() int {
+	x := s.rng.Float64() * s.userCum[len(s.userCum)-1]
+	lo, hi := 0, len(s.userCum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.userCum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

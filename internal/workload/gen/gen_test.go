@@ -1,0 +1,225 @@
+package gen
+
+import (
+	"testing"
+
+	"isolbench/internal/sim"
+	"isolbench/internal/trace"
+)
+
+func drain(t *testing.T, src trace.Source) []trace.Entry {
+	t.Helper()
+	out, err := trace.Collect(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestShapeDeterministic(t *testing.T) {
+	shapes := map[string]Shape{
+		"poisson":   {Seed: 7, Duration: 200 * sim.Millisecond, BaseIOPS: 20000},
+		"diurnal":   {Seed: 7, Duration: 200 * sim.Millisecond, BaseIOPS: 20000, DiurnalAmp: 0.8},
+		"mmpp":      {Seed: 7, Duration: 200 * sim.Millisecond, BaseIOPS: 5000, Arrivals: MMPP},
+		"heavytail": {Seed: 7, Duration: 100 * sim.Millisecond, BaseIOPS: 5000, SizeAlpha: 1.3, SizeCap: 1 << 19, Users: 200, ReadFrac: 0.7},
+		"uniform":   {Seed: 7, Duration: 50 * sim.Millisecond, BaseIOPS: 10000, Arrivals: Uniform},
+	}
+	for name, sh := range shapes {
+		t.Run(name, func(t *testing.T) {
+			a := drain(t, sh.Source())
+			b := drain(t, sh.Source())
+			if len(a) == 0 {
+				t.Fatal("shape generated nothing")
+			}
+			if len(a) != len(b) {
+				t.Fatalf("two sources from the same shape: %d vs %d entries", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("entry %d differs: %+v vs %+v", i, a[i], b[i])
+				}
+			}
+			// Arrival clocks are monotone and inside the horizon.
+			end := sh.Start.Add(sh.Duration)
+			for i := range a {
+				if i > 0 && a[i].At < a[i-1].At {
+					t.Fatalf("time regression at entry %d", i)
+				}
+				if a[i].At > end {
+					t.Fatalf("entry %d at %v past horizon %v", i, a[i].At, end)
+				}
+				if a[i].Size <= 0 {
+					t.Fatalf("entry %d has size %d", i, a[i].Size)
+				}
+			}
+		})
+	}
+}
+
+func TestShapeSeedsDiffer(t *testing.T) {
+	base := Shape{Duration: 100 * sim.Millisecond, BaseIOPS: 20000}
+	s1, s2 := base, base
+	s1.Seed, s2.Seed = 1, 2
+	a := drain(t, s1.Source())
+	b := drain(t, s2.Source())
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestShapeMeanRate(t *testing.T) {
+	sh := Shape{Seed: 3, Duration: sim.Second, BaseIOPS: 30000}
+	got := float64(len(drain(t, sh.Source())))
+	if got < 0.85*sh.BaseIOPS || got > 1.15*sh.BaseIOPS {
+		t.Fatalf("flat Poisson at %v IOPS generated %v arrivals over 1 s", sh.BaseIOPS, got)
+	}
+}
+
+func TestDiurnalCurveShapesRate(t *testing.T) {
+	// With the default trough-start phase, the middle of the horizon is
+	// the peak: the center half must carry well more than half the
+	// arrivals.
+	sh := Shape{Seed: 5, Duration: sim.Second, BaseIOPS: 20000, DiurnalAmp: 0.9}
+	es := drain(t, sh.Source())
+	center := 0
+	for _, e := range es {
+		if e.At >= sim.Time(250*sim.Millisecond) && e.At < sim.Time(750*sim.Millisecond) {
+			center++
+		}
+	}
+	if frac := float64(center) / float64(len(es)); frac < 0.6 {
+		t.Fatalf("center-half arrival fraction = %.2f, want > 0.6 for amp 0.9", frac)
+	}
+}
+
+func TestMMPPBurstier(t *testing.T) {
+	// Fano factor of per-window counts: MMPP must be overdispersed
+	// relative to Poisson (variance/mean >> 1).
+	fano := func(es []trace.Entry) float64 {
+		const win = 10 * sim.Millisecond
+		counts := map[int]float64{}
+		for _, e := range es {
+			counts[int(sim.Duration(e.At)/win)]++
+		}
+		n := 100 // 1 s / 10 ms
+		var mean float64
+		for _, c := range counts {
+			mean += c
+		}
+		mean /= float64(n)
+		var v float64
+		for i := 0; i < n; i++ {
+			d := counts[i] - mean
+			v += d * d
+		}
+		v /= float64(n)
+		return v / mean
+	}
+	poisson := Shape{Seed: 11, Duration: sim.Second, BaseIOPS: 10000}
+	mmpp := poisson
+	mmpp.Arrivals = MMPP
+	fp, fm := fano(drain(t, poisson.Source())), fano(drain(t, mmpp.Source()))
+	if fm < 4*fp {
+		t.Fatalf("MMPP Fano %.1f not clearly burstier than Poisson %.1f", fm, fp)
+	}
+}
+
+func TestHeavyTailSizes(t *testing.T) {
+	sh := Shape{Seed: 9, Duration: sim.Second, BaseIOPS: 10000, SizeAlpha: 1.2, SizeMin: 4096, SizeCap: 1 << 20}
+	es := drain(t, sh.Source())
+	var big int
+	for _, e := range es {
+		if e.Size < 4096 || e.Size > 1<<20 || e.Size%512 != 0 {
+			t.Fatalf("size %d outside [4096, 1M] sector-aligned", e.Size)
+		}
+		if e.Size >= 64<<10 {
+			big++
+		}
+	}
+	if big == 0 {
+		t.Fatal("Pareto tail produced no requests >= 64 KiB")
+	}
+	if frac := float64(big) / float64(len(es)); frac > 0.2 {
+		t.Fatalf(">=64KiB fraction %.2f: tail too fat for alpha 1.2", frac)
+	}
+}
+
+func TestShapeValidation(t *testing.T) {
+	if _, ok := (Shape{BaseIOPS: 100}).Source().Next(); ok {
+		t.Fatal("zero-duration shape generated an entry")
+	}
+	if err := (Shape{BaseIOPS: 100}).Source().Err(); err == nil {
+		t.Fatal("zero-duration shape has no error")
+	}
+	if err := (Shape{Duration: sim.Second}).Source().Err(); err == nil {
+		t.Fatal("zero-rate shape has no error")
+	}
+}
+
+func TestFitResample(t *testing.T) {
+	orig := Shape{Seed: 21, Duration: sim.Second, BaseIOPS: 15000, DiurnalAmp: 0.8, SizeAlpha: 1.4, ReadFrac: 0.7}
+	recorded := drain(t, orig.Source())
+	m, err := Fit(recorded, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resampling is deterministic per seed.
+	a := drain(t, m.Source(1, 1))
+	b := drain(t, m.Source(1, 1))
+	if len(a) != len(b) {
+		t.Fatalf("same-seed resamples differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("resampled entry %d differs", i)
+		}
+	}
+
+	// The resample reproduces the recorded trace's gross statistics.
+	if got, want := float64(len(a)), float64(len(recorded)); got < 0.8*want || got > 1.2*want {
+		t.Fatalf("resampled %v arrivals, recorded %v", got, want)
+	}
+	readFrac := func(es []trace.Entry) float64 {
+		r := 0
+		for _, e := range es {
+			if e.Op == "r" {
+				r++
+			}
+		}
+		return float64(r) / float64(len(es))
+	}
+	if got, want := readFrac(a), readFrac(recorded); got < want-0.1 || got > want+0.1 {
+		t.Fatalf("resampled read fraction %.2f, recorded %.2f", got, want)
+	}
+	// The diurnal shape survives the fit: center-heavy arrivals.
+	center := 0
+	for _, e := range a {
+		if e.At >= sim.Time(250*sim.Millisecond) && e.At < sim.Time(750*sim.Millisecond) {
+			center++
+		}
+	}
+	if frac := float64(center) / float64(len(a)); frac < 0.55 {
+		t.Fatalf("fitted resample lost the diurnal shape: center fraction %.2f", frac)
+	}
+	// Rate scaling scales the arrival count.
+	half := drain(t, m.Source(1, 0.5))
+	if got := float64(len(half)); got < 0.35*float64(len(a)) || got > 0.65*float64(len(a)) {
+		t.Fatalf("rateScale 0.5 generated %v arrivals vs %v at scale 1", got, len(a))
+	}
+}
+
+func TestFitEmpty(t *testing.T) {
+	if _, err := Fit(nil, 8); err == nil {
+		t.Fatal("fitting an empty trace succeeded")
+	}
+}

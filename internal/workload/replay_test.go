@@ -1,10 +1,12 @@
 package workload
 
 import (
+	"reflect"
 	"testing"
 
 	"isolbench/internal/blk"
 	"isolbench/internal/device"
+	"isolbench/internal/fault"
 	"isolbench/internal/host"
 	"isolbench/internal/iosched/noop"
 	"isolbench/internal/sim"
@@ -22,13 +24,22 @@ func mkTrace(n int, gapUs int64) []trace.Entry {
 	return out
 }
 
-func TestReplayOpenLoop(t *testing.T) {
-	r := newRig(t)
-	entries := mkTrace(1000, 100) // 10K IOPS for 100 ms
-	app, err := NewReplayApp(r.eng, r.cpu, host.DefaultCosts(), r.queue, r.group, entries, 0, 1.0)
+func newReplay(t *testing.T, r *rig, src trace.Source, cfg ReplayConfig) *ReplayApp {
+	t.Helper()
+	if cfg.Group == nil {
+		cfg.Group = r.group
+	}
+	app, err := NewReplayApp(r.eng, r.cpu, host.DefaultCosts(), r.queue, src, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	return app
+}
+
+func TestReplayOpenLoop(t *testing.T) {
+	r := newRig(t)
+	entries := mkTrace(1000, 100) // 10K IOPS for 100 ms
+	app := newReplay(t, r, trace.NewSliceSource(entries), ReplayConfig{})
 	app.Start()
 	r.eng.RunUntil(sim.Time(200 * sim.Millisecond))
 	if !app.Done() {
@@ -43,15 +54,15 @@ func TestReplayOpenLoop(t *testing.T) {
 	if got := app.Bandwidth().Total(); got != 1000*4096 {
 		t.Fatalf("bytes = %v", got)
 	}
+	if v := app.CheckConservation(); v != nil {
+		t.Fatalf("conservation violated: %v", v)
+	}
 }
 
 func TestReplayTimeScale(t *testing.T) {
 	r := newRig(t)
 	entries := mkTrace(100, 1000) // spans 99 ms at scale 1
-	app, err := NewReplayApp(r.eng, r.cpu, host.DefaultCosts(), r.queue, r.group, entries, 0, 0.5)
-	if err != nil {
-		t.Fatal(err)
-	}
+	app := newReplay(t, r, trace.NewSliceSource(entries), ReplayConfig{Scale: 0.5})
 	app.Start()
 	// At scale 0.5 the last arrival is at ~49.5 ms.
 	r.eng.RunUntil(sim.Time(60 * sim.Millisecond))
@@ -62,11 +73,19 @@ func TestReplayTimeScale(t *testing.T) {
 
 func TestReplayValidation(t *testing.T) {
 	r := newRig(t)
-	if _, err := NewReplayApp(r.eng, r.cpu, host.DefaultCosts(), r.queue, nil, mkTrace(1, 1), 0, 1); err == nil {
+	src := trace.NewSliceSource(mkTrace(1, 1))
+	if _, err := NewReplayApp(r.eng, r.cpu, host.DefaultCosts(), r.queue, src, ReplayConfig{}); err == nil {
 		t.Fatal("nil group accepted")
 	}
-	if _, err := NewReplayApp(r.eng, r.cpu, host.DefaultCosts(), r.queue, r.group, nil, 0, 1); err == nil {
-		t.Fatal("empty trace accepted")
+	if _, err := NewReplayApp(r.eng, r.cpu, host.DefaultCosts(), r.queue, nil, ReplayConfig{Group: r.group}); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	// An empty trace is legal: the replay just finishes immediately.
+	app := newReplay(t, r, trace.NewSliceSource(nil), ReplayConfig{})
+	app.Start()
+	r.eng.RunUntil(sim.Time(sim.Millisecond))
+	if !app.Done() {
+		t.Fatal("empty replay never finished")
 	}
 }
 
@@ -83,7 +102,7 @@ func TestReplayQueueingUnderSlowDevice(t *testing.T) {
 	}
 	q := blk.NewQueue(r.eng, slow, noop.New(), nil)
 	entries := mkTrace(5000, 10) // 100K IOPS offered vs ~26K capacity
-	app, err := NewReplayApp(r.eng, r.cpu, host.DefaultCosts(), q, r.group, entries, 0, 1.0)
+	app, err := NewReplayApp(r.eng, r.cpu, host.DefaultCosts(), q, trace.NewSliceSource(entries), ReplayConfig{Group: r.group})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,6 +111,167 @@ func TestReplayQueueingUnderSlowDevice(t *testing.T) {
 	st := app.Stats()
 	if st.P99Ns < 5_000_000 {
 		t.Fatalf("overloaded open-loop P99 = %d ns, want tens of ms (queue growth)", st.P99Ns)
+	}
+}
+
+// replayStats runs one replay of entries to completion on a fresh rig
+// and returns its stats plus peak scheduled arrivals.
+func replayStats(t *testing.T, entries []trace.Entry, window int) (Stats, int, uint64) {
+	t.Helper()
+	r := newRig(t)
+	app := newReplay(t, r, trace.NewSliceSource(entries), ReplayConfig{Window: window})
+	app.Start()
+	r.eng.RunUntil(sim.Time(sim.Second))
+	if !app.Done() {
+		t.Fatalf("replay (window %d) incomplete: %d/%d", window, app.Stats().IOs, len(entries))
+	}
+	if v := app.CheckConservation(); v != nil {
+		t.Fatalf("replay (window %d) conservation violated: %v", window, v)
+	}
+	return app.Stats(), app.SchedPeak(), r.eng.Processed()
+}
+
+func TestReplayStreamingMatchesEager(t *testing.T) {
+	// The streaming window is a memory optimization, not a behavior
+	// change: on the same trace, bounded look-ahead must reproduce the
+	// eager (schedule-everything-at-Start) replay byte for byte — same
+	// stats AND the same engine event count — while keeping the
+	// scheduled-arrival peak at the window, not the trace.
+	entries := mkTrace(3000, 30)
+	eagerSt, eagerPeak, eagerEv := replayStats(t, entries, -1)
+	if eagerPeak != len(entries) {
+		t.Fatalf("eager replay scheduled %d arrivals up front, want %d", eagerPeak, len(entries))
+	}
+	for _, w := range []int{0 /* default */, 4, 64} {
+		st, peak, ev := replayStats(t, entries, w)
+		if !reflect.DeepEqual(st, eagerSt) {
+			t.Fatalf("window %d diverged from eager replay:\nwindowed: %+v\n   eager: %+v", w, st, eagerSt)
+		}
+		if ev != eagerEv {
+			t.Fatalf("window %d changed the event stream: %d vs %d events", w, ev, eagerEv)
+		}
+		want := w
+		if w == 0 {
+			want = DefaultReplayWindow
+		}
+		if peak > want {
+			t.Fatalf("window %d replay peaked at %d scheduled arrivals", w, peak)
+		}
+	}
+}
+
+func TestReplayFaultExclusion(t *testing.T) {
+	// Failed requests moved no data: they must surface as Errors and
+	// Retries, never as latency samples or bandwidth (the PR 3 fault
+	// contract), and the replay must still drain to Done.
+	r := newRig(t)
+	in, err := fault.NewInjector(fault.Profile{ErrorProb: 0.2}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.dev.AttachFaults(in)
+	r.queue.SetRetryPolicy(blk.RetryPolicy{
+		MaxRetries: 1, Backoff: 100 * sim.Microsecond,
+		BackoffMax: sim.Millisecond, Timeout: 50 * sim.Millisecond,
+	})
+	entries := mkTrace(2000, 50)
+	app := newReplay(t, r, trace.NewSliceSource(entries), ReplayConfig{})
+	app.Start()
+	r.eng.RunUntil(sim.Time(sim.Second))
+	if !app.Done() {
+		t.Fatalf("faulted replay never drained: %d outstanding, %d scheduled",
+			app.Outstanding(), app.Scheduled())
+	}
+	st := app.Stats()
+	if st.Errors == 0 {
+		t.Fatal("ErrorProb 0.2 with 1 retry produced no terminal failures")
+	}
+	if st.Retries == 0 {
+		t.Fatal("faulted replay recorded no retry attempts")
+	}
+	if st.IOs+st.Errors != uint64(len(entries)) {
+		t.Fatalf("successes(%d)+errors(%d) != trace size %d", st.IOs, st.Errors, len(entries))
+	}
+	// Bandwidth and latency only count the successes.
+	if got, want := app.Bandwidth().Total(), float64(st.IOs)*4096; got != want {
+		t.Fatalf("bandwidth %v counts failed requests (want %v)", got, want)
+	}
+	if got := uint64(app.Histogram().Count()); got != st.IOs {
+		t.Fatalf("histogram has %d samples, want %d successes", got, st.IOs)
+	}
+	if v := app.CheckConservation(); v != nil {
+		t.Fatalf("conservation violated: %v", v)
+	}
+}
+
+func TestReplayConservationMidway(t *testing.T) {
+	// The conservation laws hold at any instant, not just at the end —
+	// including while arrivals are scheduled, requests are staged, and
+	// completions are waiting to be reaped.
+	r := newRig(t)
+	entries := mkTrace(2000, 20) // 50K IOPS: queue builds up
+	app := newReplay(t, r, trace.NewSliceSource(entries), ReplayConfig{})
+	app.Start()
+	for _, at := range []sim.Duration{3, 11, 23, 40} {
+		r.eng.RunUntil(sim.Time(at * sim.Millisecond))
+		if v := app.CheckConservation(); v != nil {
+			t.Fatalf("conservation violated at %v ms: %v", at, v)
+		}
+	}
+	r.eng.RunUntil(sim.Time(sim.Second))
+	if !app.Done() {
+		t.Fatal("replay incomplete")
+	}
+	if v := app.CheckConservation(); v != nil {
+		t.Fatalf("conservation violated at end: %v", v)
+	}
+}
+
+// synthSource emits n fixed-size entries lazily — O(1) memory however
+// long the trace, the streaming analogue of mkTrace.
+type synthSource struct {
+	i, n int
+	gap  sim.Duration
+}
+
+func (s *synthSource) Next() (trace.Entry, bool) {
+	if s.i >= s.n {
+		return trace.Entry{}, false
+	}
+	e := trace.Entry{
+		At: sim.Time(int64(s.i) * int64(s.gap)),
+		Op: "r", Size: 4096, Offset: int64(s.i%4096) * 4096,
+	}
+	s.i++
+	return e, true
+}
+
+func (s *synthSource) Err() error { return nil }
+
+func TestReplayMillionRequestsBoundedWindow(t *testing.T) {
+	// The acceptance bar for streaming replay: a million-request trace
+	// replays with the scheduled-arrival count bounded by the window,
+	// not the trace length.
+	if testing.Short() {
+		t.Skip("million-request replay skipped in -short")
+	}
+	r := newRig(t)
+	const n = 1_000_000
+	src := &synthSource{n: n, gap: 50 * sim.Microsecond} // 20K IOPS for 50 s
+	app := newReplay(t, r, src, ReplayConfig{})
+	app.Start()
+	r.eng.RunUntil(sim.Time(60 * sim.Second))
+	if !app.Done() {
+		t.Fatalf("million-request replay incomplete: %d done", app.Stats().IOs)
+	}
+	if st := app.Stats(); st.IOs != n {
+		t.Fatalf("completed %d IOs, want %d", st.IOs, n)
+	}
+	if peak := app.SchedPeak(); peak > DefaultReplayWindow {
+		t.Fatalf("scheduled-arrival peak %d exceeds window %d", peak, DefaultReplayWindow)
+	}
+	if v := app.CheckConservation(); v != nil {
+		t.Fatalf("conservation violated: %v", v)
 	}
 }
 

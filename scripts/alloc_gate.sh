@@ -1,39 +1,50 @@
 #!/usr/bin/env bash
 # alloc_gate.sh — allocation-count gate for the zero-alloc request
-# path. Runs BenchmarkTradeoffParallel/sequential with -benchmem and
-# fails if allocs/op exceeds MAX_ALLOCS. Unlike ns/op, allocs/op is
-# machine-independent and exactly reproducible, so the budget is a
-# hard number, not a percentage.
+# path. Runs BenchmarkTradeoffParallel/sequential and
+# BenchmarkReplayStream with -benchmem and fails if allocs/op exceeds
+# the per-benchmark budget. Unlike ns/op, allocs/op is
+# machine-independent and exactly reproducible, so the budgets are
+# hard numbers, not percentages.
 #
-# The budget is pinned with wide headroom above the measured value
-# (~1.8k allocs/op after the request-freelist and zero-alloc engine
-# work; it was ~2.5M before) and far below the pre-optimization count,
-# so only a real regression — a new per-I/O allocation on the
-# app/queue/scheduler/device path — can trip it.
+# Budgets are pinned with wide headroom above the measured values and
+# far below what a single per-I/O allocation would add, so only a real
+# regression on the app/replay/queue/scheduler/device path can trip
+# them:
+#   TradeoffParallel/sequential  ~1.8k measured (was ~2.5M pre-freelist)
+#   ReplayStream                 ~0.4k measured for a ~20k-request
+#                                streamed trace; +1 alloc/IO => +20k
 #
 # Usage: scripts/alloc_gate.sh
-# Env: MAX_ALLOCS (default 50000), BENCHTIME (default 1x).
+# Env: MAX_ALLOCS (default 50000), MAX_REPLAY_ALLOCS (default 10000),
+#      BENCHTIME (default 1x).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-max="${MAX_ALLOCS:-50000}"
 
-raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
-go test -run '^$' -bench 'TradeoffParallel/sequential' -benchmem \
-    -benchtime "${BENCHTIME:-1x}" ./internal/core/ | tee "$raw"
+# gate BENCH_REGEX AWK_PREFIX BUDGET LABEL
+gate() {
+    local bench="$1" prefix="$2" max="$3" label="$4"
+    local raw allocs
+    raw="$(mktemp)"
+    go test -run '^$' -bench "$bench" -benchmem \
+        -benchtime "${BENCHTIME:-1x}" ./internal/core/ | tee "$raw"
+    allocs="$(awk -v p="$prefix" 'index($0, p) == 1 {
+        for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") { print $i; exit }
+    }' "$raw")"
+    rm -f "$raw"
+    if [ -z "$allocs" ]; then
+        echo "benchmark $label produced no allocs/op sample" >&2
+        exit 1
+    fi
+    if [ "$allocs" -gt "$max" ]; then
+        echo "FAIL: $label allocates $allocs/op, budget $max/op" >&2
+        echo "      (a new per-I/O allocation crept into the request path)" >&2
+        exit 1
+    fi
+    echo "OK: $label $allocs allocs/op within budget $max"
+}
 
-allocs="$(awk '/^BenchmarkTradeoffParallel\/sequential/ {
-    for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") { print $i; exit }
-}' "$raw")"
-if [ -z "$allocs" ]; then
-    echo "benchmark produced no allocs/op sample" >&2
-    exit 1
-fi
-
-if [ "$allocs" -gt "$max" ]; then
-    echo "FAIL: TradeoffParallel/sequential allocates $allocs/op, budget $max/op" >&2
-    echo "      (a new per-I/O allocation crept into the request path)" >&2
-    exit 1
-fi
-echo "OK: $allocs allocs/op within budget $max"
+gate 'TradeoffParallel/sequential' 'BenchmarkTradeoffParallel/sequential' \
+    "${MAX_ALLOCS:-50000}" 'TradeoffParallel/sequential'
+gate 'ReplayStream' 'BenchmarkReplayStream' \
+    "${MAX_REPLAY_ALLOCS:-10000}" 'ReplayStream'
