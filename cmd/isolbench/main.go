@@ -59,7 +59,7 @@ import (
 
 var (
 	expFlag     = flag.String("exp", "all", "experiment id: fig2|fig3|fig4|fig5|fig6|fig7|q10|tab1|resilience|attribution|fleetscale|tracereplay|all (fleetscale and tracereplay are opt-in: not part of all)")
-	knobFlag    = flag.String("knob", "", "restrict to one knob (none|mq-deadline|bfq|io.max|io.latency|io.cost)")
+	knobFlag    = flag.String("knob", "", "restrict to one knob (none|mq-deadline|bfq|io.max|io.latency|io.cost|adaptive); adaptive is the opt-in closed-loop shaper, never part of the default five-knob sweeps")
 	quickFlag   = flag.Bool("quick", false, "short runs and coarse sweeps (fast, noisier)")
 	seedFlag    = flag.Uint64("seed", 1, "simulation seed")
 	profFlag    = flag.String("profile", "flash980", "device profile (flash980|optane), the paper's two SSDs")
@@ -577,9 +577,21 @@ func q10Units() ([]harness.Unit, error) {
 }
 
 func tab1Units() ([]harness.Unit, error) {
+	// -knob narrows the table to that row (the only way the opt-in
+	// adaptive shaper gets a Table-I verdict); the default stays the
+	// paper's five control knobs.
+	var override []core.Knob
+	if *knobFlag != "" {
+		k, err := isolbench.ParseKnob(*knobFlag)
+		if err != nil {
+			return nil, err
+		}
+		override = []core.Knob{k}
+	}
 	return []harness.Unit{{Key: "tab1", Run: func(ctx context.Context) (string, error) {
 		rows, err := core.RunTableI(core.TableIConfig{
 			Quick: *quickFlag, Seed: *seedFlag, Workers: *workersFlag, Control: control(ctx),
+			Knobs: override,
 		})
 		if err != nil {
 			return "", err

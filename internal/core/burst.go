@@ -80,6 +80,13 @@ func burstPriorityConfig(k Knob, prio, be, root *cgroup.Group) error {
 		}
 		return root.SetFile("io.cost.qos",
 			DevName(0)+" enable=1 rpct=95 rlat=150 wpct=95 wlat=500 min=50.00 max=125.00")
+	case KnobAdaptive:
+		// Maximum io.weight skew: the shaper grants the bursty app
+		// nearly the whole capacity budget the moment it has traffic.
+		if err := prio.SetFile("io.weight", "10000"); err != nil {
+			return err
+		}
+		return be.SetFile("io.weight", "100")
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"isolbench/internal/metrics"
 	"isolbench/internal/obs"
 	"isolbench/internal/obs/attr"
+	"isolbench/internal/shaper"
 	"isolbench/internal/sim"
 	"isolbench/internal/workload"
 )
@@ -104,6 +105,11 @@ type Options struct {
 	// paranoid invariant checks) into the fleet's engine. The zero
 	// value arms nothing.
 	Control RunControl
+
+	// Shaper configures the closed-loop adaptive shaper when Knob is
+	// KnobAdaptive (zero value = shaper defaults). Ignored for every
+	// other knob.
+	Shaper shaper.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -135,6 +141,14 @@ func (o Options) withDefaults() Options {
 	if o.Attr || o.SLO.P99 > 0 {
 		// Attribution reports and SLO incidents surface through the
 		// observer; forcing it is safe for the same reason as above.
+		o.Observe = true
+	}
+	if o.Knob == KnobAdaptive {
+		// The adaptive shaper estimates from io.stat/io.pressure/SLO
+		// deltas, which only exist with the observer attached. This
+		// also pins adaptive runs to the single-engine runtime (the
+		// observer disables sharding), which is what makes the control
+		// loop byte-identical across -shards values.
 		o.Observe = true
 	}
 	if o.Control.Paranoid && o.Attr {

@@ -9,32 +9,67 @@ import (
 )
 
 func TestParseKnob(t *testing.T) {
-	cases := map[string]Knob{
-		"none": KnobNone, "noop": KnobNone,
-		"mq-deadline": KnobMQDeadline, "io.prio.class": KnobMQDeadline,
-		"bfq": KnobBFQ, "io.bfq.weight": KnobBFQ,
-		"io.max": KnobIOMax, "max": KnobIOMax,
-		"io.latency": KnobIOLatency,
-		"io.cost":    KnobIOCost, "io.weight": KnobIOCost,
+	// Every accepted alias, by knob. The first alias of each knob is
+	// its canonical String() form, pinning the round-trip below.
+	aliases := []struct {
+		knob    Knob
+		aliases []string
+	}{
+		{KnobNone, []string{"none", "noop", "baseline"}},
+		{KnobMQDeadline, []string{"mq-deadline", "mqdl", "mq_deadline", "io.prio.class", "prio"}},
+		{KnobBFQ, []string{"bfq", "io.bfq.weight"}},
+		{KnobIOMax, []string{"io.max", "iomax", "max"}},
+		{KnobIOLatency, []string{"io.latency", "iolatency", "latency"}},
+		{KnobIOCost, []string{"io.cost", "iocost", "cost", "io.weight"}},
+		{KnobAdaptive, []string{"adaptive", "io.shaper"}},
 	}
-	for in, want := range cases {
-		got, err := ParseKnob(in)
-		if err != nil || got != want {
-			t.Fatalf("ParseKnob(%q) = %v, %v", in, got, err)
+	for _, tc := range aliases {
+		for _, in := range tc.aliases {
+			got, err := ParseKnob(in)
+			if err != nil || got != tc.knob {
+				t.Fatalf("ParseKnob(%q) = %v, %v; want %v", in, got, err, tc.knob)
+			}
+			// Aliases are case/space-insensitive.
+			got, err = ParseKnob("  " + strings.ToUpper(in) + " ")
+			if err != nil || got != tc.knob {
+				t.Fatalf("ParseKnob(%q, decorated) = %v, %v; want %v", in, got, err, tc.knob)
+			}
+		}
+		// String() must be ParseKnob's inverse on the canonical name.
+		if got := tc.knob.String(); got != tc.aliases[0] {
+			t.Fatalf("%v.String() = %q, want canonical alias %q", tc.knob, got, tc.aliases[0])
+		}
+		rt, err := ParseKnob(tc.knob.String())
+		if err != nil || rt != tc.knob {
+			t.Fatalf("round-trip ParseKnob(%v.String()) = %v, %v", tc.knob, rt, err)
 		}
 	}
-	if _, err := ParseKnob("cfq"); err == nil {
-		t.Fatal("unknown knob accepted")
+	for _, bad := range []string{"cfq", "", "io.adaptive", "shaper", "io.max2"} {
+		if k, err := ParseKnob(bad); err == nil {
+			t.Fatalf("ParseKnob(%q) accepted as %v, want error", bad, k)
+		}
 	}
+	// The adaptive shaper is opt-in: the paper's knob lists must not
+	// grow a sixth control row (the five-row tables are golden-pinned).
 	if len(AllKnobs()) != 6 || len(ControlKnobs()) != 5 {
 		t.Fatal("knob lists wrong")
 	}
-	for _, k := range AllKnobs() {
+	for _, k := range append(AllKnobs(), KnobAdaptive) {
 		if k.String() == "" || strings.HasPrefix(k.String(), "knob(") {
 			t.Fatalf("bad knob name %q", k)
 		}
 	}
-	if !KnobBFQ.UsesScheduler() || KnobIOMax.UsesScheduler() {
+	for _, k := range AllKnobs() {
+		if k == KnobAdaptive {
+			t.Fatal("KnobAdaptive leaked into AllKnobs")
+		}
+	}
+	for _, k := range ControlKnobs() {
+		if k == KnobAdaptive {
+			t.Fatal("KnobAdaptive leaked into ControlKnobs")
+		}
+	}
+	if !KnobBFQ.UsesScheduler() || KnobIOMax.UsesScheduler() || KnobAdaptive.UsesScheduler() {
 		t.Fatal("UsesScheduler wrong")
 	}
 }

@@ -122,7 +122,9 @@ func applyFairnessWeights(k Knob, groups []*cgroup.Group, w []float64, peakBW fl
 	for i, g := range groups {
 		var err error
 		switch k {
-		case KnobIOCost:
+		case KnobIOCost, KnobAdaptive:
+			// The adaptive shaper apportions its capacity budget by
+			// io.weight, so it shares io.cost's native weight file.
 			err = g.SetFile("io.weight", fmt.Sprintf("%d", clampInt(int(w[i]*100), 1, 10000)))
 		case KnobBFQ:
 			err = g.SetFile("io.bfq.weight", fmt.Sprintf("%d", clampInt(int(w[i]*60), 1, 1000)))

@@ -19,6 +19,7 @@ import (
 	"isolbench/internal/iosched/noop"
 	"isolbench/internal/obs"
 	"isolbench/internal/obs/attr"
+	"isolbench/internal/shaper"
 	"isolbench/internal/sim"
 	"isolbench/internal/trace"
 	"isolbench/internal/workload"
@@ -65,6 +66,7 @@ type DeviceColumn struct {
 	Fault  *fault.Injector       // nil unless Options.Fault is enabled
 	IOLat  *iolatency.Controller // nil unless the knob is io.latency
 	IOCost *iocost.Controller    // nil unless the knob is io.cost
+	Shaper *shaper.Shaper        // nil unless the knob is adaptive
 }
 
 // Fleet is the assembled testbed: engine, CPU, cgroup tree, N device
@@ -102,6 +104,13 @@ type Fleet struct {
 	// device); nil slices when the knob does not use them.
 	IOLat  []*iolatency.Controller
 	IOCost []*iocost.Controller
+
+	// Shapers holds each device column's closed-loop shaper when the
+	// knob is KnobAdaptive (index by device); nil otherwise. Every
+	// tenant group registers with every column's shaper — a shaper
+	// ignores groups with no traffic on its device, so multi-device
+	// placement needs no extra plumbing.
+	Shapers []*shaper.Shaper
 
 	Apps   []*workload.App
 	Groups []*cgroup.Group
@@ -357,6 +366,24 @@ func (c *Fleet) addColumn(i int) error {
 		c.IOCost = append(c.IOCost, ic)
 		col.IOCost = ic
 		ctl = ic
+	case KnobAdaptive:
+		// The adaptive knob enforces through the same io.max mechanism
+		// as KnobIOMax, but its limits are rewritten every window by the
+		// closed-loop shaper, and its throttle holds are blamed on the
+		// shaper's decisions (LayerShaper) rather than on static io.max
+		// configuration.
+		sched = noop.New()
+		im := iomax.New(eng, c.Tree, DevName(i))
+		im.Obs = c.Obs
+		im.HoldLayer = attr.LayerShaper
+		ctl = im
+		sh := shaper.New(eng, c.Tree, DevName(i), opts.Shaper)
+		sh.Obs = c.Obs
+		for _, g := range c.Groups {
+			sh.Register(g)
+		}
+		c.Shapers = append(c.Shapers, sh)
+		col.Shaper = sh
 	default:
 		sched = noop.New()
 	}
@@ -468,6 +495,9 @@ func (c *Fleet) NewGroup(name string) (*cgroup.Group, error) {
 		return nil, err
 	}
 	c.Groups = append(c.Groups, g)
+	for _, sh := range c.Shapers {
+		sh.Register(g)
+	}
 	return g, nil
 }
 

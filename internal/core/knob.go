@@ -24,6 +24,13 @@ const (
 	KnobIOMax
 	KnobIOLatency
 	KnobIOCost
+	// KnobAdaptive is the closed-loop shaper (internal/shaper): a
+	// feedback controller that retunes io.max per window from io.stat,
+	// io.pressure, and SLO burn signals, apportioned by io.weight. It
+	// is opt-in (-knob adaptive) and deliberately not part of
+	// AllKnobs/ControlKnobs, so the paper's five-row tables stay
+	// byte-identical.
+	KnobAdaptive
 )
 
 // AllKnobs returns every knob including the baseline, in the paper's
@@ -51,6 +58,8 @@ func (k Knob) String() string {
 		return "io.latency"
 	case KnobIOCost:
 		return "io.cost"
+	case KnobAdaptive:
+		return "adaptive"
 	default:
 		return fmt.Sprintf("knob(%d)", int(k))
 	}
@@ -71,6 +80,8 @@ func ParseKnob(s string) (Knob, error) {
 		return KnobIOLatency, nil
 	case "io.cost", "iocost", "cost", "io.weight":
 		return KnobIOCost, nil
+	case "adaptive", "io.shaper":
+		return KnobAdaptive, nil
 	}
 	return KnobNone, fmt.Errorf("unknown knob %q", s)
 }

@@ -32,7 +32,7 @@ func overheadOptions(k Knob, profile string, cores, devices int, seed uint64) (O
 	if err != nil {
 		return Options{}, err
 	}
-	return Options{
+	opts := Options{
 		Knob:            k,
 		Profile:         prof,
 		Cores:           cores,
@@ -41,7 +41,17 @@ func overheadOptions(k Knob, profile string, cores, devices int, seed uint64) (O
 		BFQSliceIdleOff: true, // §V: slice_idle disabled for overhead runs
 		IOCostModel:     UnthrottledCostModel,
 		IOCostQoS:       UnthrottledCostQoS,
-	}, nil
+	}
+	if k == KnobAdaptive {
+		// Neutralize the shaper the same way io.max/io.cost are
+		// neutralized: its control loop, estimators, and window ticks
+		// all run (that machinery IS the measured overhead), but a cap
+		// floor far beyond device saturation guarantees it never
+		// throttles the D1 workload.
+		opts.Shaper.FloorBps = 1e12
+		opts.Shaper.CeilingBps = 2e12
+	}
+	return opts, nil
 }
 
 // LatencyScalingPoint is one (apps, latency/CPU) sample of Fig. 3.

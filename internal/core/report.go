@@ -139,7 +139,13 @@ func WriteResilience(w io.Writer, rs []*ResilienceResult) {
 		}
 		recovery := "n/a"
 		if r.HasWindows {
-			recovery = "never"
+			// "never" alone is ambiguous — it reads as "the knob cannot
+			// recover" even when the run simply ended before the recovery
+			// criterion had room to fire (quick mode's post-fault tail is
+			// shorter than the two required windows). The sentinel makes
+			// the censoring explicit: recovery had not happened by the
+			// time the measurement window closed.
+			recovery = "never (window end)"
 			if r.Recovered {
 				recovery = r.Recovery.String()
 			}

@@ -173,6 +173,12 @@ func (c *Fleet) Removals() int { return c.removals }
 // triggered by a barrier event) it runs in place.
 func (c *Fleet) finishRemove(t *Tenant, done func(error)) {
 	c.Queues[t.Device].DetachGroup(t.Group.ID())
+	// The shapers' per-group memory (signal snapshots, applied caps,
+	// controller targets) is single-engine state like the observer, so
+	// dropping it here is safe — adaptive fleets never shard.
+	for _, sh := range c.Shapers {
+		sh.Forget(t.Group.ID())
+	}
 	if c.winActive {
 		at := c.EngFor(t.Device).Now()
 		c.retireMu.Lock()

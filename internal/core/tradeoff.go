@@ -207,6 +207,22 @@ func tradeoffSettings(cfg TradeoffConfig) []knobSetting {
 				})
 			}
 		}
+	case KnobAdaptive:
+		// The shaper's configuration surface is the io.weight ratio it
+		// apportions its capacity budget by: sweep the priority app's
+		// weight from parity to the maximum against a fixed BE 100.
+		for i := 0; i < cfg.Steps; i++ {
+			w := clampInt(100+i*(10000-100)/(cfg.Steps-1), 1, 10000)
+			out = append(out, knobSetting{
+				name: fmt.Sprintf("prio-weight=%d", w),
+				apply: func(prio, be, _ *cgroup.Group) error {
+					if err := prio.SetFile("io.weight", fmt.Sprintf("%d", w)); err != nil {
+						return err
+					}
+					return be.SetFile("io.weight", "100")
+				},
+			})
+		}
 	default:
 		out = append(out, knobSetting{name: "baseline", apply: func(_, _, _ *cgroup.Group) error { return nil }})
 	}

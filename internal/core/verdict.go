@@ -50,13 +50,18 @@ type TableIConfig struct {
 	Seed    uint64
 	Workers int        // knob-row and sub-experiment fan-out (<=0 GOMAXPROCS)
 	Control RunControl // cancellation/watchdog/paranoid settings
+
+	// Knobs overrides the evaluated rows (nil -> ControlKnobs(), the
+	// paper's five). This is how the opt-in adaptive shaper gets its
+	// sixth row without perturbing the published table.
+	Knobs []Knob
 }
 
 // nativeWeights reports whether the knob exposes a direct proportional
 // weight (io.max only approximates weights through statically
 // translated maximums, which the paper scores as partial).
 func nativeWeights(k Knob) bool {
-	return k == KnobIOCost || k == KnobBFQ
+	return k == KnobIOCost || k == KnobBFQ || k == KnobAdaptive
 }
 
 // RunTableI measures every knob against all four desiderata and
@@ -110,7 +115,10 @@ func RunTableI(cfg TableIConfig) ([]DesiderataRow, error) {
 
 	// Each knob's row derives from its own set of runs, independent of
 	// every other row: fan the rows out, keeping presentation order.
-	knobs := ControlKnobs()
+	knobs := cfg.Knobs
+	if len(knobs) == 0 {
+		knobs = ControlKnobs()
+	}
 	return runpool.MapCtx(cfg.Control.Ctx, cfg.Workers, len(knobs), func(ki int) (DesiderataRow, error) {
 		return deriveRow(cfg, knobs[ki], measure, steps, repeats, basePts, baseBW)
 	})
@@ -290,6 +298,7 @@ func WriteTableI(w io.Writer, rows []DesiderataRow, withEvidence bool) {
 		KnobIOMax:      "io.max",
 		KnobIOLatency:  "io.latency",
 		KnobIOCost:     "io.cost + io.weight",
+		KnobAdaptive:   "adaptive shaper (io.max + io.weight)",
 	}
 	for _, r := range rows {
 		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n",

@@ -39,9 +39,11 @@ type Controller struct {
 
 	// Attr is the wait-for-whom tracker (nil = off). io.max limits are
 	// static per-group budgets, so a token wait is self-inflicted: the
-	// whole hold charges to the waiting cgroup itself at the throttle
-	// layer.
-	Attr *attr.Tracker
+	// whole hold charges to the waiting cgroup itself at HoldLayer
+	// (LayerThrottle by default; the adaptive shaper rebinds it to
+	// LayerShaper so its dynamic caps are blamed on the control loop).
+	Attr      *attr.Tracker
+	HoldLayer attr.Layer
 
 	groups map[int]*bucket
 
@@ -60,7 +62,7 @@ type bucket struct {
 // New returns an io.max controller reading limits for device dev from
 // the cgroup tree.
 func New(eng *sim.Engine, tree *cgroup.Tree, dev string) *Controller {
-	c := &Controller{eng: eng, tree: tree, dev: dev, groups: make(map[int]*bucket)}
+	c := &Controller{eng: eng, tree: tree, dev: dev, groups: make(map[int]*bucket), HoldLayer: attr.LayerThrottle}
 	c.releaseCB = func(arg any, gen uint64) {
 		b := arg.(*bucket)
 		if gen != b.timerGen {
@@ -233,7 +235,7 @@ func (c *Controller) release(id int, b *bucket) {
 	for b.waiting.Len() > 0 && affordable(b, lim) {
 		r := b.waiting.Pop()
 		charge(b, lim, r)
-		c.Attr.ChargeHold(r.Blame, attr.LayerThrottle, r.Cgroup)
+		c.Attr.ChargeHold(r.Blame, c.HoldLayer, r.Cgroup)
 		c.Obs.ThrottleEnd(r.Cgroup)
 		c.next(r)
 	}

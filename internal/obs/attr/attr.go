@@ -57,6 +57,10 @@ const (
 	LayerGC
 	// LayerRetry: recovery-path backoff between attempts.
 	LayerRetry
+	// LayerShaper: a hold imposed by the closed-loop adaptive shaper's
+	// io.max rewrites (so adaptive throttling is blamed on the shaper's
+	// decisions, not conflated with static io.max configuration).
+	LayerShaper
 	// NumLayers counts the layers.
 	NumLayers
 )
@@ -79,6 +83,8 @@ func (l Layer) String() string {
 		return "gc"
 	case LayerRetry:
 		return "retry"
+	case LayerShaper:
+		return "shaper"
 	default:
 		return "?"
 	}

@@ -99,6 +99,7 @@ const (
 	IncidentInvariant = "invariant" // paranoid conservation check failed
 	IncidentSLO       = "slo-burn"  // multi-window burn-rate alert fired
 	IncidentTelemetry = "telemetry" // span/series/trace rings dropped data
+	IncidentShaper    = "shaper"    // adaptive shaper mode transition (freeze/fallback/resume)
 )
 
 // Incident is a run-level fault of the harness itself — a watchdog

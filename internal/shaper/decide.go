@@ -1,0 +1,531 @@
+// Package shaper implements the closed-loop adaptive I/O shaper: the
+// sixth "knob" (KnobAdaptive). Where the kernel's five mechanisms are
+// static configurations, the shaper is a feedback controller that
+// watches the signals the obs layer already exports — per-window
+// io.stat deltas, io.pressure PSI, SLO burn rate — and retunes each
+// tenant's io.max caps once per window, apportioning an estimated
+// device capacity by io.weight.
+//
+// The pipeline is an explicit estimate → decide → apply split:
+//
+//   - estimate (shaper.go) reads the observer at a window boundary and
+//     reduces it to a Window of per-group signals;
+//   - Decide (this file) is a pure transition function from (Config,
+//     State, Window) to (State, []Target). It never reads a clock,
+//     draws randomness, or touches the tree, so its guardrail
+//     invariants are directly property-testable;
+//   - apply (shaper.go) writes the targets through the cgroup layer as
+//     per-device io.max lines, and surfaces every mode transition as
+//     an obs incident plus shaper time series.
+//
+// Robustness is first-class: hysteresis bands and per-window
+// rate-of-change clamps prevent oscillation, the integral term is
+// clamped (anti-windup), a staleness detector freezes adaptation when
+// signals stop arriving, a fault detector freezes it when the window
+// looks like a device fault (throughput collapse, or a PSI full spike
+// alongside depressed throughput), and a guarded fallback ladder
+// degrades adaptive → frozen → last-known-good → fully open. Re-entry
+// into adaptive mode is cooldown-gated. Crucially, the capacity
+// estimate is never decayed while frozen — the io.cost non-recovery
+// failure mode (a controller that keeps punishing itself long after
+// the fault cleared) is structurally impossible.
+package shaper
+
+import "isolbench/internal/sim"
+
+// Mode is the shaper's position on the fallback ladder.
+type Mode int
+
+// The fallback ladder, best to worst. Downward moves are one rung at a
+// time; the only upward move is straight back to ModeAdaptive, and only
+// after the cooldown has elapsed with consecutively healthy windows.
+const (
+	// ModeAdaptive: the control loop is live; targets are recomputed
+	// every window.
+	ModeAdaptive Mode = iota
+	// ModeFrozen: adaptation is suspended (stale signals or a suspected
+	// fault); the last applied targets are held as-is.
+	ModeFrozen
+	// ModeLastGood: signals stayed stale past the freeze allowance; the
+	// last-known-good target set (the snapshot from the most recent
+	// healthy adaptive window) is restored and held.
+	ModeLastGood
+	// ModeOpen: the shaper has given up shaping — every cap is removed
+	// so no tenant can be wedged by a dead control loop.
+	ModeOpen
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeAdaptive:
+		return "adaptive"
+	case ModeFrozen:
+		return "frozen"
+	case ModeLastGood:
+		return "last-good"
+	case ModeOpen:
+		return "open"
+	default:
+		return "?"
+	}
+}
+
+// Config parameterizes the control loop. The zero value means "use the
+// defaults" (withDefaults fills every field).
+type Config struct {
+	// Window is the control period: estimates, decisions, and knob-file
+	// writes happen only at multiples of it.
+	Window sim.Duration
+
+	// FloorBps / CeilingBps bound every per-group cap. The floor
+	// guarantees no tenant is ever shaped to a standstill; the ceiling
+	// bounds single-window grants.
+	FloorBps   float64
+	CeilingBps float64
+
+	// MaxStepFrac is the per-window rate-of-change clamp: an adaptive
+	// update may move a group's cap by at most this fraction of its
+	// previous value in either direction.
+	MaxStepFrac float64
+	// Hysteresis is the dead band: adaptive updates smaller than this
+	// fraction of the previous cap are suppressed entirely.
+	Hysteresis float64
+
+	// BindTarget is the setpoint for the headroom PI controller: the
+	// fraction of active groups that should be touching their caps.
+	// Error is bounded in [-BindTarget, 1-BindTarget] by construction,
+	// so the loop cannot wind toward a death spiral the way a PI on raw
+	// pressure would (caps that bind drive pressure to 1 regardless of
+	// how wrong they are).
+	BindTarget float64
+	// PGain/IGain are the PI gains on the headroom dial; IntegralCap
+	// clamps the integral term (anti-windup).
+	PGain       float64
+	IGain       float64
+	IntegralCap float64
+	// HeadroomMin/HeadroomMax bound the headroom dial. HeadroomMin
+	// stays above 1 on purpose: the cap budget always exceeds the
+	// capacity estimate, so a demand-saturated fleet observes agg >
+	// CapEst and the estimate ratchets up instead of decaying down.
+	HeadroomMin float64
+	HeadroomMax float64
+	// RaiseCapGain/DecayCapGain are the capacity estimator's asymmetric
+	// EWMA gains: fast raise toward observed throughput above the
+	// estimate, slow decay toward throughput below it. Decay never
+	// happens outside healthy adaptive windows.
+	RaiseCapGain float64
+	DecayCapGain float64
+
+	// StaleWindows is how many consecutive signal-free windows arm the
+	// staleness freeze (only once the shaper has ever seen traffic).
+	StaleWindows int
+	// CollapseFrac: a fresh window with aggregate throughput below this
+	// fraction of CapEst is a suspected fault (GC-storm-style collapse).
+	CollapseFrac float64
+	// SagFrac/SagWindows: this many consecutive windows below SagFrac
+	// of CapEst is also a suspected fault (brownout-style sustained
+	// sag that never crosses the collapse threshold).
+	SagFrac    float64
+	SagWindows int
+	// PressureSpike: a window whose worst per-group PSI full-stall
+	// share exceeds this fraction, with throughput below CapEst,
+	// corroborates a fault.
+	PressureSpike float64
+
+	// FreezeToFallback is how many consecutive frozen windows with
+	// stale signals trigger the drop to last-known-good; OpenAfter is
+	// how many last-good windows with stale signals trigger fully open.
+	// Fault-suspected (non-stale) windows hold in ModeFrozen
+	// indefinitely: the config being held is already the healthy one.
+	FreezeToFallback int
+	OpenAfter        int
+
+	// Cooldown is the minimum number of windows between leaving
+	// ModeAdaptive and re-entering it; HealthyNeed is how many
+	// consecutive healthy windows are additionally required.
+	Cooldown    int
+	HealthyNeed int
+
+	// SLOBackoff scales down the caps of non-firing groups while any
+	// group's SLO burn-rate alert is firing, ceding device time to the
+	// burning tenant. 1 disables the coupling.
+	SLOBackoff float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 50 * sim.Millisecond
+	}
+	if c.FloorBps <= 0 {
+		c.FloorBps = 4 << 20 // 4 MiB/s
+	}
+	if c.CeilingBps <= 0 {
+		c.CeilingBps = 8 << 30 // 8 GiB/s
+	}
+	if c.MaxStepFrac <= 0 {
+		c.MaxStepFrac = 0.25
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = 0.05
+	}
+	if c.BindTarget <= 0 {
+		c.BindTarget = 0.5
+	}
+	if c.PGain <= 0 {
+		c.PGain = 0.6
+	}
+	if c.IGain <= 0 {
+		c.IGain = 0.05
+	}
+	if c.IntegralCap <= 0 {
+		c.IntegralCap = 4
+	}
+	if c.HeadroomMin <= 0 {
+		c.HeadroomMin = 1.05
+	}
+	if c.HeadroomMax <= 0 {
+		c.HeadroomMax = 1.5
+	}
+	if c.RaiseCapGain <= 0 {
+		c.RaiseCapGain = 1 // instant raise to observed throughput
+	}
+	if c.DecayCapGain <= 0 {
+		c.DecayCapGain = 0.02
+	}
+	if c.StaleWindows <= 0 {
+		c.StaleWindows = 3
+	}
+	if c.CollapseFrac <= 0 {
+		c.CollapseFrac = 0.45
+	}
+	if c.SagFrac <= 0 {
+		c.SagFrac = 0.8
+	}
+	if c.SagWindows <= 0 {
+		c.SagWindows = 3
+	}
+	if c.PressureSpike <= 0 {
+		c.PressureSpike = 0.5
+	}
+	if c.FreezeToFallback <= 0 {
+		c.FreezeToFallback = 4
+	}
+	if c.OpenAfter <= 0 {
+		c.OpenAfter = 8
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 4
+	}
+	if c.HealthyNeed <= 0 {
+		c.HealthyNeed = 2
+	}
+	if c.SLOBackoff <= 0 {
+		c.SLOBackoff = 0.85
+	}
+	return c
+}
+
+// GroupSignal is one active group's per-window observation.
+type GroupSignal struct {
+	ID     int
+	Weight float64 // io.weight, > 0
+	Bytes  int64   // io.stat byte delta over the window
+	IOs    uint64  // io.stat op delta over the window
+	// SomeFrac/FullFrac are the group's PSI stall deltas over the
+	// window, as fractions of the window ([0,1]). Some > 0 means the
+	// group spent time throttled (its caps are binding).
+	SomeFrac float64
+	FullFrac float64
+	// Firing reports the group's SLO burn-rate alert state.
+	Firing bool
+}
+
+// Window is one control period's reduced observation, as produced by
+// the estimate step. Groups must be sorted by ID (estimate guarantees
+// it) so Decide's iteration order is deterministic.
+type Window struct {
+	Dur    sim.Duration
+	Groups []GroupSignal
+}
+
+// Target is one group's decided cap: Bps is applied to both the read
+// and write byte dimensions of io.max; 0 means fully open.
+type Target struct {
+	ID  int
+	Bps float64
+}
+
+// State is the controller's complete memory between windows. It is a
+// value type with map members; Decide treats the input as immutable
+// and returns a fresh State.
+type State struct {
+	Mode Mode
+	// Armed flips true on the first window with any traffic; staleness
+	// and fault detection only apply once armed, so a warming-up fleet
+	// is not misread as a dead signal path.
+	Armed bool
+	// CapEst is the estimated healthy aggregate throughput (bytes/s)
+	// of the shaper's device. Never decayed outside healthy adaptive
+	// windows — the io.cost-style non-recovery fix.
+	CapEst float64
+	// Headroom and Integral are the PI state of the headroom dial.
+	Headroom float64
+	Integral float64
+	// Targets is the currently applied cap per group id (0 = open);
+	// LastGood is the snapshot from the most recent healthy adaptive
+	// window.
+	Targets  map[int]float64
+	LastGood map[int]float64
+	// Detector counters.
+	StaleWins   int
+	SagWins     int
+	FrozenWins  int
+	HealthyWins int
+	// Cooldown counts down the windows remaining before ModeAdaptive
+	// may be re-entered.
+	Cooldown int
+	Windows  uint64
+	// Reason is the human-readable cause of the last mode transition
+	// ("" while no transition has happened).
+	Reason string
+}
+
+// NewState returns the initial controller state.
+func NewState(cfg Config) State {
+	cfg = cfg.withDefaults()
+	return State{
+		Mode:     ModeAdaptive,
+		Headroom: (cfg.HeadroomMin + cfg.HeadroomMax) / 2,
+		Targets:  map[int]float64{},
+		LastGood: map[int]float64{},
+	}
+}
+
+func (s State) clone() State {
+	n := s
+	n.Targets = make(map[int]float64, len(s.Targets))
+	for k, v := range s.Targets {
+		n.Targets[k] = v
+	}
+	n.LastGood = make(map[int]float64, len(s.LastGood))
+	for k, v := range s.LastGood {
+		n.LastGood[k] = v
+	}
+	return n
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Decide advances the controller by one window: it classifies the
+// window (healthy / stale / fault-suspect), walks the mode ladder, and
+// computes the target set to apply. It is pure — same (cfg, st, w) in,
+// same (State, []Target) out — and never mutates its inputs.
+func Decide(cfg Config, st State, w Window) (State, []Target) {
+	cfg = cfg.withDefaults()
+	next := st.clone()
+	next.Windows++
+	next.Reason = ""
+
+	// --- classify the window ---
+	secs := w.Dur.Seconds()
+	var aggBytes int64
+	var ios uint64
+	maxFull := 0.0
+	anyFiring := false
+	for _, g := range w.Groups {
+		aggBytes += g.Bytes
+		ios += g.IOs
+		if g.FullFrac > maxFull {
+			maxFull = g.FullFrac
+		}
+		if g.Firing {
+			anyFiring = true
+		}
+	}
+	agg := 0.0
+	if secs > 0 {
+		agg = float64(aggBytes) / secs
+	}
+	fresh := aggBytes > 0 || ios > 0
+	if fresh {
+		next.Armed = true
+		next.StaleWins = 0
+	} else if next.Armed {
+		next.StaleWins++
+	}
+
+	suspect := false
+	if next.Armed && next.CapEst > 0 && fresh {
+		switch {
+		case agg < cfg.CollapseFrac*next.CapEst:
+			suspect = true
+			next.Reason = "throughput collapse"
+		case maxFull > cfg.PressureSpike && agg < next.CapEst:
+			suspect = true
+			next.Reason = "PSI full spike"
+		}
+		if agg < cfg.SagFrac*next.CapEst {
+			next.SagWins++
+			if !suspect && next.SagWins >= cfg.SagWindows {
+				suspect = true
+				next.Reason = "sustained throughput sag"
+			}
+		} else {
+			next.SagWins = 0
+		}
+	} else {
+		next.SagWins = 0
+	}
+	stale := next.Armed && next.StaleWins >= cfg.StaleWindows
+	healthy := fresh && !suspect
+
+	// --- walk the mode ladder ---
+	transition := func(to Mode, reason string) {
+		next.Mode = to
+		next.Reason = reason
+		next.HealthyWins = 0
+		next.FrozenWins = 0
+		if to != ModeAdaptive {
+			next.Cooldown = cfg.Cooldown
+		}
+	}
+
+	if next.Mode != ModeAdaptive {
+		next.FrozenWins++
+		if next.Cooldown > 0 {
+			next.Cooldown--
+		}
+		if healthy {
+			next.HealthyWins++
+		} else {
+			next.HealthyWins = 0
+		}
+	}
+
+	switch next.Mode {
+	case ModeAdaptive:
+		if stale {
+			transition(ModeFrozen, "signals stale")
+			break
+		}
+		if suspect {
+			transition(ModeFrozen, "fault suspected: "+next.Reason)
+			break
+		}
+		if fresh {
+			adapt(cfg, &next, w, agg, anyFiring)
+		}
+	case ModeFrozen:
+		if stale && next.FrozenWins >= cfg.FreezeToFallback {
+			transition(ModeLastGood, "signals still stale; restoring last-known-good")
+			for k := range next.Targets {
+				delete(next.Targets, k)
+			}
+			for k, v := range next.LastGood {
+				next.Targets[k] = v
+			}
+			break
+		}
+		if next.Cooldown == 0 && next.HealthyWins >= cfg.HealthyNeed {
+			transition(ModeAdaptive, "signals healthy; resuming adaptation")
+		}
+	case ModeLastGood:
+		if stale && next.FrozenWins >= cfg.OpenAfter {
+			transition(ModeOpen, "signals dead; removing all caps")
+			for k := range next.Targets {
+				next.Targets[k] = 0
+			}
+			break
+		}
+		if next.Cooldown == 0 && next.HealthyWins >= cfg.HealthyNeed {
+			transition(ModeAdaptive, "signals healthy; resuming adaptation")
+		}
+	case ModeOpen:
+		if next.Cooldown == 0 && next.HealthyWins >= cfg.HealthyNeed {
+			transition(ModeAdaptive, "signals healthy; resuming adaptation")
+		}
+	}
+
+	// --- emit the target set (every active group, current caps) ---
+	targets := make([]Target, 0, len(w.Groups))
+	for _, g := range w.Groups {
+		targets = append(targets, Target{ID: g.ID, Bps: next.Targets[g.ID]})
+	}
+	return next, targets
+}
+
+// adapt performs one healthy adaptive update: capacity estimate,
+// headroom PI, and the guarded per-group target computation.
+func adapt(cfg Config, next *State, w Window, agg float64, anyFiring bool) {
+	// Capacity estimate: fast raise, slow decay. The headroom floor
+	// (> 1) guarantees a demand-saturated fleet observes agg above
+	// CapEst, so the estimate ratchets toward true device capacity
+	// instead of chasing its own caps downward.
+	if agg > next.CapEst {
+		next.CapEst += cfg.RaiseCapGain * (agg - next.CapEst)
+	} else {
+		next.CapEst += cfg.DecayCapGain * (agg - next.CapEst)
+	}
+
+	// Headroom PI on the binding fraction.
+	var totalW, boundW float64
+	for _, g := range w.Groups {
+		totalW++
+		if g.SomeFrac > 0.01 {
+			boundW++
+		}
+	}
+	if totalW > 0 {
+		err := boundW/totalW - cfg.BindTarget
+		next.Integral = clampF(next.Integral+err, -cfg.IntegralCap, cfg.IntegralCap)
+		mid := (cfg.HeadroomMin + cfg.HeadroomMax) / 2
+		next.Headroom = clampF(mid+cfg.PGain*err*(cfg.HeadroomMax-cfg.HeadroomMin)/2+
+			cfg.IGain*next.Integral, cfg.HeadroomMin, cfg.HeadroomMax)
+	}
+
+	budget := next.CapEst * next.Headroom
+	if budget <= 0 {
+		// Nothing estimated yet: stay fully open until the first
+		// window with measurable throughput.
+		return
+	}
+
+	var sumW float64
+	for _, g := range w.Groups {
+		sumW += g.Weight
+	}
+	if sumW <= 0 {
+		return
+	}
+	for _, g := range w.Groups {
+		raw := g.Weight / sumW * budget
+		if anyFiring && !g.Firing && cfg.SLOBackoff < 1 {
+			// Cede device time to the tenant whose SLO is burning.
+			raw *= cfg.SLOBackoff
+		}
+		prev := next.Targets[g.ID]
+		if prev > 0 {
+			// Hysteresis dead band, then the rate-of-change clamp.
+			if diff := raw - prev; diff < cfg.Hysteresis*prev && diff > -cfg.Hysteresis*prev {
+				raw = prev
+			}
+			raw = clampF(raw, prev*(1-cfg.MaxStepFrac), prev*(1+cfg.MaxStepFrac))
+		}
+		next.Targets[g.ID] = clampF(raw, cfg.FloorBps, cfg.CeilingBps)
+	}
+	// Snapshot last-known-good from this healthy window.
+	for k := range next.LastGood {
+		delete(next.LastGood, k)
+	}
+	for k, v := range next.Targets {
+		next.LastGood[k] = v
+	}
+}

@@ -1,0 +1,205 @@
+package shaper
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"isolbench/internal/sim"
+)
+
+// checkStep asserts the guardrail invariants across one Decide call:
+// caps stay inside [Floor, Ceiling] (or fully open), adaptive-mode
+// updates respect the per-window rate-of-change clamp, the mode ladder
+// only moves one rung down (or straight back to adaptive), and
+// re-entry into adaptive respects the cooldown.
+type ladderTracker struct {
+	sinceLeft int // windows since the mode last left adaptive
+}
+
+func (lt *ladderTracker) check(t *testing.T, cfg Config, prev, next State, targets []Target, win int) {
+	t.Helper()
+	for _, tg := range targets {
+		if tg.Bps == 0 {
+			continue
+		}
+		if tg.Bps < cfg.FloorBps-1e-6 || tg.Bps > cfg.CeilingBps+1e-6 {
+			t.Fatalf("window %d: target %d = %.0f outside [%.0f, %.0f]",
+				win, tg.ID, tg.Bps, cfg.FloorBps, cfg.CeilingBps)
+		}
+	}
+	if prev.Mode == ModeAdaptive && next.Mode == ModeAdaptive {
+		for _, tg := range targets {
+			p := prev.Targets[tg.ID]
+			if p <= 0 || tg.Bps <= 0 {
+				continue
+			}
+			lim := cfg.MaxStepFrac*p + 1e-6
+			if d := math.Abs(tg.Bps - p); d > lim {
+				t.Fatalf("window %d: target %d moved %.0f -> %.0f (|step| %.0f > clamp %.0f)",
+					win, tg.ID, p, tg.Bps, d, lim)
+			}
+		}
+	}
+	// Ladder shape: one rung down at a time, or straight up to adaptive.
+	ok := map[[2]Mode]bool{
+		{ModeAdaptive, ModeAdaptive}: true, {ModeAdaptive, ModeFrozen}: true,
+		{ModeFrozen, ModeFrozen}: true, {ModeFrozen, ModeLastGood}: true, {ModeFrozen, ModeAdaptive}: true,
+		{ModeLastGood, ModeLastGood}: true, {ModeLastGood, ModeOpen}: true, {ModeLastGood, ModeAdaptive}: true,
+		{ModeOpen, ModeOpen}: true, {ModeOpen, ModeAdaptive}: true,
+	}
+	if !ok[[2]Mode{prev.Mode, next.Mode}] {
+		t.Fatalf("window %d: illegal ladder transition %v -> %v", win, prev.Mode, next.Mode)
+	}
+	// Cooldown: re-entering adaptive needs at least Cooldown non-adaptive
+	// windows AND HealthyNeed healthy ones since adaptation last stopped.
+	if prev.Mode != ModeAdaptive {
+		lt.sinceLeft++
+		if next.Mode == ModeAdaptive {
+			min := cfg.Cooldown
+			if cfg.HealthyNeed > min {
+				min = cfg.HealthyNeed
+			}
+			if lt.sinceLeft < min {
+				t.Fatalf("window %d: re-entered adaptive after %d windows (< cooldown %d / healthy-need %d)",
+					win, lt.sinceLeft, cfg.Cooldown, cfg.HealthyNeed)
+			}
+		}
+	}
+	if prev.Mode == ModeAdaptive && next.Mode != ModeAdaptive {
+		lt.sinceLeft = 0
+	}
+}
+
+// randWindow draws one observation window; roughly 1 in 6 is fully
+// silent so the staleness machinery gets exercised.
+func randWindow(r *rand.Rand, groups int) Window {
+	w := Window{Dur: 50 * sim.Millisecond}
+	if r.Intn(6) == 0 {
+		return w
+	}
+	for id := 1; id <= groups; id++ {
+		if r.Intn(4) == 0 {
+			continue
+		}
+		g := GroupSignal{
+			ID:       id,
+			Weight:   float64(1 + r.Intn(10000)),
+			SomeFrac: r.Float64(),
+			FullFrac: r.Float64(),
+			Firing:   r.Intn(10) == 0,
+		}
+		switch r.Intn(5) {
+		case 0: // idle group
+		case 1: // collapsed throughput
+			g.Bytes = int64(r.Intn(1 << 16))
+			g.IOs = uint64(r.Intn(4))
+		default: // healthy-ish
+			g.Bytes = int64(1<<24 + r.Intn(1<<27))
+			g.IOs = uint64(100 + r.Intn(10000))
+		}
+		w.Groups = append(w.Groups, g)
+	}
+	return w
+}
+
+// TestDecideProperties drives the pure controller through thousands of
+// randomized window sequences and asserts the guardrail invariants on
+// every step.
+func TestDecideProperties(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		cfg := Config{}
+		if seed%3 == 0 { // also exercise non-default guardrails
+			cfg.MaxStepFrac = 0.1
+			cfg.Cooldown = 2 + r.Intn(6)
+			cfg.HealthyNeed = 1 + r.Intn(3)
+		}
+		ccfg := cfg.withDefaults()
+		st := NewState(cfg)
+		var lt ladderTracker
+		for win := 0; win < 400; win++ {
+			w := randWindow(r, 1+r.Intn(5))
+			next, targets := Decide(cfg, st, w)
+			lt.check(t, ccfg, st, next, targets, win)
+			st = next
+		}
+	}
+}
+
+// TestDecidePure asserts Decide neither mutates its input state nor
+// depends on anything but its arguments: two calls with cloned inputs
+// produce identical outputs.
+func TestDecidePure(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	cfg := Config{}
+	st := NewState(cfg)
+	for win := 0; win < 200; win++ {
+		w := randWindow(r, 3)
+		before := st.clone()
+		a, ta := Decide(cfg, st, w)
+		b, tb := Decide(cfg, st, w)
+		if len(ta) != len(tb) {
+			t.Fatalf("window %d: diverging target counts %d vs %d", win, len(ta), len(tb))
+		}
+		for i := range ta {
+			if ta[i] != tb[i] {
+				t.Fatalf("window %d: diverging target %v vs %v", win, ta[i], tb[i])
+			}
+		}
+		if st.Mode != before.Mode || st.CapEst != before.CapEst || st.Windows != before.Windows ||
+			len(st.Targets) != len(before.Targets) {
+			t.Fatalf("window %d: Decide mutated its input state", win)
+		}
+		for k, v := range before.Targets {
+			if st.Targets[k] != v {
+				t.Fatalf("window %d: Decide mutated input target %d", win, k)
+			}
+		}
+		st = a
+		_ = b
+	}
+}
+
+// FuzzDecide feeds byte-stream-derived window sequences through the
+// controller, checking the same invariants as TestDecideProperties on
+// arbitrary inputs.
+func FuzzDecide(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0x10, 0x80, 0x03, 0x00, 0x00, 0x40})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg := Config{}
+		ccfg := cfg.withDefaults()
+		st := NewState(cfg)
+		var lt ladderTracker
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+		for win := 0; win < 64 && pos < len(data); win++ {
+			w := Window{Dur: 50 * sim.Millisecond}
+			n := int(next() % 5)
+			for id := 1; id <= n; id++ {
+				b := next()
+				w.Groups = append(w.Groups, GroupSignal{
+					ID:       id,
+					Weight:   float64(1 + int(next())*40),
+					Bytes:    int64(b) << (next() % 24),
+					IOs:      uint64(b % 16),
+					SomeFrac: float64(next()%101) / 100,
+					FullFrac: float64(next()%101) / 100,
+					Firing:   next()%7 == 0,
+				})
+			}
+			ns, targets := Decide(cfg, st, w)
+			lt.check(t, ccfg, st, ns, targets, win)
+			st = ns
+		}
+	})
+}

@@ -1,0 +1,199 @@
+package shaper
+
+import (
+	"testing"
+
+	"isolbench/internal/sim"
+)
+
+// healthyWindow is a steady two-group window at ~2 GiB/s aggregate.
+func healthyWindow() Window {
+	return Window{Dur: 50 * sim.Millisecond, Groups: []GroupSignal{
+		{ID: 1, Weight: 100, Bytes: 40 << 20, IOs: 10000, SomeFrac: 0.6},
+		{ID: 2, Weight: 400, Bytes: 60 << 20, IOs: 15000, SomeFrac: 0.2},
+	}}
+}
+
+func silentWindow() Window { return Window{Dur: 50 * sim.Millisecond} }
+
+// collapsedWindow keeps traffic flowing but at a small fraction of the
+// healthy rate — the gcstorm signature.
+func collapsedWindow() Window {
+	return Window{Dur: 50 * sim.Millisecond, Groups: []GroupSignal{
+		{ID: 1, Weight: 100, Bytes: 2 << 20, IOs: 500, SomeFrac: 0.1, FullFrac: 0.1},
+		{ID: 2, Weight: 400, Bytes: 3 << 20, IOs: 700, SomeFrac: 0.1, FullFrac: 0.1},
+	}}
+}
+
+func advance(t *testing.T, cfg Config, st State, w Window, n int) State {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		st, _ = Decide(cfg, st, w)
+	}
+	return st
+}
+
+// TestLadderWalksDownAndRecovers drives the full fallback ladder:
+// healthy adaptation, staleness freeze, last-known-good restore, fully
+// open, and cooldown-gated recovery back to adaptive.
+func TestLadderWalksDownAndRecovers(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	st := NewState(cfg)
+
+	st = advance(t, cfg, st, healthyWindow(), 10)
+	if st.Mode != ModeAdaptive || !st.Armed {
+		t.Fatalf("after healthy windows: mode %v armed %v", st.Mode, st.Armed)
+	}
+	if st.CapEst <= 0 || len(st.Targets) != 2 || len(st.LastGood) != 2 {
+		t.Fatalf("no adaptation happened: capest %.0f targets %v lastgood %v",
+			st.CapEst, st.Targets, st.LastGood)
+	}
+	if st.Targets[2] <= st.Targets[1] {
+		t.Fatalf("weight 400 group capped below weight 100 group: %v", st.Targets)
+	}
+	lastGood := map[int]float64{}
+	for k, v := range st.LastGood {
+		lastGood[k] = v
+	}
+
+	// Signals stop: freeze after StaleWindows, targets held as-is.
+	heldCap := st.CapEst
+	st = advance(t, cfg, st, silentWindow(), cfg.StaleWindows)
+	if st.Mode != ModeFrozen {
+		t.Fatalf("after %d silent windows: mode %v, want frozen", cfg.StaleWindows, st.Mode)
+	}
+	if st.CapEst != heldCap {
+		t.Fatalf("capacity estimate moved while frozen: %.0f -> %.0f", heldCap, st.CapEst)
+	}
+
+	// Still stale: drop to last-known-good, restoring the snapshot.
+	st = advance(t, cfg, st, silentWindow(), cfg.FreezeToFallback)
+	if st.Mode != ModeLastGood {
+		t.Fatalf("mode %v, want last-good", st.Mode)
+	}
+	for id, want := range lastGood {
+		if st.Targets[id] != want {
+			t.Fatalf("last-good restore: target %d = %.0f, want %.0f", id, st.Targets[id], want)
+		}
+	}
+
+	// Signals dead: fully open, every cap removed.
+	st = advance(t, cfg, st, silentWindow(), cfg.OpenAfter)
+	if st.Mode != ModeOpen {
+		t.Fatalf("mode %v, want open", st.Mode)
+	}
+	for id, bps := range st.Targets {
+		if bps != 0 {
+			t.Fatalf("open mode left a cap: target %d = %.0f", id, bps)
+		}
+	}
+
+	// Signals return: back to adaptive once cooldown and the healthy
+	// streak are both satisfied, with the capacity estimate intact.
+	st = advance(t, cfg, st, healthyWindow(), cfg.Cooldown+cfg.HealthyNeed+2)
+	if st.Mode != ModeAdaptive {
+		t.Fatalf("mode %v, want adaptive after recovery", st.Mode)
+	}
+	if st.CapEst < heldCap {
+		t.Fatalf("capacity estimate decayed across the outage: %.0f -> %.0f", heldCap, st.CapEst)
+	}
+}
+
+// TestFaultFreezeHoldsCapacity pins the io.cost-non-recovery fix: a
+// throughput collapse freezes adaptation with the capacity estimate and
+// caps held at healthy values, so when the fault clears the very next
+// healthy windows run at full speed and adaptation resumes.
+func TestFaultFreezeHoldsCapacity(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	st := NewState(cfg)
+	st = advance(t, cfg, st, healthyWindow(), 10)
+	healthyCap := st.CapEst
+	healthyTargets := map[int]float64{}
+	for k, v := range st.Targets {
+		healthyTargets[k] = v
+	}
+
+	// The fault: throughput collapses. One window is enough to suspect.
+	st, _ = Decide(cfg, st, collapsedWindow())
+	if st.Mode != ModeFrozen {
+		t.Fatalf("collapse window: mode %v, want frozen", st.Mode)
+	}
+	if st.Reason == "" {
+		t.Fatal("freeze transition recorded no reason")
+	}
+
+	// The fault persists: the shaper must hold — never walk deeper (the
+	// signals are fresh, just bad) and never decay the estimate.
+	st = advance(t, cfg, st, collapsedWindow(), 50)
+	if st.Mode != ModeFrozen {
+		t.Fatalf("during fault: mode %v, want frozen held indefinitely", st.Mode)
+	}
+	if st.CapEst != healthyCap {
+		t.Fatalf("capacity estimate punished by the fault: %.0f -> %.0f", healthyCap, st.CapEst)
+	}
+	for id, want := range healthyTargets {
+		if st.Targets[id] != want {
+			t.Fatalf("cap %d moved during fault: %.0f -> %.0f", id, want, st.Targets[id])
+		}
+	}
+
+	// Fault clears: recovery within cooldown + healthy-need windows.
+	wins := 0
+	for st.Mode != ModeAdaptive && wins < 100 {
+		st, _ = Decide(cfg, st, healthyWindow())
+		wins++
+	}
+	max := cfg.Cooldown
+	if cfg.HealthyNeed > max {
+		max = cfg.HealthyNeed
+	}
+	if st.Mode != ModeAdaptive || wins > max+1 {
+		t.Fatalf("recovery took %d windows (mode %v), want <= %d", wins, st.Mode, max+1)
+	}
+}
+
+// TestSustainedSagFreezes pins the brownout detector: windows that sag
+// below SagFrac of the estimate without ever crossing the collapse
+// threshold still freeze adaptation after SagWindows in a row.
+func TestSustainedSagFreezes(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	st := NewState(cfg)
+	st = advance(t, cfg, st, healthyWindow(), 10)
+
+	sag := healthyWindow()
+	for i := range sag.Groups {
+		sag.Groups[i].Bytes = sag.Groups[i].Bytes * 6 / 10 // ~60% of healthy
+	}
+	st = advance(t, cfg, st, sag, cfg.SagWindows)
+	if st.Mode != ModeFrozen {
+		t.Fatalf("after %d sagging windows: mode %v, want frozen", cfg.SagWindows, st.Mode)
+	}
+}
+
+// TestWarmupIsNotStale: before any traffic has ever been seen, silent
+// windows must not trigger the staleness ladder (the fleet is simply
+// warming up).
+func TestWarmupIsNotStale(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	st := NewState(cfg)
+	st = advance(t, cfg, st, silentWindow(), cfg.StaleWindows+cfg.FreezeToFallback+cfg.OpenAfter+5)
+	if st.Mode != ModeAdaptive || st.Armed {
+		t.Fatalf("warmup silence moved the ladder: mode %v armed %v", st.Mode, st.Armed)
+	}
+}
+
+// TestSLOBackoffCedesBandwidth: while one group's burn-rate alert
+// fires, the other groups' caps back off.
+func TestSLOBackoffCedesBandwidth(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	st := NewState(cfg)
+	st = advance(t, cfg, st, healthyWindow(), 10)
+	before := st.Targets[1]
+
+	w := healthyWindow()
+	w.Groups[1].Firing = true // group 2's SLO is burning
+	st = advance(t, cfg, st, w, 3)
+	if st.Targets[1] >= before {
+		t.Fatalf("non-firing group kept its cap under SLO burn: %.0f -> %.0f", before, st.Targets[1])
+	}
+}

@@ -45,6 +45,9 @@ const (
 	KnobIOMax      = core.KnobIOMax
 	KnobIOLatency  = core.KnobIOLatency
 	KnobIOCost     = core.KnobIOCost
+	// KnobAdaptive is the closed-loop shaper (opt-in sixth knob; not
+	// part of AllKnobs/ControlKnobs).
+	KnobAdaptive = core.KnobAdaptive
 )
 
 // AllKnobs returns every knob including the baseline.
